@@ -1,0 +1,61 @@
+// Ablation — detection-mask margin: the digital-test analogue of the
+// threshold trade-off. A higher margin protects the good circuit from noise
+// (no digital-test yield loss) but hides weak fault effects (coverage loss);
+// sec. 4.1: "the level may be adjusted by trading off fault coverage loss to
+// yield loss".
+#include <cstdio>
+#include <vector>
+
+#include "core/digital_test.h"
+#include "path/receiver_path.h"
+
+using namespace msts;
+
+int main() {
+  std::printf("== Ablation: spectral-mask margin vs coverage and yield ==\n\n");
+  const auto config = path::reference_path_config();
+  const core::DigitalTester tester(config);
+  const path::ReceiverPath device(config);
+
+  // Subsample the universe (1 in 4) to keep the sweep quick but stable.
+  std::vector<digital::Fault> faults;
+  for (std::size_t i = 0; i < tester.faults().size(); i += 4) {
+    faults.push_back(tester.faults()[i]);
+  }
+
+  std::printf("%12s %12s %22s\n", "margin (dB)", "coverage %", "good flagged (of 5 runs)");
+  for (double margin : {3.0, 6.0, 9.0, 12.0, 18.0, 25.0}) {
+    core::DigitalTestOptions opt;
+    opt.mask_margin_db = margin;
+    const auto plan = tester.plan(opt);
+    const auto ideal = tester.ideal_codes(plan);
+
+    stats::Rng noise(3000);
+    const auto noisy = tester.path_codes(plan, device, noise);
+    const auto out = tester.spectral_campaign(plan, ideal, noisy,
+                                              std::span(faults.data(), faults.size()));
+
+    // Digital-test yield loss: how often does a *fault-free* filter fail the
+    // mask under fresh noise realisations?
+    int flagged = 0;
+    for (int seed = 0; seed < 5; ++seed) {
+      stats::Rng r(4000 + seed);
+      const auto codes = tester.path_codes(plan, device, r);
+      digital::FirModel fir(tester.fir().coeffs, config.adc.bits);
+      std::vector<std::int64_t> good_out;
+      for (auto c : codes) good_out.push_back(fir.step(c));
+      const auto chk = tester.spectral_campaign(plan, ideal, codes, {});
+      flagged += chk.good_circuit_flagged ? 1 : 0;
+      (void)good_out;
+    }
+
+    std::printf("%12.1f %12.2f %18d/5\n", margin, 100.0 * out.result.coverage(),
+                flagged);
+  }
+
+  std::printf("\nReading: small margins flag the good circuit (yield loss) because\n"
+              "single-record noise bins poke above the estimate; large margins let\n"
+              "weak faults hide under the mask (coverage loss). The knee sits where\n"
+              "the margin clears the chi-square spread of per-bin noise (~10-12 dB).\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Performance microbenchmarks of the toolkit's kernels (google-benchmark):
+// FFT, spectral analysis, gate-level fault simulation, path transient
+// simulation and attribute propagation. These bound how long a full test
+// synthesis + evaluation run takes.
+#include <benchmark/benchmark.h>
+
+#include "core/attr_models.h"
+#include "core/digital_test.h"
+#include "core/synthesizer.h"
+#include "dsp/fft.h"
+#include "dsp/metrics.h"
+#include "dsp/spectrum.h"
+#include "dsp/tonegen.h"
+#include "path/receiver_path.h"
+#include "stats/rng.h"
+
+using namespace msts;
+
+static void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = {std::sin(0.1 * i), 0.0};
+  for (auto _ : state) {
+    auto y = x;
+    dsp::fft_inplace(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(512)->Arg(4096)->Arg(32768);
+
+static void BM_SpectrumAnalysis(benchmark::State& state) {
+  const double fs = 4e6;
+  const std::size_t n = 4096;
+  const dsp::Tone t{dsp::coherent_frequency(fs, n, 300e3), 0.5, 0.0};
+  const auto x = dsp::generate_tones(std::span(&t, 1), 0.0, fs, n);
+  dsp::AnalysisOptions ao;
+  ao.fundamentals = {t.freq};
+  for (auto _ : state) {
+    const dsp::Spectrum s(x, fs, dsp::WindowType::kBlackmanHarris4);
+    auto rep = dsp::analyze_spectrum(s, ao);
+    benchmark::DoNotOptimize(rep.snr_db);
+  }
+}
+BENCHMARK(BM_SpectrumAnalysis);
+
+static void BM_FaultSimBatch(benchmark::State& state) {
+  const auto config = path::reference_path_config();
+  static const core::DigitalTester tester(config);
+  core::DigitalTestOptions opt;
+  opt.record = 256;
+  const auto plan = tester.plan(opt);
+  const auto codes = tester.ideal_codes(plan);
+  const std::span<const digital::Fault> batch(tester.faults().data(), 63);
+  for (auto _ : state) {
+    auto r = tester.exact_campaign(codes, batch);
+    benchmark::DoNotOptimize(r.detected);
+  }
+  // 63 faults + good machine, netlist gates x cycles.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tester.netlist().num_nets()) * 256);
+}
+BENCHMARK(BM_FaultSimBatch);
+
+static void BM_PathTransient(benchmark::State& state) {
+  const auto config = path::reference_path_config();
+  const path::ReceiverPath path(config);
+  const dsp::Tone t{config.lo.freq_hz + 400e3, 1e-3, 0.0};
+  analog::Signal rf;
+  rf.fs = config.analog_fs;
+  rf.samples = dsp::generate_tones(std::span(&t, 1), 0.0, config.analog_fs, 8192);
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    auto trace = path.run(rf, rng);
+    benchmark::DoNotOptimize(trace.filter_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_PathTransient);
+
+static void BM_AttributePropagation(benchmark::State& state) {
+  const auto config = path::reference_path_config();
+  const core::PathAttrModel model(config);
+  const auto probe = core::make_stimulus(
+      config.analog_fs,
+      {core::ToneAttr{stats::Uncertain::exact(10.4e6), stats::Uncertain::exact(1e-3),
+                      stats::Uncertain::exact(0.0)},
+       core::ToneAttr{stats::Uncertain::exact(10.6e6), stats::Uncertain::exact(1e-3),
+                      stats::Uncertain::exact(0.0)}});
+  for (auto _ : state) {
+    auto out = model.forward(probe);
+    benchmark::DoNotOptimize(out.noise_power.nominal);
+  }
+}
+BENCHMARK(BM_AttributePropagation);
+
+static void BM_TestPlanSynthesis(benchmark::State& state) {
+  const auto config = path::reference_path_config();
+  for (auto _ : state) {
+    const core::TestSynthesizer synth(config);
+    auto plan = synth.synthesize();
+    benchmark::DoNotOptimize(plan.size());
+  }
+}
+BENCHMARK(BM_TestPlanSynthesis);
+
+BENCHMARK_MAIN();

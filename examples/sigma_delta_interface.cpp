@@ -1,0 +1,80 @@
+// Interface-module trade study: Nyquist ADC vs sigma-delta modulator + CIC
+// decimator as the analog/digital interface of the path (the two options
+// the paper names in sec. 1). Compares in-band SNR/ENOB and shows how the
+// shaped noise changes what a digital-filter test sees.
+//
+// Build & run:  ./build/examples/sigma_delta_interface
+#include <cstdio>
+#include <vector>
+
+#include "analog/adc.h"
+#include "analog/sigma_delta.h"
+#include "dsp/cic.h"
+#include "dsp/metrics.h"
+#include "dsp/spectrum.h"
+#include "dsp/tonegen.h"
+#include "stats/rng.h"
+
+int main() {
+  using namespace msts;
+
+  const double fs_out = 4.0e6;     // digital filter clock
+  const std::size_t osr = 32;      // sigma-delta oversampling
+  const double fs_over = fs_out * osr;
+  const std::size_t n_out = 4096;
+  const double f = dsp::coherent_frequency(fs_out, n_out, 300e3);
+  const double amp = 0.35;
+
+  std::printf("Interface comparison at fs_digital = %.1f MHz, tone %.0f kHz, "
+              "%.2f V peak\n\n", fs_out / 1e6, f / 1e3, amp);
+
+  // --- Option A: 12-bit Nyquist ADC ---------------------------------------
+  analog::AdcParams ap;
+  ap.vref = 0.5;
+  const analog::Adc adc(ap);
+  analog::Signal nyq;
+  nyq.fs = fs_out;
+  const dsp::Tone tone{f, amp, 0.0};
+  nyq.samples = dsp::generate_tones(std::span(&tone, 1), 0.0, fs_out, n_out);
+  const auto codes = adc.digitize(nyq, 1);
+  std::vector<double> adc_v;
+  for (auto c : codes) adc_v.push_back(static_cast<double>(c) * adc.lsb());
+
+  dsp::AnalysisOptions ao;
+  ao.fundamentals = {f};
+  const auto rep_adc = dsp::analyze_spectrum(
+      dsp::Spectrum(adc_v, fs_out, dsp::WindowType::kBlackmanHarris4), ao);
+
+  // --- Option B: 2nd-order sigma-delta + 3-stage CIC ----------------------
+  analog::SigmaDeltaParams sp;
+  const analog::SigmaDeltaModulator mod(sp);
+  const dsp::CicDecimator cic(3, osr);
+  analog::Signal over;
+  over.fs = fs_over;
+  over.samples = dsp::generate_tones(std::span(&tone, 1), 0.0, fs_over,
+                                     n_out * osr + osr * 8);
+  const auto bits = mod.modulate(over);
+  const auto dec = cic.decimate(std::span(bits.data(), bits.size()));
+  std::vector<double> sd_v(dec.end() - n_out, dec.end());
+  for (double& v : sd_v) v *= sp.vref;  // back to volts
+
+  const auto rep_sd = dsp::analyze_spectrum(
+      dsp::Spectrum(sd_v, fs_out, dsp::WindowType::kBlackmanHarris4), ao);
+
+  std::printf("%-28s %10s %10s %8s\n", "interface", "SNR dB", "SFDR dB", "ENOB");
+  std::printf("%-28s %10.1f %10.1f %8.2f\n", "12-bit Nyquist ADC", rep_adc.snr_db,
+              rep_adc.sfdr_db, rep_adc.enob);
+  std::printf("%-28s %10.1f %10.1f %8.2f\n", "2nd-order SD + CIC (OSR 32)",
+              rep_sd.snr_db, rep_sd.sfdr_db, rep_sd.enob);
+
+  std::printf("\nTest-synthesis consequences:\n"
+              " * the SD interface's residual noise RISES with frequency (shaped),\n"
+              "   so the digital-test detection mask must follow that slope rather\n"
+              "   than a flat quantisation floor;\n"
+              " * the CIC droop (%.2f at the band edge) is exactly known, like the\n"
+              "   FIR response, and is divided out of translated measurements;\n"
+              " * the 1-bit DAC is inherently linear: DAC mismatch budgets as\n"
+              "   offset/gain error, not INL-style distortion (see tests).\n",
+              cic.magnitude_at(0.5 * fs_out / fs_over * 0.8));
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "analog/adc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "stats/monte_carlo.h"
+
+namespace msts::analog {
+
+Adc::Adc(int bits, double vref, double offset_error_v, double gain_error,
+         double inl_peak_lsb, double dnl_sigma_lsb, std::uint64_t pattern_seed)
+    : bits_(bits),
+      vref_(vref),
+      offset_error_v_(offset_error_v),
+      gain_error_(gain_error),
+      inl_peak_lsb_(inl_peak_lsb) {
+  MSTS_REQUIRE(bits >= 4 && bits <= 20, "ADC resolution must be 4..20 bits");
+  MSTS_REQUIRE(vref > 0.0, "reference voltage must be positive");
+
+  // Fixed per-instance INL signature: a smooth S-shaped bow of amplitude
+  // inl_peak_lsb plus a zero-mean DNL random walk.
+  const std::size_t codes = std::size_t{1} << bits;
+  inl_table_.resize(codes);
+  stats::Rng pattern_rng(pattern_seed);
+  double walk = 0.0;
+  for (std::size_t c = 0; c < codes; ++c) {
+    const double u = 2.0 * static_cast<double>(c) / static_cast<double>(codes - 1) - 1.0;
+    walk += dnl_sigma_lsb * pattern_rng.normal() /
+            std::sqrt(static_cast<double>(codes));
+    inl_table_[c] = inl_peak_lsb * std::sin(kPi * u) + walk;
+  }
+  // Re-centre the walk so offset/gain error stay the explicit parameters.
+  double mean = 0.0;
+  for (double v : inl_table_) mean += v;
+  mean /= static_cast<double>(codes);
+  for (double& v : inl_table_) v -= mean;
+}
+
+Adc::Adc(const AdcParams& p)
+    : Adc(p.bits, p.vref, p.offset_error_v.nominal, p.gain_error.nominal,
+          p.inl_peak_lsb.nominal, p.dnl_sigma_lsb.nominal, /*pattern_seed=*/12345) {}
+
+Adc Adc::sampled(const AdcParams& p, stats::Rng& rng) {
+  return Adc(p.bits, p.vref, stats::sample(p.offset_error_v, rng),
+             stats::sample(p.gain_error, rng),
+             stats::sample(p.inl_peak_lsb, rng),
+             std::abs(stats::sample(p.dnl_sigma_lsb, rng)), rng.next_u64());
+}
+
+double Adc::lsb() const { return 2.0 * vref_ / static_cast<double>(1ll << bits_); }
+
+double Adc::output_rate(double fs, std::size_t decimation) const {
+  MSTS_REQUIRE(decimation >= 1, "decimation must be >= 1");
+  return fs / static_cast<double>(decimation);
+}
+
+double Adc::inl_at(double u) const {
+  const double clamped = std::clamp(u, -1.0, 1.0);
+  const auto codes = static_cast<double>(inl_table_.size() - 1);
+  const auto idx = static_cast<std::size_t>((clamped + 1.0) / 2.0 * codes);
+  return inl_table_[std::min(idx, inl_table_.size() - 1)];
+}
+
+std::vector<std::int64_t> Adc::digitize(const Signal& in, std::size_t decimation) const {
+  MSTS_REQUIRE(decimation >= 1, "decimation must be >= 1");
+  MSTS_REQUIRE(in.fs > 0.0, "input signal has no sample rate");
+
+  const double q = lsb();
+  const std::int64_t code_min = -(1ll << (bits_ - 1));
+  const std::int64_t code_max = (1ll << (bits_ - 1)) - 1;
+
+  std::vector<std::int64_t> out;
+  out.reserve(in.size() / decimation + 1);
+  for (std::size_t i = 0; i < in.size(); i += decimation) {
+    const double v = (in.samples[i] + offset_error_v_) * (1.0 + gain_error_);
+    const double u = v / vref_;  // normalised position in [-1, 1]
+    const double code_f = v / q + inl_at(u);
+    const auto code = static_cast<std::int64_t>(std::llround(code_f));
+    out.push_back(std::clamp(code, code_min, code_max));
+  }
+  return out;
+}
+
+}  // namespace msts::analog

@@ -1,0 +1,85 @@
+#include "analog/adc_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::analog {
+
+InlDnlResult histogram_inl_dnl(std::span<const std::int64_t> codes, int bits,
+                               double amplitude_codes, double dc_codes,
+                               double clip_fraction) {
+  MSTS_REQUIRE(bits >= 4 && bits <= 20, "converter width must be 4..20 bits");
+  MSTS_REQUIRE(amplitude_codes > 4.0, "sine must span more than a few LSB");
+  MSTS_REQUIRE(clip_fraction > 0.1 && clip_fraction < 1.0,
+               "clip fraction must be in (0.1, 1)");
+  MSTS_REQUIRE(codes.size() >= 1024, "too few samples for a histogram");
+
+  const std::int64_t code_min = -(1ll << (bits - 1));
+  const std::int64_t code_max = (1ll << (bits - 1)) - 1;
+  const std::size_t n_codes = std::size_t{1} << bits;
+
+  std::vector<double> hist(n_codes, 0.0);
+  for (std::int64_t c : codes) {
+    MSTS_REQUIRE(c >= code_min && c <= code_max, "code outside converter range");
+    hist[static_cast<std::size_t>(c - code_min)] += 1.0;
+  }
+
+  // Analysed window: codes safely inside the sine swing.
+  const double lo_f = dc_codes - clip_fraction * amplitude_codes;
+  const double hi_f = dc_codes + clip_fraction * amplitude_codes;
+  const auto first = static_cast<std::int64_t>(std::ceil(std::max(
+      lo_f, static_cast<double>(code_min) + 1.0)));
+  const auto last = static_cast<std::int64_t>(std::floor(std::min(
+      hi_f, static_cast<double>(code_max) - 1.0)));
+  MSTS_REQUIRE(last - first >= 8, "analysed code window too narrow");
+
+  // Ideal arcsine cell probability for code k: the sine dwells in
+  // [k-0.5, k+0.5) LSB with probability (asin(b)-asin(a))/pi.
+  auto clamped_asin = [&](double v) {
+    return std::asin(std::clamp((v - dc_codes) / amplitude_codes, -1.0, 1.0));
+  };
+
+  InlDnlResult r;
+  r.first_code = static_cast<std::size_t>(first - code_min);
+  r.last_code = static_cast<std::size_t>(last - code_min);
+  r.samples = codes.size();
+
+  const double total = static_cast<double>(codes.size());
+  for (std::int64_t k = first; k <= last; ++k) {
+    const double p_ideal = (clamped_asin(static_cast<double>(k) + 0.5) -
+                            clamped_asin(static_cast<double>(k) - 0.5)) /
+                           kPi;
+    const double expected = total * p_ideal;
+    const double observed = hist[static_cast<std::size_t>(k - code_min)];
+    const double dnl = (expected > 0.0) ? observed / expected - 1.0 : 0.0;
+    r.dnl.push_back(dnl);
+  }
+
+  // Remove the window-average DNL (absorbs small amplitude/offset
+  // mis-estimates), then integrate to INL and detrend its endpoints (the
+  // standard terminal-based INL definition).
+  double mean_dnl = 0.0;
+  for (double d : r.dnl) mean_dnl += d;
+  mean_dnl /= static_cast<double>(r.dnl.size());
+  for (double& d : r.dnl) d -= mean_dnl;
+
+  r.inl.resize(r.dnl.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.dnl.size(); ++i) {
+    acc += r.dnl[i];
+    r.inl[i] = acc;
+  }
+  const double slope = r.inl.back() / static_cast<double>(r.inl.size() - 1);
+  for (std::size_t i = 0; i < r.inl.size(); ++i) {
+    r.inl[i] -= slope * static_cast<double>(i);
+  }
+
+  for (double d : r.dnl) r.peak_dnl = std::max(r.peak_dnl, std::abs(d));
+  for (double v : r.inl) r.peak_inl = std::max(r.peak_inl, std::abs(v));
+  return r;
+}
+
+}  // namespace msts::analog

@@ -1,0 +1,71 @@
+#include "analog/amp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analog/noise.h"
+#include "base/require.h"
+#include "base/units.h"
+#include "stats/monte_carlo.h"
+
+namespace msts::analog {
+
+double c3_from_iip3(double a_iip3_vpeak) {
+  MSTS_REQUIRE(a_iip3_vpeak > 0.0, "IIP3 amplitude must be positive");
+  return -4.0 / (3.0 * a_iip3_vpeak * a_iip3_vpeak);
+}
+
+double c2_from_iip2(double a_iip2_vpeak) {
+  MSTS_REQUIRE(a_iip2_vpeak > 0.0, "IIP2 amplitude must be positive");
+  return 1.0 / a_iip2_vpeak;
+}
+
+double vsat_from_p1db(double a_p1db_in_vpeak, double a1) {
+  MSTS_REQUIRE(a_p1db_in_vpeak > 0.0 && a1 > 0.0, "P1dB and gain must be positive");
+  return a_p1db_in_vpeak * a1 * amplitude_ratio_from_db(-1.0);
+}
+
+double apply_nonlinearity(double x, double a1, double c2, double c3, double vsat) {
+  const double y = a1 * (x + c2 * x * x + c3 * x * x * x);
+  return std::clamp(y, -vsat, vsat);
+}
+
+Amplifier::Amplifier(double gain_db, double iip3_dbm, double iip2_dbm,
+                     double p1db_in_dbm, double nf_db, double dc_offset_v)
+    : gain_db_(gain_db),
+      iip3_dbm_(iip3_dbm),
+      iip2_dbm_(iip2_dbm),
+      p1db_in_dbm_(p1db_in_dbm),
+      nf_db_(nf_db),
+      dc_offset_v_(dc_offset_v) {}
+
+Amplifier::Amplifier(const AmpParams& p)
+    : Amplifier(p.gain_db.nominal, p.iip3_dbm.nominal, p.iip2_dbm.nominal,
+                p.p1db_in_dbm.nominal, p.nf_db.nominal, p.dc_offset_v.nominal) {}
+
+Amplifier Amplifier::sampled(const AmpParams& p, stats::Rng& rng) {
+  return Amplifier(stats::sample(p.gain_db, rng), stats::sample(p.iip3_dbm, rng),
+                   stats::sample(p.iip2_dbm, rng), stats::sample(p.p1db_in_dbm, rng),
+                   std::max(0.0, stats::sample(p.nf_db, rng)),
+                   stats::sample(p.dc_offset_v, rng));
+}
+
+Signal Amplifier::process(const Signal& in, stats::Rng& noise_rng) const {
+  MSTS_REQUIRE(in.fs > 0.0, "input signal has no sample rate");
+  const double a1 = amplitude_ratio_from_db(gain_db_);
+  const double c3 = c3_from_iip3(vpeak_from_dbm(iip3_dbm_));
+  const double c2 = c2_from_iip2(vpeak_from_dbm(iip2_dbm_));
+  const double vsat = vsat_from_p1db(vpeak_from_dbm(p1db_in_dbm_), a1);
+  const double noise_sigma = noise_vrms_from_nf(nf_db_, in.fs);
+
+  Signal out;
+  out.fs = in.fs;
+  out.samples.reserve(in.size());
+  for (double x : in.samples) {
+    const double xn = x + noise_sigma * noise_rng.normal();
+    out.samples.push_back(apply_nonlinearity(xn, a1, c2, c3, vsat) + dc_offset_v_);
+  }
+  return out;
+}
+
+}  // namespace msts::analog

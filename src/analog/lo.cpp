@@ -1,0 +1,49 @@
+#include "analog/lo.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "stats/monte_carlo.h"
+
+namespace msts::analog {
+
+LocalOscillator::LocalOscillator(double freq_hz, double freq_error_ppm,
+                                 double phase_noise_rad, double amplitude)
+    : freq_hz_(freq_hz),
+      freq_error_ppm_(freq_error_ppm),
+      phase_noise_rad_(phase_noise_rad),
+      amplitude_(amplitude) {
+  MSTS_REQUIRE(freq_hz > 0.0, "LO frequency must be positive");
+  MSTS_REQUIRE(amplitude > 0.0, "LO amplitude must be positive");
+}
+
+LocalOscillator::LocalOscillator(const LoParams& p)
+    : LocalOscillator(p.freq_hz, p.freq_error_ppm.nominal, p.phase_noise_rad.nominal,
+                      p.amplitude) {}
+
+LocalOscillator LocalOscillator::sampled(const LoParams& p, stats::Rng& rng) {
+  return LocalOscillator(p.freq_hz, stats::sample(p.freq_error_ppm, rng),
+                         std::max(0.0, stats::sample(p.phase_noise_rad, rng)),
+                         p.amplitude);
+}
+
+double LocalOscillator::actual_freq_hz() const {
+  return freq_hz_ * (1.0 + freq_error_ppm_ * 1e-6);
+}
+
+Signal LocalOscillator::generate(double fs, std::size_t n, stats::Rng& noise_rng) const {
+  MSTS_REQUIRE(fs > 2.0 * actual_freq_hz(), "LO frequency above Nyquist");
+  Signal out;
+  out.fs = fs;
+  out.samples.reserve(n);
+  const double w = kTwoPi * actual_freq_hz() / fs;
+  double jitter = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    jitter += phase_noise_rad_ * noise_rng.normal();
+    out.samples.push_back(amplitude_ * std::cos(w * static_cast<double>(i) + jitter));
+  }
+  return out;
+}
+
+}  // namespace msts::analog

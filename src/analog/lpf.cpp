@@ -1,0 +1,127 @@
+#include "analog/lpf.h"
+
+#include <cmath>
+#include <complex>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "dsp/metrics.h"
+#include "stats/monte_carlo.h"
+
+namespace msts::analog {
+
+Biquad design_lowpass_biquad(double fc, double fs, double q) {
+  MSTS_REQUIRE(fc > 0.0 && fc < fs / 2.0, "cutoff must be in (0, fs/2)");
+  MSTS_REQUIRE(q > 0.0, "Q must be positive");
+  const double w0 = kTwoPi * fc / fs;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double cw = std::cos(w0);
+  const double a0 = 1.0 + alpha;
+  Biquad bq;
+  bq.b0 = (1.0 - cw) / 2.0 / a0;
+  bq.b1 = (1.0 - cw) / a0;
+  bq.b2 = bq.b0;
+  bq.a1 = -2.0 * cw / a0;
+  bq.a2 = (1.0 - alpha) / a0;
+  return bq;
+}
+
+std::vector<double> butterworth_qs(int order) {
+  MSTS_REQUIRE(order >= 2 && order % 2 == 0, "order must be even and >= 2");
+  std::vector<double> qs;
+  for (int k = 0; k < order / 2; ++k) {
+    const double angle = kPi * (2.0 * k + 1.0) / (2.0 * order);
+    qs.push_back(1.0 / (2.0 * std::sin(angle)));
+  }
+  return qs;
+}
+
+LowPassFilter::LowPassFilter(double cutoff_hz, double passband_gain_db, int order,
+                             double clock_hz, double clock_spur_v)
+    : cutoff_hz_(cutoff_hz),
+      passband_gain_db_(passband_gain_db),
+      order_(order),
+      clock_hz_(clock_hz),
+      clock_spur_v_(clock_spur_v) {
+  MSTS_REQUIRE(cutoff_hz > 0.0, "cutoff must be positive");
+  MSTS_REQUIRE(order >= 2 && order % 2 == 0, "order must be even and >= 2");
+}
+
+LowPassFilter::LowPassFilter(const LpfParams& p)
+    : LowPassFilter(p.cutoff_hz.nominal, p.passband_gain_db.nominal, p.order,
+                    p.clock_hz, p.clock_spur_v.nominal) {}
+
+LowPassFilter LowPassFilter::sampled(const LpfParams& p, stats::Rng& rng) {
+  return LowPassFilter(stats::sample(p.cutoff_hz, rng),
+                       stats::sample(p.passband_gain_db, rng), p.order, p.clock_hz,
+                       std::abs(stats::sample(p.clock_spur_v, rng)));
+}
+
+Signal LowPassFilter::process(const Signal& in) const {
+  MSTS_REQUIRE(in.fs > 0.0, "input signal has no sample rate");
+  MSTS_REQUIRE(cutoff_hz_ < in.fs / 2.0, "cutoff above simulation Nyquist");
+
+  const auto qs = butterworth_qs(order_);
+  const double gain = amplitude_ratio_from_db(passband_gain_db_);
+
+  Signal out = in;
+  for (double q : qs) {
+    const Biquad bq = design_lowpass_biquad(cutoff_hz_, in.fs, q);
+    double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
+    for (double& s : out.samples) {
+      const double x = s;
+      const double y = bq.b0 * x + bq.b1 * x1 + bq.b2 * x2 - bq.a1 * y1 - bq.a2 * y2;
+      x2 = x1;
+      x1 = x;
+      y2 = y1;
+      y1 = y;
+      s = y;
+    }
+  }
+
+  // Pass-band gain and the switched-cap clock spur (folded into the first
+  // Nyquist zone of the simulation rate if necessary).
+  const double spur_f = dsp::alias_frequency(clock_hz_, in.fs);
+  const double w = kTwoPi * spur_f / in.fs;
+  for (std::size_t i = 0; i < out.samples.size(); ++i) {
+    out.samples[i] = gain * out.samples[i] +
+                     clock_spur_v_ * std::cos(w * static_cast<double>(i));
+  }
+  return out;
+}
+
+namespace {
+
+std::complex<double> cascade_response(double f, double fs, double cutoff_hz,
+                                      int order, double passband_gain_db) {
+  const auto qs = butterworth_qs(order);
+  std::complex<double> h(amplitude_ratio_from_db(passband_gain_db), 0.0);
+  const std::complex<double> z =
+      std::exp(std::complex<double>(0.0, -kTwoPi * f / fs));
+  for (double q : qs) {
+    const Biquad bq = design_lowpass_biquad(cutoff_hz, fs, q);
+    const auto num = bq.b0 + bq.b1 * z + bq.b2 * z * z;
+    const auto den = 1.0 + bq.a1 * z + bq.a2 * z * z;
+    h *= num / den;
+  }
+  return h;
+}
+
+}  // namespace
+
+double LowPassFilter::magnitude_at(double f, double fs) const {
+  return std::abs(cascade_response(f, fs, cutoff_hz_, order_, passband_gain_db_));
+}
+
+double LowPassFilter::group_delay_at(double f, double fs) const {
+  const double df = std::max(1.0, f * 1e-4);
+  const auto lo = cascade_response(std::max(0.0, f - df), fs, cutoff_hz_, order_,
+                                   passband_gain_db_);
+  const auto hi = cascade_response(f + df, fs, cutoff_hz_, order_, passband_gain_db_);
+  double dphi = std::arg(hi) - std::arg(lo);
+  while (dphi > kPi) dphi -= kTwoPi;
+  while (dphi < -kPi) dphi += kTwoPi;
+  return -dphi / (kTwoPi * 2.0 * df);
+}
+
+}  // namespace msts::analog

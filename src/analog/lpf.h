@@ -1,0 +1,75 @@
+// Switched-capacitor low-pass filter model (Butterworth biquad cascade).
+//
+// Table 1 tests the filter for pass-band gain, stop-band gain, cutoff
+// frequency and dynamic range. The switched-capacitor implementation also
+// leaks clock spurs into the output ("tones at the integer multiples of the
+// clock frequency", sec. 4.2), which the signal-attribute model must track so
+// they are not mistaken for fault effects.
+#pragma once
+
+#include <vector>
+
+#include "analog/signal.h"
+#include "stats/rng.h"
+#include "stats/uncertain.h"
+
+namespace msts::analog {
+
+/// One second-order IIR section (RBJ low-pass form, normalised a0 = 1).
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+};
+
+/// Designs an RBJ low-pass biquad for cutoff fc at rate fs with quality Q.
+Biquad design_lowpass_biquad(double fc, double fs, double q);
+
+/// Butterworth section Q values for an even filter order.
+std::vector<double> butterworth_qs(int order);
+
+/// Datasheet-style filter description.
+struct LpfParams {
+  stats::Uncertain cutoff_hz = stats::Uncertain::from_tolerance(1.0e6, 5.0e4);
+  stats::Uncertain passband_gain_db = stats::Uncertain::from_tolerance(0.0, 0.5);
+  int order = 4;                       ///< Even; cascaded biquads.
+  double clock_hz = 16.0e6;            ///< Switched-cap clock.
+  stats::Uncertain clock_spur_v =
+      stats::Uncertain::from_tolerance(200e-6, 100e-6);  ///< Spur amplitude at f_clk.
+};
+
+/// One manufactured filter.
+class LowPassFilter {
+ public:
+  explicit LowPassFilter(const LpfParams& params);
+  static LowPassFilter sampled(const LpfParams& params, stats::Rng& rng);
+
+  /// Filters the waveform and injects the clock spur (and its alias if the
+  /// clock exceeds Nyquist of the simulation rate).
+  Signal process(const Signal& in) const;
+
+  /// Small-signal magnitude response at frequency f for rate fs (includes
+  /// the pass-band gain), used by tests and by the attribute model.
+  double magnitude_at(double f, double fs) const;
+
+  /// Group delay (seconds) at frequency f for rate fs, from the numerical
+  /// phase slope of the cascade response.
+  double group_delay_at(double f, double fs) const;
+
+  double actual_cutoff_hz() const { return cutoff_hz_; }
+  double actual_passband_gain_db() const { return passband_gain_db_; }
+  int order() const { return order_; }
+  double clock_hz() const { return clock_hz_; }
+  double actual_clock_spur_v() const { return clock_spur_v_; }
+
+ private:
+  LowPassFilter(double cutoff_hz, double passband_gain_db, int order, double clock_hz,
+                double clock_spur_v);
+
+  double cutoff_hz_;
+  double passband_gain_db_;
+  int order_;
+  double clock_hz_;
+  double clock_spur_v_;
+};
+
+}  // namespace msts::analog

@@ -1,0 +1,59 @@
+#include "analog/mixer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analog/amp.h"
+#include "analog/noise.h"
+#include "base/require.h"
+#include "base/units.h"
+#include "stats/monte_carlo.h"
+
+namespace msts::analog {
+
+Mixer::Mixer(double conv_gain_db, double iip3_dbm, double p1db_in_dbm,
+             double lo_isolation_db, double nf_db)
+    : conv_gain_db_(conv_gain_db),
+      iip3_dbm_(iip3_dbm),
+      p1db_in_dbm_(p1db_in_dbm),
+      lo_isolation_db_(lo_isolation_db),
+      nf_db_(nf_db) {}
+
+Mixer::Mixer(const MixerParams& p)
+    : Mixer(p.conv_gain_db.nominal, p.iip3_dbm.nominal, p.p1db_in_dbm.nominal,
+            p.lo_isolation_db.nominal, p.nf_db.nominal) {}
+
+Mixer Mixer::sampled(const MixerParams& p, stats::Rng& rng) {
+  return Mixer(stats::sample(p.conv_gain_db, rng), stats::sample(p.iip3_dbm, rng),
+               stats::sample(p.p1db_in_dbm, rng), stats::sample(p.lo_isolation_db, rng),
+               std::max(0.0, stats::sample(p.nf_db, rng)));
+}
+
+Signal Mixer::process(const Signal& rf, const Signal& lo, stats::Rng& noise_rng) const {
+  MSTS_REQUIRE(rf.fs > 0.0 && rf.fs == lo.fs, "RF and LO rates must match");
+  MSTS_REQUIRE(rf.size() == lo.size(), "RF and LO lengths must match");
+
+  // A multiplicative mixer with a unit-amplitude LO halves the signal
+  // amplitude in each sideband; fold the factor 2 into the port gain so the
+  // *down-converted* tone sees the specified conversion gain.
+  const double a1 = 2.0 * amplitude_ratio_from_db(conv_gain_db_);
+  const double c3 = c3_from_iip3(vpeak_from_dbm(iip3_dbm_));
+  const double vsat =
+      2.0 * vsat_from_p1db(vpeak_from_dbm(p1db_in_dbm_),
+                           amplitude_ratio_from_db(conv_gain_db_));
+  const double leak = amplitude_ratio_from_db(-lo_isolation_db_);
+  const double noise_sigma = noise_vrms_from_nf(nf_db_, rf.fs);
+
+  Signal out;
+  out.fs = rf.fs;
+  out.samples.reserve(rf.size());
+  for (std::size_t i = 0; i < rf.size(); ++i) {
+    const double x = rf.samples[i] + noise_sigma * noise_rng.normal();
+    // RF-port nonlinearity, then multiplication, then LO feedthrough.
+    const double distorted = apply_nonlinearity(x, a1, 0.0, c3, vsat);
+    out.samples.push_back(distorted * lo.samples[i] + leak * lo.samples[i]);
+  }
+  return out;
+}
+
+}  // namespace msts::analog

@@ -1,0 +1,24 @@
+#include "analog/noise.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::analog {
+
+double noise_vrms_from_nf(double nf_db, double fs) {
+  MSTS_REQUIRE(nf_db >= 0.0, "noise figure must be >= 0 dB");
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  const double f = power_ratio_from_db(nf_db);
+  const double p = (f - 1.0) * kBoltzmann * kT0 * (fs / 2.0);
+  return std::sqrt(p * kRefImpedance);
+}
+
+double source_noise_vrms(double fs) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  const double p = kBoltzmann * kT0 * (fs / 2.0);
+  return std::sqrt(p * kRefImpedance);
+}
+
+}  // namespace msts::analog

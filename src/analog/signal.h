@@ -1,0 +1,21 @@
+// Sampled analog signals.
+//
+// The analog substrate simulates the paper's receive path sample-by-sample at
+// a fixed analog rate; the ADC later decimates to the digital rate. A Signal
+// is a plain value type (rate + samples in volts).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace msts::analog {
+
+/// A uniformly sampled voltage waveform.
+struct Signal {
+  double fs = 0.0;              ///< Sample rate, Hz.
+  std::vector<double> samples;  ///< Volts.
+
+  std::size_t size() const { return samples.size(); }
+};
+
+}  // namespace msts::analog

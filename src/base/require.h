@@ -1,0 +1,40 @@
+// Precondition checking for public API boundaries.
+//
+// MSTS_REQUIRE validates arguments of public functions; violations throw
+// std::invalid_argument with the failing expression and source location.
+// These are contract checks, not error handling for expected runtime
+// conditions — internal invariants use assert().
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace msts::detail {
+
+/// Builds the diagnostic message for a failed precondition and throws.
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::string what = "msts precondition failed: ";
+  what += expr;
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  what += " (";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  what += ")";
+  throw std::invalid_argument(what);
+}
+
+}  // namespace msts::detail
+
+/// Validates a precondition of a public API; throws std::invalid_argument on
+/// failure. `msg` is a string (or string expression) describing the contract.
+#define MSTS_REQUIRE(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::msts::detail::require_failed(#cond, __FILE__, __LINE__, (msg));  \
+    }                                                                    \
+  } while (false)

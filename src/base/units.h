@@ -1,0 +1,52 @@
+// Unit conversions and numeric constants shared across the toolkit.
+//
+// Conventions:
+//  * Voltage-domain signals are in volts (peak for tone amplitudes).
+//  * Power quantities are referred to a REF_IMPEDANCE (50 ohm) load, the
+//    convention of RF test equipment and of the paper's dBm-valued
+//    parameters (IIP3, P1dB).
+//  * "db" functions operating on power ratios use 10*log10; the `_v`
+//    variants operating on voltage/amplitude ratios use 20*log10.
+#pragma once
+
+#include <cmath>
+
+namespace msts {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Reference load impedance (ohms) used for dBm <-> volt conversions.
+inline constexpr double kRefImpedance = 50.0;
+
+/// Power ratio -> decibels.
+inline double db_from_power_ratio(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Decibels -> power ratio.
+inline double power_ratio_from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude (voltage) ratio -> decibels.
+inline double db_from_amplitude_ratio(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Decibels -> amplitude (voltage) ratio.
+inline double amplitude_ratio_from_db(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Power in dBm -> RMS voltage across kRefImpedance.
+inline double vrms_from_dbm(double dbm) {
+  const double watts = 1e-3 * std::pow(10.0, dbm / 10.0);
+  return std::sqrt(watts * kRefImpedance);
+}
+
+/// Power in dBm -> sine peak voltage across kRefImpedance.
+inline double vpeak_from_dbm(double dbm) { return vrms_from_dbm(dbm) * std::sqrt(2.0); }
+
+/// RMS voltage across kRefImpedance -> power in dBm.
+inline double dbm_from_vrms(double vrms) {
+  const double watts = vrms * vrms / kRefImpedance;
+  return 10.0 * std::log10(watts / 1e-3);
+}
+
+/// Sine peak voltage across kRefImpedance -> power in dBm.
+inline double dbm_from_vpeak(double vpeak) { return dbm_from_vrms(vpeak / std::sqrt(2.0)); }
+
+}  // namespace msts

@@ -1,0 +1,67 @@
+// Threshold studies: fault-coverage loss vs yield loss for a translated
+// parameter test (the paper's Figs. 2 & 5 and Table 2).
+//
+// A translated test computes a parameter with error `err`. Given the
+// parameter's manufacturing distribution and its acceptance region, the
+// threshold can sit at the specification (Thr = Tol), be loosened by the
+// error (Thr = Tol - Err: zero yield loss, maximal coverage loss) or be
+// tightened by it (Thr = Tol + Err: zero coverage loss, maximal yield
+// loss) — the three columns of Table 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/uncertain.h"
+#include "stats/yield.h"
+
+namespace msts::core {
+
+/// How the computation error enters the loss integrals.
+enum class ErrorTreatment {
+  /// Uniform error over the worst-case interval [-wc, +wc]: the paper's
+  /// tolerance-interval semantics. Conservative.
+  kWorstCase,
+  /// Gaussian error with the RSS sigma of the error budget: the follow-on
+  /// statistical tolerance analysis (worst-case corners rarely align, so
+  /// losses shrink substantially).
+  kStatistical,
+};
+
+/// One threshold choice and its losses.
+struct ThresholdRow {
+  std::string label;          ///< "Tol", "Tol-Err", "Tol+Err".
+  stats::SpecLimits threshold;
+  stats::TestOutcome outcome;
+};
+
+/// Complete FCL/YL study of one parameter test.
+struct ParameterStudy {
+  std::string parameter;      ///< e.g. "mixer.IIP3".
+  std::string unit;           ///< e.g. "dBm".
+  stats::Normal population;   ///< Manufacturing distribution.
+  stats::SpecLimits spec;     ///< True acceptance region.
+  double error_wc = 0.0;      ///< Worst-case computation error.
+  ErrorTreatment treatment = ErrorTreatment::kWorstCase;
+  std::vector<ThresholdRow> rows;  ///< Tol, Tol-Err, Tol+Err.
+
+  /// Row accessors by label (throws if the label is absent).
+  const ThresholdRow& row(const std::string& label) const;
+};
+
+/// Runs the three-threshold study for a parameter whose computation error is
+/// `error`. The guard-banded rows shift the threshold by the worst-case
+/// half-width under both treatments so the rows stay comparable.
+ParameterStudy threshold_study(const std::string& parameter, const std::string& unit,
+                               const stats::Normal& population,
+                               const stats::SpecLimits& spec,
+                               const stats::Uncertain& error,
+                               ErrorTreatment treatment = ErrorTreatment::kWorstCase);
+
+/// Sweeps the threshold continuously between Tol-Err and Tol+Err (the
+/// trade-off curve of Fig. 5); returns (shift, outcome) pairs.
+std::vector<std::pair<double, stats::TestOutcome>> threshold_sweep(
+    const stats::Normal& population, const stats::SpecLimits& spec,
+    const stats::Uncertain& error, int steps = 21);
+
+}  // namespace msts::core

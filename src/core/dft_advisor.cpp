@@ -1,0 +1,71 @@
+#include "core/dft_advisor.h"
+
+#include <set>
+#include <sstream>
+
+namespace msts::core {
+
+namespace {
+
+// Access structure suited to each known untranslatable parameter.
+std::string access_for(const std::string& module, const std::string& parameter) {
+  if (module == "amp" && parameter == "DC offset") {
+    return "DC-coupled test point at the amplifier output (before the mixer)";
+  }
+  if (module == "amp" && parameter == "HD3") {
+    return "analog observation point at the amplifier output, or a mixer "
+           "bypass mode routing the amp output into the LPF";
+  }
+  if (module == "mixer" && parameter == "LO isolation") {
+    return "RF peak detector at the mixer output (before the LPF)";
+  }
+  return "analog test point at the " + module + " output";
+}
+
+}  // namespace
+
+DftReport advise_dft(const std::vector<PlannedTest>& plan) {
+  DftReport report;
+
+  std::set<std::string> access_nodes;
+  for (const PlannedTest& t : plan) {
+    if (t.translatable) {
+      ++report.translated_tests;
+      continue;
+    }
+    ++report.dft_tests;
+    DftRecommendation rec;
+    rec.module = t.module;
+    rec.parameter = t.parameter;
+    rec.access = access_for(t.module, t.parameter);
+    rec.rationale = t.formula;
+    access_nodes.insert(rec.access);
+    report.recommendations.push_back(std::move(rec));
+  }
+
+  // Conventional per-block testing needs stimulus + observation access at
+  // every internal interface of the path (amp-mixer, mixer-lpf, lpf-adc,
+  // lo-mixer): 2 access structures per interface.
+  report.conventional_test_points = 2 * 4;
+  report.required_test_points = access_nodes.size();
+  return report;
+}
+
+std::string format_dft_report(const DftReport& report) {
+  std::ostringstream os;
+  os << "DFT advisory: " << report.translated_tests << " tests translated, "
+     << report.dft_tests << " need access structures\n";
+  for (const DftRecommendation& r : report.recommendations) {
+    os << "  * " << r.module << "." << r.parameter << "\n"
+       << "      insert: " << r.access << "\n"
+       << "      reason: " << r.rationale << "\n";
+  }
+  os << "test-point count: " << report.required_test_points
+     << " (vs " << report.conventional_test_points
+     << " for conventional per-block access) — "
+     << (report.conventional_test_points - report.required_test_points)
+     << " access structures saved\n";
+  return os.str();
+}
+
+}  // namespace msts::core

@@ -1,0 +1,43 @@
+// DFT advisor: converts the synthesizer's untranslatability findings into
+// concrete design-for-test recommendations and quantifies the saving.
+//
+// The paper's economic argument (sec. 1): with test translation, "DFT
+// techniques are applied only for tests that can not be translated and
+// performance and hardware overhead can greatly be reduced". This module
+// computes exactly that reduction for a synthesized plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/synthesizer.h"
+
+namespace msts::core {
+
+/// One recommended test-access structure.
+struct DftRecommendation {
+  std::string module;
+  std::string parameter;
+  std::string access;     ///< What to insert (test point, loopback, ...).
+  std::string rationale;  ///< Why translation failed for this parameter.
+};
+
+/// Full advisory report for a synthesized plan.
+struct DftReport {
+  std::vector<DftRecommendation> recommendations;
+  std::size_t translated_tests = 0;   ///< Tests needing no DFT.
+  std::size_t dft_tests = 0;          ///< Tests needing access structures.
+  /// Analog access points a conventional per-block methodology would insert
+  /// (stimulus + observation at every internal interface of the path).
+  std::size_t conventional_test_points = 0;
+  /// Access points actually required after translation.
+  std::size_t required_test_points = 0;
+};
+
+/// Builds the report for a synthesized plan on the reference-path topology.
+DftReport advise_dft(const std::vector<PlannedTest>& plan);
+
+/// Renders the report as text.
+std::string format_dft_report(const DftReport& report);
+
+}  // namespace msts::core

@@ -1,0 +1,89 @@
+#include "core/diagnosis.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/require.h"
+
+namespace msts::core {
+
+double signature_similarity(const FaultSignature& a, const FaultSignature& b) {
+  if (a.bins.empty() || b.bins.empty()) return 0.0;
+  // Sparse cosine similarity over the union of bins.
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < a.bins.size() || j < b.bins.size()) {
+    if (j >= b.bins.size() || (i < a.bins.size() && a.bins[i] < b.bins[j])) {
+      na += static_cast<double>(a.excess_db[i]) * a.excess_db[i];
+      ++i;
+    } else if (i >= a.bins.size() || b.bins[j] < a.bins[i]) {
+      nb += static_cast<double>(b.excess_db[j]) * b.excess_db[j];
+      ++j;
+    } else {
+      dot += static_cast<double>(a.excess_db[i]) * b.excess_db[j];
+      na += static_cast<double>(a.excess_db[i]) * a.excess_db[i];
+      nb += static_cast<double>(b.excess_db[j]) * b.excess_db[j];
+      ++i;
+      ++j;
+    }
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+FaultSignature FaultDictionary::signature_of(
+    std::span<const std::int64_t> filter_out) const {
+  MSTS_REQUIRE(filter_out.size() == plan_.record, "record length mismatch");
+  FaultSignature sig;
+  const dsp::Spectrum spec(tester_.output_volts(filter_out), tester_.digital_fs(),
+                           plan_.window);
+  for (std::size_t k = 0; k < spec.num_bins(); ++k) {
+    if (plan_.excluded[k]) continue;
+    const double excess = spec.power_db(k) - plan_.mask_power_db[k];
+    if (excess > 0.0) {
+      sig.bins.push_back(static_cast<std::uint32_t>(k));
+      sig.excess_db.push_back(static_cast<float>(excess));
+    }
+  }
+  return sig;
+}
+
+FaultDictionary::FaultDictionary(const DigitalTester& tester,
+                                 const DigitalTestPlan& plan,
+                                 std::span<const std::int64_t> stimulus_codes,
+                                 std::span<const digital::Fault> faults)
+    : tester_(tester), plan_(plan) {
+  MSTS_REQUIRE(stimulus_codes.size() == plan.record, "stimulus length mismatch");
+  digital::FaultSimOptions opts;
+  opts.capture_waveforms = true;
+  const auto sim = digital::simulate_faults(tester.netlist(), tester.input_bus(),
+                                            tester.output_bus(), stimulus_codes,
+                                            faults, opts);
+  entries_.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    FaultSignature sig = signature_of(sim.waveforms[i]);
+    sig.fault = faults[i];
+    entries_.push_back(std::move(sig));
+  }
+}
+
+std::vector<DiagnosisCandidate> FaultDictionary::diagnose(
+    std::span<const std::int64_t> filter_out, std::size_t top_k) const {
+  const FaultSignature observed = signature_of(filter_out);
+  std::vector<DiagnosisCandidate> ranked;
+  ranked.reserve(entries_.size());
+  for (const FaultSignature& e : entries_) {
+    DiagnosisCandidate c;
+    c.fault = e.fault;
+    c.score = signature_similarity(observed, e);
+    ranked.push_back(c);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const DiagnosisCandidate& a, const DiagnosisCandidate& b) {
+              return a.score > b.score;
+            });
+  if (ranked.size() > top_k) ranked.resize(top_k);
+  return ranked;
+}
+
+}  // namespace msts::core

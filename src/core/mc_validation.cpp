@@ -1,0 +1,63 @@
+#include "core/mc_validation.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "core/translation.h"
+
+namespace msts::core {
+
+McValidation validate_iip3_study_mc(const path::PathConfig& config,
+                                    const ParameterStudy& study, int trials,
+                                    stats::Rng& rng, bool adaptive,
+                                    const path::MeasureOptions& opts) {
+  MSTS_REQUIRE(trials >= 10, "need at least 10 trials");
+
+  // The test program is synthesized once from the *nominal* description —
+  // the device under test never informs its own test.
+  const Translator translator(config);
+  const auto threshold = study.row("Tol").threshold;
+
+  McValidation v;
+  v.trials = trials;
+  v.fcl_predicted = study.row("Tol").outcome.fault_coverage_loss;
+  v.yl_predicted = study.row("Tol").outcome.yield_loss;
+
+  // Importance sampling: uniform over +/-4 sigma, weighted by the pdf.
+  const double lo = study.population.mean - 4.0 * study.population.sigma;
+  const double hi = study.population.mean + 4.0 * study.population.sigma;
+
+  double w_good_reject = 0.0;
+  double w_faulty_accept = 0.0;
+  double abs_err_sum = 0.0;
+
+  for (int t = 0; t < trials; ++t) {
+    const double true_iip3 = rng.uniform(lo, hi);
+    const double weight = study.population.pdf(true_iip3);
+
+    path::PathConfig instance_cfg = config;
+    instance_cfg.mixer.iip3_dbm = stats::Uncertain::exact(true_iip3);
+    const auto device = path::ReceiverPath::sampled(instance_cfg, rng);
+
+    const double measured =
+        translator.measure_mixer_iip3_dbm(device, rng, adaptive, opts);
+    abs_err_sum += std::abs(measured - true_iip3);
+
+    const bool is_good = study.spec.passes(true_iip3);
+    const bool accepted = threshold.passes(measured);
+    if (is_good) {
+      v.weight_good += weight;
+      if (!accepted) w_good_reject += weight;
+    } else {
+      v.weight_faulty += weight;
+      if (accepted) w_faulty_accept += weight;
+    }
+  }
+
+  v.fcl_measured = (v.weight_faulty > 0.0) ? w_faulty_accept / v.weight_faulty : 0.0;
+  v.yl_measured = (v.weight_good > 0.0) ? w_good_reject / v.weight_good : 0.0;
+  v.mean_abs_meas_error = abs_err_sum / static_cast<double>(trials);
+  return v;
+}
+
+}  // namespace msts::core

@@ -1,0 +1,68 @@
+#include "core/signal_attr.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::core {
+
+double SignalAttributes::total_tone_power() const {
+  double acc = 0.0;
+  for (const ToneAttr& t : tones) {
+    acc += t.amplitude.nominal * t.amplitude.nominal / 2.0;
+  }
+  return acc;
+}
+
+double SignalAttributes::snr_db() const {
+  const double s = total_tone_power();
+  const double n = std::max(noise_power.nominal, 1e-300);
+  return db_from_power_ratio(std::max(s, 1e-300) / n);
+}
+
+double SignalAttributes::worst_spur_amplitude() const {
+  double worst = 0.0;
+  for (const SpurAttr& s : spurs) worst = std::max(worst, std::abs(s.amplitude.nominal));
+  return worst;
+}
+
+double SignalAttributes::min_detectable_amplitude(double margin_db,
+                                                  std::size_t bins) const {
+  MSTS_REQUIRE(bins >= 2, "need at least two analysis bins");
+  // Noise power per analysis bin, raised by the margin; a tone is detectable
+  // when its power exceeds that level.
+  const double per_bin = noise_power.nominal / static_cast<double>(bins);
+  const double floor_power = per_bin * power_ratio_from_db(margin_db);
+  return std::sqrt(2.0 * floor_power);
+}
+
+SignalAttributes make_stimulus(double fs, const std::vector<ToneAttr>& tones) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  SignalAttributes sig;
+  sig.fs = fs;
+  sig.tones = tones;
+  sig.dc = stats::Uncertain::exact(0.0);
+  sig.noise_power = stats::Uncertain::exact(0.0);
+  return sig;
+}
+
+std::string to_string(const SignalAttributes& sig) {
+  std::ostringstream os;
+  os << "fs=" << sig.fs / 1e6 << "MHz";
+  for (const ToneAttr& t : sig.tones) {
+    os << " tone(" << t.freq.nominal / 1e3 << "kHz, " << t.amplitude.nominal * 1e3
+       << "±" << t.amplitude.wc * 1e3 << "mVp)";
+  }
+  os << " dc=" << sig.dc.nominal * 1e3 << "±" << sig.dc.wc * 1e3 << "mV";
+  os << " noise=" << 10.0 * std::log10(std::max(sig.noise_power.nominal, 1e-300))
+     << "dBV²";
+  if (!sig.spurs.empty()) {
+    os << " spurs[" << sig.spurs.size() << "] worst="
+       << sig.worst_spur_amplitude() * 1e6 << "uV";
+  }
+  return os.str();
+}
+
+}  // namespace msts::core

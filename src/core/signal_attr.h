@@ -1,0 +1,67 @@
+// Signal-attribute model: the currency of test translation.
+//
+// Section 3 of the paper: "signal propagation is enabled through tracking
+// amplitude, frequency, phase, DC level, noise level, and accuracy of
+// signals as modules are traversed". A SignalAttributes value records a
+// stimulus (or response) symbolically — tones, spurious components, DC and
+// noise — with every numeric attribute carried as a stats::Uncertain so the
+// indeterminism introduced by parameter tolerances is explicit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/uncertain.h"
+
+namespace msts::core {
+
+/// One intentional sinusoidal component of the signal.
+struct ToneAttr {
+  stats::Uncertain freq;       ///< Hz.
+  stats::Uncertain amplitude;  ///< Volts peak.
+  stats::Uncertain phase;      ///< Radians.
+  /// Lorentzian linewidth (Hz) acquired from oscillator phase noise as the
+  /// tone traverses mixers; 0 for a clean source. The detection mask uses it
+  /// to budget the elevated uncertainty near the stimulus frequencies.
+  double linewidth_hz = 0.0;
+};
+
+/// One unwanted deterministic component (harmonic, intermodulation product,
+/// clock spur, LO feedthrough). Tracked so fault effects are not confused
+/// with the path's own non-idealities.
+struct SpurAttr {
+  double freq = 0.0;           ///< Hz (nominal location).
+  stats::Uncertain amplitude;  ///< Volts peak.
+  std::string origin;          ///< e.g. "amp.HD3", "mixer.IM3", "lpf.clock".
+};
+
+/// Symbolic description of a signal at one node of the path.
+struct SignalAttributes {
+  double fs = 0.0;                 ///< Context sample rate (Hz).
+  std::vector<ToneAttr> tones;
+  std::vector<SpurAttr> spurs;
+  stats::Uncertain dc;             ///< Volts.
+  stats::Uncertain noise_power;    ///< V^2 over [0, fs/2].
+
+  /// Sum of nominal tone powers (V^2).
+  double total_tone_power() const;
+
+  /// Nominal SNR (dB) of the tones over the tracked noise.
+  double snr_db() const;
+
+  /// Strongest spur amplitude (nominal volts), 0 if none.
+  double worst_spur_amplitude() const;
+
+  /// Minimum tone amplitude (volts) observable above the noise floor with
+  /// the given margin when analysed in `bins` spectral bins: the paper's
+  /// "minimum detectable signal level" that decides translatability.
+  double min_detectable_amplitude(double margin_db, std::size_t bins) const;
+};
+
+/// Builds the attribute description of a clean multi-tone stimulus.
+SignalAttributes make_stimulus(double fs, const std::vector<ToneAttr>& tones);
+
+/// Human-readable one-line summary (for reports and examples).
+std::string to_string(const SignalAttributes& sig);
+
+}  // namespace msts::core

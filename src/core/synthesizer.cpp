@@ -1,0 +1,171 @@
+#include "core/synthesizer.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "base/require.h"
+
+namespace msts::core {
+
+TestSynthesizer::TestSynthesizer(const path::PathConfig& config, bool adaptive,
+                                 double spec_sigmas)
+    : config_(config),
+      translator_(config),
+      adaptive_(adaptive),
+      spec_sigmas_(spec_sigmas) {
+  MSTS_REQUIRE(spec_sigmas > 0.0, "spec placement must be positive");
+}
+
+namespace {
+
+stats::Normal population_of(const stats::Uncertain& param) {
+  // Toolkit convention: tolerance = 3 sigma. Guard against exact parameters.
+  const double sigma = (param.sigma > 0.0) ? param.sigma : 1e-9;
+  return stats::Normal{param.nominal, sigma};
+}
+
+}  // namespace
+
+ParameterStudy TestSynthesizer::study_mixer_p1db() const {
+  const auto analysis = translator_.analyze_mixer_p1db();
+  const auto& p = config_.mixer.p1db_in_dbm;
+  return threshold_study(
+      "mixer.P1dB", "dBm", population_of(p),
+      stats::SpecLimits::at_least(p.nominal - spec_sigmas_ * population_of(p).sigma),
+      analysis.error);
+}
+
+ParameterStudy TestSynthesizer::study_mixer_iip3() const {
+  const auto analysis = translator_.analyze_mixer_iip3(adaptive_);
+  const auto& p = config_.mixer.iip3_dbm;
+  return threshold_study(
+      "mixer.IIP3", "dBm", population_of(p),
+      stats::SpecLimits::at_least(p.nominal - spec_sigmas_ * population_of(p).sigma),
+      analysis.error);
+}
+
+ParameterStudy TestSynthesizer::study_lpf_cutoff() const {
+  const auto analysis = translator_.analyze_lpf_cutoff();
+  const auto& p = config_.lpf.cutoff_hz;
+  const double half = spec_sigmas_ * population_of(p).sigma;
+  return threshold_study("lpf.f_c", "Hz", population_of(p),
+                         stats::SpecLimits::window(p.nominal - half, p.nominal + half),
+                         analysis.error);
+}
+
+std::vector<PlannedTest> TestSynthesizer::synthesize() const {
+  std::vector<PlannedTest> plan;
+
+  auto add = [&](const std::string& module, const std::string& parameter,
+                 const std::string& unit, const TranslationAnalysis& a) {
+    PlannedTest t;
+    t.module = module;
+    t.parameter = parameter;
+    t.unit = unit;
+    t.method = a.method;
+    t.translatable = a.translatable;
+    t.error = a.error;
+    t.formula = a.formula;
+    plan.push_back(t);
+    return plan.size() - 1;
+  };
+
+  // ---- Table 1, amplifier ----
+  add("amp", "Gain", "dB", translator_.analyze_path_gain());
+  add("amp", "IIP3", "dBm", translator_.analyze_mixer_iip3(adaptive_));
+  add("amp", "DC offset", "V", translator_.analyze_amp_offset());
+  add("amp", "HD3", "dBc", translator_.analyze_amp_hd3());
+
+  // ---- Table 1, mixer ----
+  add("mixer", "Gain", "dB", translator_.analyze_path_gain());
+  {
+    const auto idx = add("mixer", "IIP3", "dBm", translator_.analyze_mixer_iip3(adaptive_));
+    plan[idx].has_study = true;
+    plan[idx].study = study_mixer_iip3();
+  }
+  add("mixer", "LO isolation", "dB", translator_.analyze_mixer_lo_isolation());
+  add("mixer", "NF", "dB", translator_.analyze_path_nf());
+  {
+    const auto idx = add("mixer", "P1dB", "dBm", translator_.analyze_mixer_p1db());
+    plan[idx].has_study = true;
+    plan[idx].study = study_mixer_p1db();
+  }
+
+  // ---- Table 1, LO ----
+  add("lo", "Frequency error", "ppm", translator_.analyze_lo_freq_error());
+  {
+    // Phase noise: visible as the composed SNR skirt at the output.
+    TranslationAnalysis a;
+    a.method = TranslationMethod::kComposition;
+    a.error = stats::Uncertain(0.0, 1.0, 0.33);
+    a.formula = "phase-noise skirt folded into the composed SNR measurement";
+    add("lo", "Phase noise", "dB", a);
+  }
+
+  // ---- Table 1, LPF ----
+  add("lpf", "Passband gain", "dB", translator_.analyze_path_gain());
+  {
+    const auto idx = add("lpf", "f_c", "Hz", translator_.analyze_lpf_cutoff());
+    plan[idx].has_study = true;
+    plan[idx].study = study_lpf_cutoff();
+  }
+  {
+    TranslationAnalysis a;
+    a.method = TranslationMethod::kPropagation;
+    a.error = config_.analog_flatness_db;
+    a.formula = "stop-band gain from out-of-band tone vs pass-band reference";
+    add("lpf", "Stopband gain", "dB", a);
+  }
+  add("lpf", "Dynamic range", "dB", translator_.analyze_path_nf());
+
+  // ---- Table 1, ADC ----
+  add("adc", "Offset error", "V", translator_.analyze_adc_offset());
+  {
+    TranslationAnalysis a;
+    a.method = TranslationMethod::kPropagation;
+    a.error = stats::Uncertain(0.0, 0.3, 0.1);  // LSB
+    a.formula = "INL/DNL from output-spectrum distortion of a propagated "
+                "near-full-scale tone";
+    add("adc", "INL/DNL", "LSB", a);
+  }
+  add("adc", "NF / DR", "dB", translator_.analyze_path_nf());
+
+  return plan;
+}
+
+std::string format_plan(const std::vector<PlannedTest>& plan) {
+  std::ostringstream os;
+  os << std::left << std::setw(7) << "module" << std::setw(17) << "parameter"
+     << std::setw(14) << "method" << std::setw(14) << "error(wc)" << "computation\n";
+  os << std::string(96, '-') << "\n";
+  for (const PlannedTest& t : plan) {
+    std::ostringstream err;
+    if (t.translatable) {
+      err << std::setprecision(3) << t.error.wc << " " << t.unit;
+    } else {
+      err << "-";
+    }
+    os << std::left << std::setw(7) << t.module << std::setw(17) << t.parameter
+       << std::setw(14) << to_string(t.method) << std::setw(14) << err.str()
+       << t.formula << "\n";
+  }
+  return os.str();
+}
+
+std::string format_study(const ParameterStudy& study) {
+  std::ostringstream os;
+  os << study.parameter << " (" << study.unit << "): population N("
+     << study.population.mean << ", " << study.population.sigma
+     << "), err(wc) = " << study.error_wc << "\n";
+  os << std::left << std::setw(10) << "Thr" << std::right << std::setw(10) << "FCL %"
+     << std::setw(10) << "YL %" << "\n";
+  for (const ThresholdRow& r : study.rows) {
+    os << std::left << std::setw(10) << r.label << std::right << std::fixed
+       << std::setprecision(2) << std::setw(10) << 100.0 * r.outcome.fault_coverage_loss
+       << std::setw(10) << 100.0 * r.outcome.yield_loss << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+  return os.str();
+}
+
+}  // namespace msts::core

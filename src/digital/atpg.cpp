@@ -1,0 +1,323 @@
+#include "digital/atpg.h"
+
+#include <algorithm>
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+namespace {
+
+// 5-valued truth tables via (good, faulty) bit pairs.
+struct Pair {
+  int good;   // 0, 1, or -1 for X
+  int faulty;
+};
+
+Pair to_pair(V5 v) {
+  switch (v) {
+    case V5::k0: return {0, 0};
+    case V5::k1: return {1, 1};
+    case V5::kD: return {1, 0};
+    case V5::kDb: return {0, 1};
+    case V5::kX: return {-1, -1};
+  }
+  return {-1, -1};
+}
+
+V5 from_pair(Pair p) {
+  if (p.good < 0 || p.faulty < 0) return V5::kX;
+  if (p.good == 1 && p.faulty == 1) return V5::k1;
+  if (p.good == 0 && p.faulty == 0) return V5::k0;
+  if (p.good == 1) return V5::kD;
+  return V5::kDb;
+}
+
+int and2(int a, int b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == 1 && b == 1) return 1;
+  return -1;
+}
+int or2(int a, int b) {
+  if (a == 1 || b == 1) return 1;
+  if (a == 0 && b == 0) return 0;
+  return -1;
+}
+int xor2(int a, int b) {
+  if (a < 0 || b < 0) return -1;
+  return a ^ b;
+}
+int not1(int a) { return a < 0 ? -1 : 1 - a; }
+
+V5 eval5(GateType type, V5 a5, V5 b5) {
+  const Pair a = to_pair(a5);
+  const Pair b = to_pair(b5);
+  switch (type) {
+    case GateType::kBuf: return a5;
+    case GateType::kNot: return from_pair({not1(a.good), not1(a.faulty)});
+    case GateType::kAnd: return from_pair({and2(a.good, b.good), and2(a.faulty, b.faulty)});
+    case GateType::kOr: return from_pair({or2(a.good, b.good), or2(a.faulty, b.faulty)});
+    case GateType::kNand:
+      return from_pair({not1(and2(a.good, b.good)), not1(and2(a.faulty, b.faulty))});
+    case GateType::kNor:
+      return from_pair({not1(or2(a.good, b.good)), not1(or2(a.faulty, b.faulty))});
+    case GateType::kXor: return from_pair({xor2(a.good, b.good), xor2(a.faulty, b.faulty)});
+    case GateType::kXnor:
+      return from_pair({not1(xor2(a.good, b.good)), not1(xor2(a.faulty, b.faulty))});
+    case GateType::kConst0: return V5::k0;
+    case GateType::kConst1: return V5::k1;
+    case GateType::kInput:
+    case GateType::kDff:
+      return a5;  // sources handled by the caller
+  }
+  return V5::kX;
+}
+
+bool is_d(V5 v) { return v == V5::kD || v == V5::kDb; }
+
+// Controlling value of a gate's inputs (the value that determines the
+// output alone), or -1 if none (XOR family / buffers).
+int controlling_value(GateType t) {
+  switch (t) {
+    case GateType::kAnd:
+    case GateType::kNand:
+      return 0;
+    case GateType::kOr:
+    case GateType::kNor:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+// Whether the gate inverts the parity from input to output.
+bool inverts(GateType t) {
+  return t == GateType::kNot || t == GateType::kNand || t == GateType::kNor ||
+         t == GateType::kXnor;
+}
+
+}  // namespace
+
+Atpg::Atpg(const Netlist& nl, std::size_t backtrack_limit)
+    : nl_(nl), backtrack_limit_(backtrack_limit), order_(nl.topo_order()) {
+  pi_index_.assign(nl.num_nets(), 0);
+  is_controllable_.assign(nl.num_nets(), false);
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kInput || t == GateType::kDff) {
+      pi_index_[id] = static_cast<std::uint32_t>(pis_.size());
+      pis_.push_back(id);
+      is_controllable_[id] = true;
+    }
+  }
+  observable_.assign(nl.num_nets(), false);
+  for (NetId o : nl.outputs()) observable_[o] = true;
+  for (NetId q : nl.dffs()) observable_[nl.gate(q).fanin0] = true;  // D pins
+  value_.assign(nl.num_nets(), V5::kX);
+
+  consumers_.assign(nl.num_nets(), {});
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::kDff) continue;  // sequential edge: not a path
+    const int n = arity(g.type);
+    if (n >= 1) consumers_[g.fanin0].push_back(id);
+    if (n >= 2) consumers_[g.fanin1].push_back(id);
+  }
+}
+
+bool Atpg::imply_and_check(const Fault& fault) {
+  // Forward 5-valued implication from the current PI assignments. PI values
+  // live in value_ already (assigned by generate()); everything else is
+  // recomputed.
+  for (NetId id : order_) {
+    const Gate& g = nl_.gate(id);
+    V5 v;
+    switch (g.type) {
+      case GateType::kInput:
+      case GateType::kDff:
+        v = value_[id];  // preserved assignment (or X)
+        break;
+      default:
+        v = eval5(g.type, value_[g.fanin0], value_[g.fanin1]);
+        break;
+    }
+    // Fault insertion at the stem.
+    if (id == fault.net) {
+      const Pair p = to_pair(v);
+      const int faulty = fault.stuck_at_one ? 1 : 0;
+      if (p.good >= 0 && p.good != faulty) {
+        v = fault.stuck_at_one ? V5::kDb : V5::kD;
+      } else if (p.good >= 0) {
+        v = fault.stuck_at_one ? V5::k1 : V5::k0;  // not activated
+      } else {
+        v = V5::kX;
+      }
+    }
+    value_[id] = v;
+  }
+
+  // Activation must still be possible.
+  const V5 site = value_[fault.net];
+  if (!is_d(site) && site != V5::kX) return false;  // fixed to the stuck value
+
+  // Propagation must still be possible: D somewhere with an X-path, or the
+  // site itself still X (activation pending).
+  if (d_reaches_observation(fault)) return true;
+  if (site == V5::kX) return x_path_exists(fault);
+  // Site is D: need an X-path from some D net.
+  return x_path_exists(fault);
+}
+
+bool Atpg::d_reaches_observation(const Fault&) const {
+  for (NetId id = 0; id < nl_.num_nets(); ++id) {
+    if (observable_[id] && is_d(value_[id])) return true;
+  }
+  return false;
+}
+
+bool Atpg::x_path_exists(const Fault& fault) const {
+  // BFS forward from the fault site through nets that are X or D: if an
+  // observable net is reachable, propagation is still conceivable.
+  std::vector<bool> visited(nl_.num_nets(), false);
+  std::vector<NetId> queue;
+  auto push = [&](NetId n) {
+    if (!visited[n]) {
+      visited[n] = true;
+      queue.push_back(n);
+    }
+  };
+  push(fault.net);
+  // Consumers adjacency, built lazily per query (netlists here are small
+  // enough; classify() amortises by reusing the engine).
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NetId n = queue[head];
+    if (observable_[n] && (value_[n] == V5::kX || is_d(value_[n]))) return true;
+    for (NetId id : consumers_[n]) {
+      if (visited[id]) continue;
+      if (value_[id] == V5::kX || is_d(value_[id])) push(id);
+    }
+  }
+  return false;
+}
+
+std::optional<std::pair<NetId, bool>> Atpg::objective(const Fault& fault) const {
+  // Activation objective: drive the fault site to the opposite of the stuck
+  // value.
+  if (value_[fault.net] == V5::kX) {
+    return std::make_pair(fault.net, !fault.stuck_at_one);
+  }
+  // Propagation objective: pick a D-frontier gate (some input D, output X)
+  // and set one of its X inputs to the non-controlling value.
+  for (NetId id = 0; id < nl_.num_nets(); ++id) {
+    const Gate& g = nl_.gate(id);
+    const int n = arity(g.type);
+    if (n == 0 || g.type == GateType::kDff) continue;
+    if (value_[id] != V5::kX) continue;
+    const bool d0 = is_d(value_[g.fanin0]);
+    const bool d1 = (n == 2) && is_d(value_[g.fanin1]);
+    if (!d0 && !d1) continue;
+    const NetId other = d0 ? ((n == 2) ? g.fanin1 : g.fanin0) : g.fanin0;
+    if (n == 2 && value_[other] == V5::kX) {
+      const int c = controlling_value(g.type);
+      const bool want = (c < 0) ? false : (c == 0);
+      // Non-controlling value: 1 for AND/NAND, 0 for OR/NOR, either for XOR.
+      return std::make_pair(other, want);
+    }
+    if (n == 1) {
+      // NOT/BUF with D input and X output can only mean the output is the
+      // fault site; nothing to justify here.
+      continue;
+    }
+  }
+  return std::nullopt;
+}
+
+std::pair<NetId, bool> Atpg::backtrace(NetId net, bool value) const {
+  NetId n = net;
+  bool v = value;
+  for (;;) {
+    if (is_controllable_[n]) return {n, v};
+    const Gate& g = nl_.gate(n);
+    const int arity_n = arity(g.type);
+    if (arity_n == 0) return {n, v};  // constant: dead end, caller handles
+    if (inverts(g.type)) v = !v;
+    // Choose an X input to justify through.
+    NetId next = g.fanin0;
+    if (arity_n == 2 && value_[g.fanin0] != V5::kX && value_[g.fanin1] == V5::kX) {
+      next = g.fanin1;
+    }
+    n = next;
+  }
+}
+
+AtpgResult Atpg::generate(const Fault& fault) {
+  MSTS_REQUIRE(fault.net < nl_.num_nets(), "fault net out of range");
+  AtpgResult result;
+
+  std::fill(value_.begin(), value_.end(), V5::kX);
+
+  struct Decision {
+    NetId pi;
+    bool value;
+    bool tried_both;
+  };
+  std::vector<Decision> stack;
+
+  for (;;) {
+    const bool ok = imply_and_check(fault);
+    if (ok && d_reaches_observation(fault)) {
+      result.status = AtpgStatus::kTestable;
+      result.vector.assign(pis_.size(), false);
+      for (std::size_t i = 0; i < pis_.size(); ++i) {
+        result.vector[i] = (value_[pis_[i]] == V5::k1 || value_[pis_[i]] == V5::kD);
+      }
+      return result;
+    }
+
+    std::optional<std::pair<NetId, bool>> obj;
+    if (ok) obj = objective(fault);
+
+    if (ok && obj) {
+      const auto [pi, v] = backtrace(obj->first, obj->second);
+      if (is_controllable_[pi] && value_[pi] == V5::kX) {
+        value_[pi] = v ? V5::k1 : V5::k0;
+        stack.push_back({pi, v, false});
+        continue;
+      }
+      // Backtrace dead-ended (constant net): treat as a conflict.
+    }
+
+    // Conflict: backtrack.
+    bool flipped = false;
+    while (!stack.empty()) {
+      Decision& d = stack.back();
+      if (!d.tried_both) {
+        d.tried_both = true;
+        d.value = !d.value;
+        value_[d.pi] = d.value ? V5::k1 : V5::k0;
+        ++result.backtracks;
+        flipped = true;
+        break;
+      }
+      value_[d.pi] = V5::kX;
+      stack.pop_back();
+    }
+    if (!flipped) {
+      result.status = AtpgStatus::kUntestable;
+      return result;
+    }
+    if (result.backtracks >= backtrack_limit_) {
+      result.status = AtpgStatus::kAborted;
+      return result;
+    }
+  }
+}
+
+std::vector<AtpgStatus> Atpg::classify(std::span<const Fault> faults) {
+  std::vector<AtpgStatus> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults) out.push_back(generate(f).status);
+  return out;
+}
+
+}  // namespace msts::digital

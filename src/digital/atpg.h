@@ -1,0 +1,86 @@
+// Combinational ATPG (PODEM) with redundancy identification.
+//
+// Used to classify the faults that functional multi-tone tests leave
+// undetected: a PODEM run either produces a test vector (the fault is
+// testable — the functional stimulus just never exercised it), proves the
+// fault untestable (structurally redundant — no stimulus can ever catch it,
+// so it must not count against any test method), or gives up at the
+// backtrack limit.
+//
+// Sequential handling follows the standard full-scan abstraction: DFF
+// outputs are treated as pseudo primary inputs and DFF data pins as pseudo
+// primary outputs, i.e. the ATPG reasons about the combinational core. For
+// the FIR under test this is exact for redundancy purposes, because every
+// delay-line bit is directly controllable/observable across time frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "digital/faults.h"
+#include "digital/netlist.h"
+
+namespace msts::digital {
+
+/// Five-valued logic of the D-calculus.
+enum class V5 : std::uint8_t {
+  k0,   ///< 0 in both good and faulty machine.
+  k1,   ///< 1 in both machines.
+  kX,   ///< Unassigned.
+  kD,   ///< 1 in good machine, 0 in faulty.
+  kDb,  ///< 0 in good machine, 1 in faulty.
+};
+
+/// Verdict of one ATPG run.
+enum class AtpgStatus {
+  kTestable,    ///< A test vector was found.
+  kUntestable,  ///< Search space exhausted: the fault is redundant.
+  kAborted,     ///< Backtrack limit hit; undecided.
+};
+
+/// Result of generating a test for one fault.
+struct AtpgResult {
+  AtpgStatus status = AtpgStatus::kAborted;
+  /// Assignment for each primary input and each DFF output (pseudo-PI),
+  /// indexed like Atpg::controllable_nets(); only meaningful when testable.
+  std::vector<bool> vector;
+  std::size_t backtracks = 0;
+};
+
+/// PODEM engine bound to one netlist.
+class Atpg {
+ public:
+  /// `backtrack_limit` bounds the search per fault.
+  explicit Atpg(const Netlist& nl, std::size_t backtrack_limit = 5000);
+
+  /// The controllable nets (primary inputs then DFF outputs), defining the
+  /// index order of AtpgResult::vector.
+  const std::vector<NetId>& controllable_nets() const { return pis_; }
+
+  /// Runs PODEM for one stuck-at fault.
+  AtpgResult generate(const Fault& fault);
+
+  /// Convenience: classify a whole fault list; returns per-fault status.
+  std::vector<AtpgStatus> classify(std::span<const Fault> faults);
+
+ private:
+  bool imply_and_check(const Fault& fault);
+  bool d_reaches_observation(const Fault& fault) const;
+  bool x_path_exists(const Fault& fault) const;
+  std::optional<std::pair<NetId, bool>> objective(const Fault& fault) const;
+  std::pair<NetId, bool> backtrace(NetId net, bool value) const;
+
+  const Netlist& nl_;
+  std::size_t backtrack_limit_;
+  std::vector<NetId> pis_;
+  std::vector<std::uint32_t> pi_index_;     // net -> index into pis_
+  std::vector<bool> is_controllable_;
+  std::vector<NetId> order_;                // topological order
+  std::vector<V5> value_;                   // current implication state
+  std::vector<bool> observable_;            // primary output or DFF D pin
+  std::vector<std::vector<NetId>> consumers_;  // net -> combinational readers
+};
+
+}  // namespace msts::digital

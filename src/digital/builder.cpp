@@ -1,0 +1,173 @@
+#include "digital/builder.h"
+
+#include <algorithm>
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+NetId NetlistBuilder::zero() {
+  if (!have_zero_) {
+    zero_ = nl_.add_const(false);
+    have_zero_ = true;
+  }
+  return zero_;
+}
+
+NetId NetlistBuilder::one() {
+  if (!have_one_) {
+    one_ = nl_.add_const(true);
+    have_one_ = true;
+  }
+  return one_;
+}
+
+Bus NetlistBuilder::input_bus(const std::string& name, std::size_t width) {
+  MSTS_REQUIRE(width >= 1 && width <= 63, "bus width must be 1..63");
+  Bus bus;
+  bus.bits.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.bits.push_back(nl_.add_input(name + "[" + std::to_string(i) + "]"));
+  }
+  return bus;
+}
+
+Bus NetlistBuilder::constant_bus(std::int64_t value, std::size_t width) {
+  MSTS_REQUIRE(width >= 1 && width <= 63, "bus width must be 1..63");
+  Bus bus;
+  for (std::size_t i = 0; i < width; ++i) {
+    bus.bits.push_back(((value >> i) & 1) != 0 ? one() : zero());
+  }
+  return bus;
+}
+
+NetId NetlistBuilder::full_adder(NetId a, NetId b, NetId cin, NetId* carry_out,
+                                 const std::string& tag) {
+  const NetId axb = nl_.add_gate(GateType::kXor, a, b, tag + ".axb");
+  const NetId sum = nl_.add_gate(GateType::kXor, axb, cin, tag + ".sum");
+  const NetId ab = nl_.add_gate(GateType::kAnd, a, b, tag + ".ab");
+  const NetId cx = nl_.add_gate(GateType::kAnd, axb, cin, tag + ".cx");
+  *carry_out = nl_.add_gate(GateType::kOr, ab, cx, tag + ".cout");
+  return sum;
+}
+
+namespace {
+
+// Result width of a signed add: one more than the wider operand.
+std::size_t add_width(const Bus& a, const Bus& b) {
+  return std::max(a.width(), b.width()) + 1;
+}
+
+}  // namespace
+
+Bus NetlistBuilder::sign_extend(const Bus& a, std::size_t width) {
+  MSTS_REQUIRE(!a.bits.empty(), "cannot extend an empty bus");
+  MSTS_REQUIRE(width >= a.width(), "sign_extend cannot shrink a bus");
+  Bus out = a;
+  const NetId msb = a.bits.back();
+  while (out.width() < width) out.bits.push_back(msb);
+  return out;
+}
+
+Bus NetlistBuilder::add(const Bus& a, const Bus& b, const std::string& tag) {
+  const std::size_t w = add_width(a, b);
+  const Bus ax = sign_extend(a, w);
+  const Bus bx = sign_extend(b, w);
+  Bus out;
+  out.bits.reserve(w);
+  NetId carry = zero();
+  for (std::size_t i = 0; i < w; ++i) {
+    NetId cout = 0;
+    out.bits.push_back(
+        full_adder(ax.bits[i], bx.bits[i], carry, &cout, tag + ".fa" + std::to_string(i)));
+    carry = cout;
+  }
+  return out;
+}
+
+Bus NetlistBuilder::subtract(const Bus& a, const Bus& b, const std::string& tag) {
+  const std::size_t w = add_width(a, b);
+  const Bus ax = sign_extend(a, w);
+  const Bus bx = sign_extend(b, w);
+  Bus out;
+  out.bits.reserve(w);
+  NetId carry = one();  // +1 of the two's complement
+  for (std::size_t i = 0; i < w; ++i) {
+    const NetId nb = nl_.add_gate(GateType::kNot, bx.bits[i], 0,
+                                  tag + ".nb" + std::to_string(i));
+    NetId cout = 0;
+    out.bits.push_back(
+        full_adder(ax.bits[i], nb, carry, &cout, tag + ".fs" + std::to_string(i)));
+    carry = cout;
+  }
+  return out;
+}
+
+Bus NetlistBuilder::negate(const Bus& a, const std::string& tag) {
+  Bus zero_bus;
+  zero_bus.bits.assign(1, zero());
+  return subtract(zero_bus, a, tag);
+}
+
+Bus NetlistBuilder::shift_left(const Bus& a, std::size_t k) {
+  Bus out;
+  out.bits.reserve(a.width() + k);
+  for (std::size_t i = 0; i < k; ++i) out.bits.push_back(zero());
+  out.bits.insert(out.bits.end(), a.bits.begin(), a.bits.end());
+  return out;
+}
+
+std::vector<int> csd_digits(std::int32_t value) {
+  std::vector<int> digits;
+  std::int64_t v = value;
+  while (v != 0) {
+    if (v & 1) {
+      // Choose the digit that makes the remainder divisible by 4, which
+      // guarantees no two adjacent nonzero digits.
+      const int d = ((v & 3) == 1) ? 1 : -1;
+      digits.push_back(d);
+      v -= d;
+    } else {
+      digits.push_back(0);
+    }
+    v >>= 1;
+  }
+  return digits;
+}
+
+Bus NetlistBuilder::multiply_const(const Bus& a, std::int32_t coeff,
+                                   const std::string& tag) {
+  MSTS_REQUIRE(!a.bits.empty(), "cannot multiply an empty bus");
+  if (coeff == 0) {
+    Bus out;
+    out.bits.assign(1, zero());
+    return out;
+  }
+
+  const auto digits = csd_digits(coeff);
+  Bus acc;
+  bool have_acc = false;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (digits[i] == 0) continue;
+    const Bus term = shift_left(a, i);
+    const std::string t = tag + ".d" + std::to_string(i);
+    if (!have_acc) {
+      acc = (digits[i] > 0) ? term : negate(term, t + ".neg");
+      have_acc = true;
+    } else {
+      acc = (digits[i] > 0) ? add(acc, term, t) : subtract(acc, term, t);
+    }
+  }
+  return acc;
+}
+
+Bus NetlistBuilder::register_bus(const Bus& a, const std::string& tag) {
+  Bus out;
+  out.bits.reserve(a.width());
+  for (std::size_t i = 0; i < a.width(); ++i) {
+    out.bits.push_back(nl_.add_dff(a.bits[i], tag + ".q" + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace msts::digital

@@ -1,0 +1,71 @@
+// Structural arithmetic builders: adders, two's-complement buses, CSD
+// constant multipliers, registers.
+//
+// These generate the gate-level implementation of the paper's FIR filters.
+// All buses are two's-complement, LSB first. Widths grow as needed and are
+// validated against an integer reference model in the tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "digital/netlist.h"
+#include "digital/sim.h"
+
+namespace msts::digital {
+
+/// Convenience layer over Netlist for building word-level datapaths.
+class NetlistBuilder {
+ public:
+  explicit NetlistBuilder(Netlist& nl) : nl_(nl) {}
+
+  /// Creates a `width`-bit primary-input bus named name[0..width-1].
+  Bus input_bus(const std::string& name, std::size_t width);
+
+  /// Bus holding a two's-complement constant.
+  Bus constant_bus(std::int64_t value, std::size_t width);
+
+  /// Full adder; returns sum net and writes the carry to *carry_out.
+  NetId full_adder(NetId a, NetId b, NetId cin, NetId* carry_out,
+                   const std::string& tag);
+
+  /// Ripple-carry addition of two signed buses (+ optional carry-in net).
+  /// Result width is max(a, b) + 1, which can never overflow.
+  Bus add(const Bus& a, const Bus& b, const std::string& tag);
+
+  /// a - b as add(a, ~b) with carry-in 1; result width max(a, b) + 1.
+  Bus subtract(const Bus& a, const Bus& b, const std::string& tag);
+
+  /// Arithmetic negation (-a) of a signed bus; width grows by 1.
+  Bus negate(const Bus& a, const std::string& tag);
+
+  /// Shift left by k (appends k constant-zero LSBs).
+  Bus shift_left(const Bus& a, std::size_t k);
+
+  /// Sign-extends a signed bus to `width` bits (width >= a.width()).
+  Bus sign_extend(const Bus& a, std::size_t width);
+
+  /// Multiplies a signed bus by a compile-time constant using canonical
+  /// signed digit (CSD) recoding: one add/subtract per nonzero digit.
+  Bus multiply_const(const Bus& a, std::int32_t coeff, const std::string& tag);
+
+  /// Registers every bit of the bus through a DFF (one pipeline stage /
+  /// delay-line tap).
+  Bus register_bus(const Bus& a, const std::string& tag);
+
+ private:
+  NetId zero();
+  NetId one();
+
+  Netlist& nl_;
+  NetId zero_ = 0;
+  NetId one_ = 0;
+  bool have_zero_ = false;
+  bool have_one_ = false;
+};
+
+/// Canonical-signed-digit recoding of a constant: digits[i] in {-1, 0, +1}
+/// with value = sum digits[i] * 2^i and no two adjacent nonzero digits.
+std::vector<int> csd_digits(std::int32_t value);
+
+}  // namespace msts::digital

@@ -1,0 +1,96 @@
+#include "digital/fault_sim.h"
+
+#include <algorithm>
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+double FaultSimResult::coverage() const {
+  if (faults.empty()) return 0.0;
+  const auto hits = static_cast<double>(std::count(detected.begin(), detected.end(), true));
+  return hits / static_cast<double>(faults.size());
+}
+
+FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& output,
+                               std::span<const std::int64_t> stimulus,
+                               std::span<const Fault> faults,
+                               const FaultSimOptions& options) {
+  MSTS_REQUIRE(!stimulus.empty(), "stimulus must be non-empty");
+  MSTS_REQUIRE(input.width() >= 1 && output.width() >= 1, "need input and output buses");
+
+  FaultSimResult result;
+  result.faults.assign(faults.begin(), faults.end());
+  result.detected.assign(faults.size(), false);
+  if (options.capture_waveforms) {
+    result.waveforms.assign(faults.size(), {});
+  }
+
+  ParallelSimulator sim(nl);
+
+  for (std::size_t base = 0; base < faults.size() || base == 0; base += 63) {
+    const std::size_t batch =
+        std::min<std::size_t>(63, faults.size() > base ? faults.size() - base : 0);
+    sim.clear_faults();
+    sim.reset_state();
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.inject(faults[base + i], static_cast<int>(i + 1));
+    }
+    if (options.capture_waveforms) {
+      for (std::size_t i = 0; i < batch; ++i) {
+        result.waveforms[base + i].reserve(stimulus.size());
+      }
+    }
+
+    std::uint64_t detected_mask = 0;
+    const bool first_batch = (base == 0);
+    for (std::int64_t x : stimulus) {
+      sim.set_bus(input, x);
+      sim.eval();
+
+      // Exact compare: any output bit differing from machine 0.
+      std::uint64_t mismatch = 0;
+      for (NetId bit : output.bits) {
+        const std::uint64_t w = sim.value(bit);
+        const std::uint64_t good = (w & 1ull) ? ~0ull : 0ull;
+        mismatch |= w ^ good;
+      }
+      detected_mask |= mismatch;
+
+      if (first_batch) {
+        result.good_waveform.push_back(sim.bus_value(output, 0));
+      }
+      if (options.capture_waveforms) {
+        for (std::size_t i = 0; i < batch; ++i) {
+          result.waveforms[base + i].push_back(
+              sim.bus_value(output, static_cast<int>(i + 1)));
+        }
+      }
+
+      sim.clock();
+
+      if (options.stop_at_first_detection && !options.capture_waveforms &&
+          batch > 0) {
+        // All faults in this batch already detected: nothing more to learn.
+        const std::uint64_t all = ((batch == 63) ? ~0ull : ((1ull << (batch + 1)) - 1)) & ~1ull;
+        if ((detected_mask & all) == all && !first_batch) break;
+      }
+    }
+
+    for (std::size_t i = 0; i < batch; ++i) {
+      result.detected[base + i] = ((detected_mask >> (i + 1)) & 1ull) != 0;
+    }
+    if (faults.empty()) break;  // single pass just for the good waveform
+  }
+
+  return result;
+}
+
+std::vector<std::int64_t> simulate_good(const Netlist& nl, const Bus& input,
+                                        const Bus& output,
+                                        std::span<const std::int64_t> stimulus) {
+  const FaultSimResult r = simulate_faults(nl, input, output, stimulus, {}, {});
+  return r.good_waveform;
+}
+
+}  // namespace msts::digital

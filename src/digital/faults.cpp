@@ -1,0 +1,124 @@
+#include "digital/faults.h"
+
+#include <numeric>
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+std::string describe(const Netlist& nl, const Fault& f) {
+  const Gate& g = nl.gate(f.net);
+  std::string s = "n" + std::to_string(f.net) + (f.stuck_at_one ? "/SA1" : "/SA0");
+  s += " (" + to_string(g.type);
+  if (!g.name.empty()) s += " " + g.name;
+  s += ")";
+  return s;
+}
+
+std::vector<Fault> all_faults(const Netlist& nl) {
+  std::vector<Fault> out;
+  out.reserve(nl.num_nets() * 2);
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    out.push_back(Fault{id, false});
+    out.push_back(Fault{id, true});
+  }
+  return out;
+}
+
+namespace {
+
+// Union-find over fault indices (2*net + stuck_at_one).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+std::uint32_t fid(NetId net, bool sa1) { return 2 * net + (sa1 ? 1 : 0); }
+
+// Builds the equivalence classes. An input-side fault may only be merged
+// with the gate-output fault when the input net is fanout-free (drives only
+// this pin), the precondition of the textbook equivalence rules.
+UnionFind build_classes(const Netlist& nl) {
+  UnionFind uf(nl.num_nets() * 2);
+  const auto fanouts = nl.fanout_counts();
+
+  auto ff = [&](NetId n) { return fanouts[n] <= 1; };
+
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const Gate& g = nl.gate(id);
+    const NetId a = g.fanin0;
+    const NetId b = g.fanin1;
+    switch (g.type) {
+      case GateType::kBuf:
+        if (ff(a)) {
+          uf.unite(fid(a, false), fid(id, false));
+          uf.unite(fid(a, true), fid(id, true));
+        }
+        break;
+      case GateType::kNot:
+        if (ff(a)) {
+          uf.unite(fid(a, false), fid(id, true));
+          uf.unite(fid(a, true), fid(id, false));
+        }
+        break;
+      case GateType::kAnd:
+        if (ff(a)) uf.unite(fid(a, false), fid(id, false));
+        if (ff(b)) uf.unite(fid(b, false), fid(id, false));
+        break;
+      case GateType::kNand:
+        if (ff(a)) uf.unite(fid(a, false), fid(id, true));
+        if (ff(b)) uf.unite(fid(b, false), fid(id, true));
+        break;
+      case GateType::kOr:
+        if (ff(a)) uf.unite(fid(a, true), fid(id, true));
+        if (ff(b)) uf.unite(fid(b, true), fid(id, true));
+        break;
+      case GateType::kNor:
+        if (ff(a)) uf.unite(fid(a, true), fid(id, false));
+        if (ff(b)) uf.unite(fid(b, true), fid(id, false));
+        break;
+      default:
+        break;  // XOR/XNOR/DFF/sources: no structural equivalence
+    }
+  }
+  return uf;
+}
+
+}  // namespace
+
+std::vector<Fault> collapsed_faults(const Netlist& nl) {
+  UnionFind uf = build_classes(nl);
+  std::vector<bool> seen(nl.num_nets() * 2, false);
+  std::vector<Fault> out;
+  for (const Fault& f : all_faults(nl)) {
+    const std::uint32_t rep = uf.find(fid(f.net, f.stuck_at_one));
+    if (seen[rep]) continue;
+    seen[rep] = true;
+    out.push_back(f);  // first member encountered represents the class
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> collapse_map(const Netlist& nl) {
+  UnionFind uf = build_classes(nl);
+  std::vector<std::uint32_t> map(nl.num_nets() * 2);
+  for (std::uint32_t i = 0; i < map.size(); ++i) map[i] = uf.find(i);
+  return map;
+}
+
+}  // namespace msts::digital

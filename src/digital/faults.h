@@ -1,0 +1,41 @@
+// Single-stuck-at fault universe and equivalence collapsing.
+//
+// Works on netlists produced by Netlist::with_explicit_branches(), where
+// every classic pin fault is a stem fault on some net, so a fault is just
+// (net, stuck value). Equivalence collapsing applies the textbook rules
+// (input s-a-0 of AND == output s-a-0, BUF/NOT transparency, ...) restricted
+// to fanout-free connections and keeps one representative per class.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "digital/netlist.h"
+
+namespace msts::digital {
+
+/// One single-stuck-at fault.
+struct Fault {
+  NetId net = 0;
+  bool stuck_at_one = false;
+
+  bool operator==(const Fault&) const = default;
+};
+
+/// Readable fault name, e.g. "n42/SA1 (AND tap3.sum)".
+std::string describe(const Netlist& nl, const Fault& f);
+
+/// The full (uncollapsed) universe: both polarities on every net except
+/// constant sources.
+std::vector<Fault> all_faults(const Netlist& nl);
+
+/// Equivalence-collapsed universe. Every fault in all_faults() is equivalent
+/// to exactly one fault in the returned list.
+std::vector<Fault> collapsed_faults(const Netlist& nl);
+
+/// Maps every fault in the full universe to its collapsed representative
+/// (same indexing convention as all_faults: fault 2*net + stuck_at_one).
+std::vector<std::uint32_t> collapse_map(const Netlist& nl);
+
+}  // namespace msts::digital

@@ -1,0 +1,97 @@
+#include "digital/fir.h"
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+FirCircuit build_fir(std::span<const std::int32_t> coeffs, int input_width,
+                     int coeff_frac_bits) {
+  MSTS_REQUIRE(coeffs.size() >= 1, "FIR needs at least one tap");
+  MSTS_REQUIRE(input_width >= 2 && input_width <= 24, "input width must be 2..24");
+
+  FirCircuit fir;
+  fir.coeffs.assign(coeffs.begin(), coeffs.end());
+  fir.input_width = input_width;
+  fir.coeff_frac_bits = coeff_frac_bits;
+
+  NetlistBuilder b(fir.netlist);
+  fir.input = b.input_bus("x", static_cast<std::size_t>(input_width));
+
+  // Delay line: tap k sees x[n-k].
+  std::vector<Bus> taps;
+  taps.reserve(coeffs.size());
+  taps.push_back(fir.input);
+  for (std::size_t k = 1; k < coeffs.size(); ++k) {
+    taps.push_back(b.register_bus(taps.back(), "z" + std::to_string(k)));
+  }
+
+  // Per-tap constant multipliers.
+  std::vector<Bus> products;
+  products.reserve(coeffs.size());
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    products.push_back(
+        b.multiply_const(taps[k], coeffs[k], "tap" + std::to_string(k)));
+  }
+
+  // Balanced adder tree keeps bus widths to input + coeff + log2(taps).
+  int level = 0;
+  while (products.size() > 1) {
+    std::vector<Bus> next;
+    next.reserve((products.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < products.size(); i += 2) {
+      next.push_back(b.add(products[i], products[i + 1],
+                           "sum" + std::to_string(level) + "_" + std::to_string(i / 2)));
+    }
+    if (products.size() % 2 == 1) next.push_back(products.back());
+    products = std::move(next);
+    ++level;
+  }
+
+  fir.output = products.front();
+  for (std::size_t i = 0; i < fir.output.width(); ++i) {
+    fir.netlist.mark_output(fir.output.bits[i], "y[" + std::to_string(i) + "]");
+  }
+  return fir;
+}
+
+FirModel::FirModel(std::span<const std::int32_t> coeffs, int input_width)
+    : coeffs_(coeffs.begin(), coeffs.end()),
+      delay_(coeffs.empty() ? 0 : coeffs.size() - 1, 0),
+      input_width_(input_width) {
+  MSTS_REQUIRE(!coeffs_.empty(), "FIR needs at least one tap");
+  MSTS_REQUIRE(input_width >= 2 && input_width <= 24, "input width must be 2..24");
+}
+
+std::int64_t FirModel::step(std::int64_t x) {
+  MSTS_REQUIRE(x == clamp_to_width(x, input_width_), "input exceeds bus width");
+  std::int64_t acc = coeffs_[0] * x;
+  for (std::size_t k = 1; k < coeffs_.size(); ++k) {
+    acc += coeffs_[k] * delay_[k - 1];
+  }
+  // Shift the delay line: x becomes x[n-1] next cycle.
+  for (std::size_t k = delay_.size(); k > 1; --k) {
+    delay_[k - 1] = delay_[k - 2];
+  }
+  if (!delay_.empty()) delay_[0] = x;
+  return acc;
+}
+
+void FirModel::reset() { std::fill(delay_.begin(), delay_.end(), 0); }
+
+std::vector<std::int64_t> FirModel::run(std::span<const std::int64_t> x) {
+  reset();
+  std::vector<std::int64_t> y;
+  y.reserve(x.size());
+  for (std::int64_t v : x) y.push_back(step(v));
+  return y;
+}
+
+std::int64_t clamp_to_width(std::int64_t v, int width) {
+  const std::int64_t hi = (1ll << (width - 1)) - 1;
+  const std::int64_t lo = -(1ll << (width - 1));
+  if (v > hi) return hi;
+  if (v < lo) return lo;
+  return v;
+}
+
+}  // namespace msts::digital

@@ -1,0 +1,58 @@
+// Gate-level logic primitives.
+//
+// The digital filter under test is represented structurally (gates + flip-
+// flops) so single-stuck-at faults can be injected exactly as the paper's
+// fault simulations do. Evaluation is word-parallel: each bit position of a
+// 64-bit word is an independent "machine" (one faulty circuit per bit, plus
+// the good circuit), the classic parallel fault simulation arrangement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace msts::digital {
+
+/// Supported cell types. kInput/kConst*/kDff are sources for combinational
+/// evaluation; everything else is a 1- or 2-input gate.
+enum class GateType : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kDff,
+};
+
+/// Number of fanins the gate type requires.
+int arity(GateType type);
+
+/// Human-readable cell name.
+std::string to_string(GateType type);
+
+/// Word-parallel evaluation of a 2-input gate (pass b = 0 for 1-input types).
+inline std::uint64_t eval_gate(GateType type, std::uint64_t a, std::uint64_t b) {
+  switch (type) {
+    case GateType::kBuf: return a;
+    case GateType::kNot: return ~a;
+    case GateType::kAnd: return a & b;
+    case GateType::kOr: return a | b;
+    case GateType::kNand: return ~(a & b);
+    case GateType::kNor: return ~(a | b);
+    case GateType::kXor: return a ^ b;
+    case GateType::kXnor: return ~(a ^ b);
+    case GateType::kConst0: return 0;
+    case GateType::kConst1: return ~0ull;
+    case GateType::kInput:
+    case GateType::kDff:
+      return a;  // sources: value supplied externally
+  }
+  return 0;
+}
+
+}  // namespace msts::digital

@@ -1,0 +1,130 @@
+#include "digital/netlist_io.h"
+
+#include <map>
+#include <sstream>
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+namespace {
+
+const std::map<std::string, GateType>& name_to_type() {
+  static const std::map<std::string, GateType> kMap = {
+      {"BUF", GateType::kBuf},   {"NOT", GateType::kNot},
+      {"AND", GateType::kAnd},   {"OR", GateType::kOr},
+      {"NAND", GateType::kNand}, {"NOR", GateType::kNor},
+      {"XOR", GateType::kXor},   {"XNOR", GateType::kXnor},
+  };
+  return kMap;
+}
+
+}  // namespace
+
+void write_netlist(std::ostream& os, const Netlist& nl) {
+  os << "# msts netlist: " << nl.num_nets() << " nets, " << nl.inputs().size()
+     << " inputs, " << nl.outputs().size() << " outputs, " << nl.dffs().size()
+     << " dffs\n";
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const Gate& g = nl.gate(id);
+    switch (g.type) {
+      case GateType::kInput:
+        os << "input " << g.name << "\n";
+        break;
+      case GateType::kConst0:
+        os << "const0\n";
+        break;
+      case GateType::kConst1:
+        os << "const1\n";
+        break;
+      case GateType::kDff:
+        os << "dff " << g.fanin0;
+        if (!g.name.empty()) os << " " << g.name;
+        os << "\n";
+        break;
+      default: {
+        os << "gate " << to_string(g.type) << " " << g.fanin0;
+        if (arity(g.type) == 2) os << " " << g.fanin1;
+        if (!g.name.empty()) os << " " << g.name;
+        os << "\n";
+        break;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    os << "output " << nl.outputs()[i];
+    if (!nl.output_name(i).empty()) os << " " << nl.output_name(i);
+    os << "\n";
+  }
+}
+
+std::string to_text(const Netlist& nl) {
+  std::ostringstream os;
+  write_netlist(os, nl);
+  return os.str();
+}
+
+Netlist read_netlist(std::istream& is) {
+  Netlist nl;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+
+    auto fail = [&](const std::string& msg) {
+      MSTS_REQUIRE(false, "netlist line " + std::to_string(line_no) + ": " + msg);
+    };
+
+    if (kind == "input") {
+      std::string name;
+      ls >> name;
+      nl.add_input(name);
+    } else if (kind == "const0") {
+      nl.add_const(false);
+    } else if (kind == "const1") {
+      nl.add_const(true);
+    } else if (kind == "gate") {
+      std::string type_name;
+      if (!(ls >> type_name)) fail("missing gate type");
+      const auto it = name_to_type().find(type_name);
+      if (it == name_to_type().end()) fail("unknown gate type '" + type_name + "'");
+      NetId a = 0;
+      if (!(ls >> a)) fail("missing fanin0");
+      NetId b = 0;
+      if (arity(it->second) == 2 && !(ls >> b)) fail("missing fanin1");
+      std::string name;
+      ls >> name;
+      if (a >= nl.num_nets() || (arity(it->second) == 2 && b >= nl.num_nets())) {
+        fail("gate fanin references an undeclared net");
+      }
+      nl.add_gate(it->second, a, b, name);
+    } else if (kind == "dff") {
+      NetId d = 0;
+      if (!(ls >> d)) fail("missing dff fanin");
+      std::string name;
+      ls >> name;
+      if (d >= nl.num_nets()) fail("dff fanin references an undeclared net");
+      nl.add_dff(d, name);
+    } else if (kind == "output") {
+      NetId n = 0;
+      if (!(ls >> n)) fail("missing output net");
+      if (n >= nl.num_nets()) fail("output references an undeclared net");
+      std::string name;
+      ls >> name;
+      nl.mark_output(n, name);
+    } else {
+      fail("unknown statement '" + kind + "'");
+    }
+  }
+  return nl;
+}
+
+Netlist from_text(const std::string& text) {
+  std::istringstream is(text);
+  return read_netlist(is);
+}
+
+}  // namespace msts::digital

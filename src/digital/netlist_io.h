@@ -1,0 +1,36 @@
+// Netlist serialisation: a line-oriented text format for the gate-level
+// substrate, so generated DUTs (e.g. the FIR filters) can be archived,
+// diffed, and exchanged with other tools.
+//
+// Format (one statement per line, nets are numbered implicitly by
+// declaration order, so a file round-trips to an identical netlist):
+//
+//   # comment
+//   input <name>
+//   const0 | const1
+//   gate <TYPE> <fanin0> [<fanin1>] [<name>]
+//   dff <fanin> [<name>]
+//   output <net> [<name>]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "digital/netlist.h"
+
+namespace msts::digital {
+
+/// Writes the netlist in declaration order.
+void write_netlist(std::ostream& os, const Netlist& nl);
+
+/// Serialises to a string.
+std::string to_text(const Netlist& nl);
+
+/// Parses the text format; throws std::invalid_argument with a line number
+/// on malformed input.
+Netlist read_netlist(std::istream& is);
+
+/// Parses from a string.
+Netlist from_text(const std::string& text);
+
+}  // namespace msts::digital

@@ -1,0 +1,103 @@
+#include "digital/sim.h"
+
+#include "base/require.h"
+
+namespace msts::digital {
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl)
+    : netlist_(nl),
+      order_(nl.topo_order()),
+      values_(nl.num_nets(), 0),
+      and_masks_(nl.num_nets(), ~0ull),
+      or_masks_(nl.num_nets(), 0),
+      input_index_(nl.num_nets(), 0) {
+  dff_index_.assign(nl.num_nets(), 0);
+  state_.assign(nl.dffs().size(), 0);
+  for (std::uint32_t i = 0; i < nl.dffs().size(); ++i) dff_index_[nl.dffs()[i]] = i;
+  input_words_.assign(nl.inputs().size(), 0);
+  for (std::uint32_t i = 0; i < nl.inputs().size(); ++i) input_index_[nl.inputs()[i]] = i;
+}
+
+void ParallelSimulator::clear_faults() {
+  std::fill(and_masks_.begin(), and_masks_.end(), ~0ull);
+  std::fill(or_masks_.begin(), or_masks_.end(), 0ull);
+}
+
+void ParallelSimulator::inject(const Fault& fault, int machine) {
+  MSTS_REQUIRE(fault.net < netlist_.num_nets(), "fault net out of range");
+  MSTS_REQUIRE(machine >= 0 && machine < 64, "machine must be in [0, 64)");
+  const std::uint64_t bit = 1ull << machine;
+  if (fault.stuck_at_one) {
+    or_masks_[fault.net] |= bit;
+  } else {
+    and_masks_[fault.net] &= ~bit;
+  }
+}
+
+void ParallelSimulator::reset_state() { std::fill(state_.begin(), state_.end(), 0ull); }
+
+void ParallelSimulator::set_input(NetId input, bool value) {
+  MSTS_REQUIRE(input < netlist_.num_nets() &&
+                   netlist_.gate(input).type == GateType::kInput,
+               "net is not a primary input");
+  input_words_[input_index_[input]] = value ? ~0ull : 0ull;
+}
+
+void ParallelSimulator::set_bus(const Bus& bus, std::int64_t value) {
+  for (std::size_t i = 0; i < bus.width(); ++i) {
+    set_input(bus.bits[i], ((value >> i) & 1) != 0);
+  }
+}
+
+void ParallelSimulator::eval() {
+  for (NetId id : order_) {
+    const Gate& g = netlist_.gate(id);
+    std::uint64_t v;
+    switch (g.type) {
+      case GateType::kInput:
+        v = input_words_[input_index_[id]];
+        break;
+      case GateType::kDff:
+        v = state_[dff_index_[id]];
+        break;
+      case GateType::kConst0:
+        v = 0;
+        break;
+      case GateType::kConst1:
+        v = ~0ull;
+        break;
+      default:
+        v = eval_gate(g.type, values_[g.fanin0], values_[g.fanin1]);
+        break;
+    }
+    values_[id] = (v & and_masks_[id]) | or_masks_[id];
+  }
+}
+
+void ParallelSimulator::clock() {
+  const auto& dffs = netlist_.dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    state_[i] = values_[netlist_.gate(dffs[i]).fanin0];
+  }
+}
+
+bool ParallelSimulator::value_in_machine(NetId net, int machine) const {
+  MSTS_REQUIRE(machine >= 0 && machine < 64, "machine must be in [0, 64)");
+  return ((values_[net] >> machine) & 1ull) != 0;
+}
+
+std::int64_t ParallelSimulator::bus_value(const Bus& bus, int machine) const {
+  MSTS_REQUIRE(bus.width() >= 1 && bus.width() <= 64, "bus width must be 1..64");
+  std::uint64_t raw = 0;
+  for (std::size_t i = 0; i < bus.width(); ++i) {
+    raw |= static_cast<std::uint64_t>(value_in_machine(bus.bits[i], machine)) << i;
+  }
+  // Sign-extend from the bus MSB.
+  const std::size_t w = bus.width();
+  if (w < 64 && ((raw >> (w - 1)) & 1ull)) {
+    raw |= ~0ull << w;
+  }
+  return static_cast<std::int64_t>(raw);
+}
+
+}  // namespace msts::digital

@@ -1,0 +1,72 @@
+#include "dsp/cic.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::dsp {
+
+CicDecimator::CicDecimator(int stages, std::size_t ratio)
+    : stages_(stages), ratio_(ratio) {
+  MSTS_REQUIRE(stages >= 1 && stages <= 6, "CIC stages must be 1..6");
+  MSTS_REQUIRE(ratio >= 2, "decimation ratio must be >= 2");
+}
+
+double CicDecimator::dc_gain() const {
+  return std::pow(static_cast<double>(ratio_), stages_);
+}
+
+template <typename T>
+std::vector<double> CicDecimator::run(std::span<const T> x) const {
+  // Hogenauer structure in 64-bit two's complement scaled by 2^20 for the
+  // real-valued overload; wrap-around is harmless as long as the word is
+  // wider than log2(gain) + input bits, which it is by construction here.
+  constexpr double kScale = double{1 << 20};
+  std::vector<std::int64_t> integ(static_cast<std::size_t>(stages_), 0);
+  std::vector<std::int64_t> comb(static_cast<std::size_t>(stages_), 0);
+
+  std::vector<double> out;
+  out.reserve(x.size() / ratio_ + 1);
+  const double norm = 1.0 / (dc_gain() * kScale);
+
+  std::size_t phase = 0;
+  for (const T& sample : x) {
+    auto acc = static_cast<std::int64_t>(std::llround(static_cast<double>(sample) * kScale));
+    for (auto& s : integ) {
+      s += acc;
+      acc = s;
+    }
+    if (++phase == ratio_) {
+      phase = 0;
+      std::int64_t v = acc;
+      for (auto& c : comb) {
+        const std::int64_t prev = c;
+        c = v;
+        v -= prev;
+      }
+      out.push_back(static_cast<double>(v) * norm);
+    }
+  }
+  return out;
+}
+
+std::vector<double> CicDecimator::decimate(std::span<const int> x) const {
+  return run(x);
+}
+
+std::vector<double> CicDecimator::decimate(std::span<const double> x) const {
+  return run(x);
+}
+
+double CicDecimator::magnitude_at(double f_over_fs_in) const {
+  // |H(f)| = | sin(pi f R) / (R sin(pi f)) |^N, normalised to unity at DC.
+  const double f = f_over_fs_in;
+  if (std::abs(f) < 1e-15) return 1.0;
+  const double num = std::sin(kPi * f * static_cast<double>(ratio_));
+  const double den = static_cast<double>(ratio_) * std::sin(kPi * f);
+  if (std::abs(den) < 1e-300) return 0.0;
+  return std::pow(std::abs(num / den), stages_);
+}
+
+}  // namespace msts::dsp

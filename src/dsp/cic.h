@@ -1,0 +1,45 @@
+// CIC (cascaded integrator-comb) decimation filter.
+//
+// The standard companion of a sigma-delta modulator: removes the shaped
+// out-of-band quantisation noise while reducing the rate to the digital
+// filter clock. Integer-exact (Hogenauer) implementation with the usual
+// modular-arithmetic overflow immunity, plus the closed-form magnitude
+// response used by the attribute models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace msts::dsp {
+
+/// N-stage CIC decimator with rate change R (differential delay 1).
+class CicDecimator {
+ public:
+  CicDecimator(int stages, std::size_t ratio);
+
+  /// Decimates a +/-1 bit stream (or any small-integer stream); output is
+  /// normalised by the DC gain R^N so full-scale stays ~[-1, 1].
+  std::vector<double> decimate(std::span<const int> x) const;
+
+  /// Same for a real-valued stream.
+  std::vector<double> decimate(std::span<const double> x) const;
+
+  /// Magnitude response at output-rate-relative frequency f/fs_in
+  /// (0..0.5/ratio of the input rate is the output band).
+  double magnitude_at(double f_over_fs_in) const;
+
+  int stages() const { return stages_; }
+  std::size_t ratio() const { return ratio_; }
+  /// DC gain before normalisation: ratio^stages.
+  double dc_gain() const;
+
+ private:
+  template <typename T>
+  std::vector<double> run(std::span<const T> x) const;
+
+  int stages_;
+  std::size_t ratio_;
+};
+
+}  // namespace msts::dsp

@@ -1,0 +1,81 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::dsp {
+
+bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+namespace {
+
+// Permutes x into bit-reversed order, the input ordering required by the
+// iterative decimation-in-time butterflies.
+void bit_reverse_permute(std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
+  const std::size_t n = x.size();
+  MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  if (n == 1) return;
+
+  bit_reverse_permute(x);
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = x[i + k];
+        const std::complex<double> v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= scale;
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> x) {
+  std::vector<std::complex<double>> buf(x.begin(), x.end());
+  fft_inplace(buf, /*inverse=*/false);
+  return buf;
+}
+
+std::vector<std::complex<double>> rfft(std::span<const double> x) {
+  auto full = fft_real(x);
+  full.resize(x.size() / 2 + 1);
+  return full;
+}
+
+std::complex<double> single_bin_dft(std::span<const double> x, double freq, double fs) {
+  MSTS_REQUIRE(!x.empty(), "signal must be non-empty");
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  const double w = kTwoPi * freq / fs;
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double ph = w * static_cast<double>(n);
+    acc += x[n] * std::complex<double>(std::cos(ph), -std::sin(ph));
+  }
+  return acc * (2.0 / static_cast<double>(x.size()));
+}
+
+}  // namespace msts::dsp

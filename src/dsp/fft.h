@@ -1,0 +1,42 @@
+// Radix-2 fast Fourier transform.
+//
+// The toolkit observes circuit behaviour almost exclusively through spectra
+// (the paper's detection mechanism is spectral analysis of the digital filter
+// output), so the FFT is the workhorse of the DSP substrate. Sizes are
+// restricted to powers of two; callers pick coherent record lengths anyway
+// (see tonegen.h).
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace msts::dsp {
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n);
+
+/// In-place decimation-in-time radix-2 FFT.
+///
+/// Computes X[k] = sum_n x[n] exp(-j 2 pi n k / N) when `inverse` is false.
+/// The inverse transform includes the 1/N normalisation so that
+/// fft(fft(x), inverse) == x.
+///
+/// Precondition: x.size() is a power of two.
+void fft_inplace(std::vector<std::complex<double>>& x, bool inverse = false);
+
+/// Forward FFT of a real sequence; returns all N complex bins.
+std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// Forward FFT of a real sequence; returns bins 0..N/2 (the one-sided
+/// spectrum). Bin k corresponds to frequency k * fs / N.
+std::vector<std::complex<double>> rfft(std::span<const double> x);
+
+/// Single-frequency DFT by direct correlation:
+///   (2/N) * sum_n x[n] exp(-j 2 pi f n / fs)
+/// Returns the complex *amplitude* of a cosine at frequency f (so a signal
+/// A*cos(2 pi f t + p) yields magnitude ~A and argument ~p when f is
+/// bin-centred). Works for arbitrary (non-bin) frequencies, unlike the FFT.
+std::complex<double> single_bin_dft(std::span<const double> x, double freq, double fs);
+
+}  // namespace msts::dsp

@@ -1,0 +1,62 @@
+#include "dsp/fir_design.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::dsp {
+
+std::vector<double> design_lowpass(std::size_t taps, double cutoff_norm, WindowType window) {
+  MSTS_REQUIRE(taps >= 3, "need at least 3 taps");
+  MSTS_REQUIRE(cutoff_norm > 0.0 && cutoff_norm < 0.5, "cutoff must be in (0, 0.5)");
+
+  const auto w = make_window(taps, window);
+  const double centre = (static_cast<double>(taps) - 1.0) / 2.0;
+  std::vector<double> h(taps);
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double m = static_cast<double>(i) - centre;
+    const double x = kTwoPi * cutoff_norm * m;
+    const double sinc = (std::abs(m) < 1e-12) ? 2.0 * cutoff_norm
+                                              : std::sin(x) / (kPi * m);
+    h[i] = sinc * w[i];
+  }
+  // Normalise DC gain to 1.
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  MSTS_REQUIRE(std::abs(sum) > 1e-12, "degenerate design: zero DC gain");
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+std::vector<std::int32_t> quantize_coefficients(std::span<const double> h, int frac_bits) {
+  MSTS_REQUIRE(frac_bits >= 1 && frac_bits <= 30, "frac_bits must be in [1, 30]");
+  const double scale = static_cast<double>(1u << frac_bits);
+  std::vector<std::int32_t> q;
+  q.reserve(h.size());
+  for (double v : h) q.push_back(static_cast<std::int32_t>(std::lround(v * scale)));
+  return q;
+}
+
+std::complex<double> frequency_response(std::span<const double> h, double f_norm) {
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const double ph = -kTwoPi * f_norm * static_cast<double>(i);
+    acc += h[i] * std::complex<double>(std::cos(ph), std::sin(ph));
+  }
+  return acc;
+}
+
+std::complex<double> frequency_response_fixed(std::span<const std::int32_t> h, int frac_bits,
+                                              double f_norm) {
+  const double scale = 1.0 / static_cast<double>(1u << frac_bits);
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const double ph = -kTwoPi * f_norm * static_cast<double>(i);
+    acc += static_cast<double>(h[i]) * scale *
+           std::complex<double>(std::cos(ph), std::sin(ph));
+  }
+  return acc;
+}
+
+}  // namespace msts::dsp

@@ -1,0 +1,38 @@
+// Windowed-sinc FIR low-pass design and fixed-point coefficient quantisation.
+//
+// The paper's devices under test are 13-tap and 16-tap low-pass digital
+// filters. We synthesise their coefficient sets here; the gate-level netlist
+// generator (digital/fir_builder.h) turns the quantised coefficients into a
+// structural implementation.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace msts::dsp {
+
+/// Designs a linear-phase low-pass FIR by the window method.
+///
+/// `cutoff_norm` is the -6 dB cutoff as a fraction of the sample rate
+/// (0 < cutoff_norm < 0.5). Coefficients are normalised to unity DC gain.
+std::vector<double> design_lowpass(std::size_t taps, double cutoff_norm,
+                                   WindowType window = WindowType::kHamming);
+
+/// Rounds coefficients to signed fixed point with `frac_bits` fractional
+/// bits: q[i] = round(h[i] * 2^frac_bits).
+std::vector<std::int32_t> quantize_coefficients(std::span<const double> h, int frac_bits);
+
+/// Complex frequency response H(e^{j 2 pi f}) of a (real-valued) FIR at
+/// normalised frequency f = freq / fs.
+std::complex<double> frequency_response(std::span<const double> h, double f_norm);
+
+/// Frequency response of quantised coefficients, interpreted with
+/// `frac_bits` fractional bits.
+std::complex<double> frequency_response_fixed(std::span<const std::int32_t> h, int frac_bits,
+                                              double f_norm);
+
+}  // namespace msts::dsp

@@ -1,0 +1,200 @@
+#include "dsp/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "dsp/fft.h"
+
+namespace msts::dsp {
+
+double alias_frequency(double freq, double fs) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  double f = std::fmod(std::abs(freq), fs);
+  if (f > fs / 2.0) f = fs - f;
+  return f;
+}
+
+namespace {
+
+// Bins belonging to the main lobe of a tone centred at bin k.
+std::pair<std::size_t, std::size_t> lobe_range(const Spectrum& s, std::size_t k) {
+  const std::size_t hw = main_lobe_half_width(s.window());
+  const std::size_t lo = (k > hw) ? k - hw : 0;
+  const std::size_t hi = std::min(k + hw, s.num_bins() - 1);
+  return {lo, hi};
+}
+
+void mark_lobe(const Spectrum& s, std::size_t k, std::set<std::size_t>& marked) {
+  const auto [lo, hi] = lobe_range(s, k);
+  for (std::size_t b = lo; b <= hi; ++b) marked.insert(b);
+}
+
+}  // namespace
+
+ToneMeasurement measure_tone(const Spectrum& s, double freq, const std::string& label) {
+  ToneMeasurement m;
+  m.freq = freq;
+  m.alias_freq = alias_frequency(freq, s.sample_rate());
+  m.bin = s.nearest_bin(m.alias_freq);
+  // Refine to the local maximum within the main lobe: leakage or LO error can
+  // move the true peak a bin or two.
+  const auto [lo, hi] = lobe_range(s, m.bin);
+  std::size_t peak = m.bin;
+  for (std::size_t b = lo; b <= hi; ++b) {
+    if (s.power(b) > s.power(peak)) peak = b;
+  }
+  m.bin = peak;
+  const auto [plo, phi] = lobe_range(s, m.bin);
+  // Integrating tone-equivalent bin powers across the main lobe overcounts a
+  // single tone's power by the window ENBW (Parseval across the lobe), so
+  // divide it back out. Exact for bin-centred tones with any window.
+  m.power = s.summed_power(plo, phi) / s.enbw_bins();
+  m.power_db = db_from_power_ratio(std::max(m.power, 1e-300));
+  m.amplitude = std::sqrt(2.0 * m.power);
+  m.phase = s.phase(m.bin);
+  m.label = label;
+  return m;
+}
+
+SpectralReport analyze_spectrum(const Spectrum& s, const AnalysisOptions& opts) {
+  MSTS_REQUIRE(!opts.fundamentals.empty(), "at least one fundamental required");
+  SpectralReport r;
+
+  std::set<std::size_t> claimed;  // bins attributed to DC, signal or distortion
+  mark_lobe(s, 0, claimed);       // DC lobe is never noise
+
+  // DC level (signed via the real part of bin 0).
+  r.dc_level = s.bin(0).real() / (static_cast<double>(s.record_length()) *
+                                  coherent_gain(s.window(), s.record_length()));
+
+  for (std::size_t i = 0; i < opts.fundamentals.size(); ++i) {
+    auto m = measure_tone(s, opts.fundamentals[i], "f" + std::to_string(i + 1));
+    mark_lobe(s, m.bin, claimed);
+    r.signal_power += m.power;
+    r.fundamentals.push_back(std::move(m));
+  }
+
+  // Harmonics of each fundamental.
+  for (std::size_t i = 0; i < opts.fundamentals.size(); ++i) {
+    for (int h = 2; h <= opts.num_harmonics; ++h) {
+      const double f = opts.fundamentals[i] * h;
+      auto m = measure_tone(s, f, "H" + std::to_string(h) + "(f" + std::to_string(i + 1) + ")");
+      // Skip harmonics that alias onto a fundamental's lobe.
+      bool overlaps = false;
+      for (const auto& fm : r.fundamentals) {
+        if (std::llabs(static_cast<long long>(m.bin) - static_cast<long long>(fm.bin)) <=
+            static_cast<long long>(main_lobe_half_width(s.window()))) {
+          overlaps = true;
+          break;
+        }
+      }
+      if (overlaps) continue;
+      mark_lobe(s, m.bin, claimed);
+      r.distortion_power += m.power;
+      r.harmonics.push_back(std::move(m));
+    }
+  }
+
+  // Second/third-order intermodulation products of each tone pair.
+  if (opts.include_intermod && opts.fundamentals.size() >= 2) {
+    for (std::size_t i = 0; i < opts.fundamentals.size(); ++i) {
+      for (std::size_t j = i + 1; j < opts.fundamentals.size(); ++j) {
+        const double f1 = opts.fundamentals[i];
+        const double f2 = opts.fundamentals[j];
+        const struct {
+          double f;
+          const char* name;
+        } products[] = {
+            {2.0 * f1 - f2, "IM3 2f1-f2"},
+            {2.0 * f2 - f1, "IM3 2f2-f1"},
+            {f1 + f2, "IM2 f1+f2"},
+            {std::abs(f2 - f1), "IM2 f2-f1"},
+        };
+        for (const auto& p : products) {
+          if (p.f <= 0.0) continue;
+          auto m = measure_tone(s, p.f, p.name);
+          bool overlaps = false;
+          for (const auto& fm : r.fundamentals) {
+            if (std::llabs(static_cast<long long>(m.bin) - static_cast<long long>(fm.bin)) <=
+                static_cast<long long>(main_lobe_half_width(s.window()))) {
+              overlaps = true;
+              break;
+            }
+          }
+          if (overlaps) continue;
+          mark_lobe(s, m.bin, claimed);
+          r.distortion_power += m.power;
+          r.intermods.push_back(std::move(m));
+        }
+      }
+    }
+  }
+
+  // Noise: everything unclaimed, corrected for the window ENBW.
+  double unclaimed_power = 0.0;
+  std::vector<double> unclaimed_db;
+  for (std::size_t b = 1; b < s.num_bins(); ++b) {
+    if (claimed.count(b) != 0) continue;
+    unclaimed_power += s.power(b);
+    unclaimed_db.push_back(s.power_db(b));
+  }
+  r.noise_power = unclaimed_power / s.enbw_bins();
+
+  if (!unclaimed_db.empty()) {
+    auto mid = unclaimed_db.begin() + static_cast<std::ptrdiff_t>(unclaimed_db.size() / 2);
+    std::nth_element(unclaimed_db.begin(), mid, unclaimed_db.end());
+    r.noise_floor_db = *mid;
+  } else {
+    r.noise_floor_db = -300.0;
+  }
+
+  const double eps = 1e-300;
+  r.snr_db = db_from_power_ratio((r.signal_power + eps) / (r.noise_power + eps));
+  r.thd_db = db_from_power_ratio((r.distortion_power + eps) / (r.signal_power + eps));
+  r.sinad_db = db_from_power_ratio((r.signal_power + eps) /
+                                   (r.noise_power + r.distortion_power + eps));
+  r.enob = (r.sinad_db - 1.76) / 6.02;
+
+  // SFDR: strongest fundamental vs worst single non-signal bin cluster.
+  double strongest = eps;
+  for (const auto& fm : r.fundamentals) strongest = std::max(strongest, fm.power);
+  double worst_spur = eps;
+  std::set<std::size_t> signal_bins;
+  for (const auto& fm : r.fundamentals) mark_lobe(s, fm.bin, signal_bins);
+  mark_lobe(s, 0, signal_bins);
+  for (std::size_t b = 1; b < s.num_bins(); ++b) {
+    if (signal_bins.count(b) != 0) continue;
+    worst_spur = std::max(worst_spur, s.power(b));
+  }
+  r.sfdr_db = db_from_power_ratio(strongest / worst_spur);
+  return r;
+}
+
+double estimate_tone_frequency(std::span<const double> x, double fs, double approx_freq) {
+  MSTS_REQUIRE(x.size() >= 16, "record too short for frequency estimation");
+  const std::size_t half = x.size() / 2;
+  const auto c1 = single_bin_dft(x.subspan(0, half), approx_freq, fs);
+  const auto c2 = single_bin_dft(x.subspan(half, half), approx_freq, fs);
+  // If the true frequency is approx + df, each half accumulates an extra
+  // phase of 2*pi*df*half/fs between its start and the next half's start.
+  double dphi = std::arg(c2) - std::arg(c1);
+  // The correlation at approx_freq already advances by 2*pi*approx*half/fs
+  // between halves; remove that reference rotation modulo 2*pi.
+  const double ref = kTwoPi * approx_freq * static_cast<double>(half) / fs;
+  dphi -= ref - kTwoPi * std::round(ref / kTwoPi);
+  while (dphi > kPi) dphi -= kTwoPi;
+  while (dphi < -kPi) dphi += kTwoPi;
+  const double df = dphi * fs / (kTwoPi * static_cast<double>(half));
+  return approx_freq + df;
+}
+
+std::vector<double> power_db_series(const Spectrum& s) {
+  std::vector<double> out(s.num_bins());
+  for (std::size_t b = 0; b < s.num_bins(); ++b) out[b] = s.power_db(b);
+  return out;
+}
+
+}  // namespace msts::dsp

@@ -1,0 +1,75 @@
+// Spectral metrics: tone measurement, SNR, THD, SINAD, SFDR, ENOB,
+// intermodulation products and noise floors.
+//
+// These are the measurement primitives of the system-level tests the paper
+// translates: IIP3 comes from first/third-order tone powers, NF and dynamic
+// range from noise power, SFDR from the worst spur, the digital fault
+// detector from per-bin comparison against a noise mask.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/spectrum.h"
+
+namespace msts::dsp {
+
+/// A tone located in a spectrum and integrated across its main lobe.
+struct ToneMeasurement {
+  double freq = 0.0;        ///< Requested (pre-aliasing) frequency, Hz.
+  double alias_freq = 0.0;  ///< Frequency after folding into [0, fs/2], Hz.
+  std::size_t bin = 0;      ///< Centre bin index.
+  double power = 0.0;       ///< Tone power (V^2, into 1 ohm).
+  double power_db = 0.0;    ///< 10*log10(power).
+  double amplitude = 0.0;   ///< Volts peak (sqrt(2*power)).
+  double phase = 0.0;       ///< Phase of the centre bin, radians.
+  std::string label;        ///< e.g. "f1", "H3(f2)", "IM3 2f1-f2".
+};
+
+/// Folds a frequency into the first Nyquist zone [0, fs/2].
+double alias_frequency(double freq, double fs);
+
+/// Measures the tone nearest `freq` by summing tone-equivalent bin powers
+/// across the window main lobe centred on the alias of `freq`.
+ToneMeasurement measure_tone(const Spectrum& s, double freq, const std::string& label = "");
+
+/// What analyze_spectrum should look for.
+struct AnalysisOptions {
+  std::vector<double> fundamentals;  ///< Stimulus tone frequencies (Hz).
+  int num_harmonics = 5;             ///< Harmonic orders 2..num_harmonics per tone.
+  bool include_intermod = true;      ///< 2nd/3rd-order IM products for tone pairs.
+};
+
+/// Full spectral characterisation of a record.
+struct SpectralReport {
+  std::vector<ToneMeasurement> fundamentals;
+  std::vector<ToneMeasurement> harmonics;
+  std::vector<ToneMeasurement> intermods;
+  double signal_power = 0.0;     ///< Sum of fundamental powers (V^2).
+  double noise_power = 0.0;      ///< ENBW-corrected in-band noise power (V^2).
+  double distortion_power = 0.0; ///< Sum of harmonic + IM powers (V^2).
+  double dc_level = 0.0;         ///< Volts (signed, from bin 0 phase).
+  double snr_db = 0.0;           ///< Signal / noise.
+  double thd_db = 0.0;           ///< Distortion / signal (negative when clean).
+  double sinad_db = 0.0;         ///< Signal / (noise + distortion).
+  double sfdr_db = 0.0;          ///< Strongest fundamental / worst spur.
+  double enob = 0.0;             ///< (SINAD - 1.76) / 6.02.
+  double noise_floor_db = 0.0;   ///< Median tone-equivalent bin power, dB.
+};
+
+/// Analyzes a spectrum given the stimulus description.
+SpectralReport analyze_spectrum(const Spectrum& s, const AnalysisOptions& opts);
+
+/// Per-bin power (dB) vector of a spectrum — convenient for dumping Fig. 1
+/// style plots and for the digital fault detector's mask comparison.
+std::vector<double> power_db_series(const Spectrum& s);
+
+/// Precision frequency estimate of a tone near `approx_freq`: correlates the
+/// two record halves at the approximate frequency and converts their phase
+/// difference into a frequency correction (sub-bin accuracy, limited only by
+/// noise). Used by the adaptive test strategy to measure the LO frequency
+/// error far below the FFT bin width.
+double estimate_tone_frequency(std::span<const double> x, double fs, double approx_freq);
+
+}  // namespace msts::dsp

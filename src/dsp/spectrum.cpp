@@ -1,0 +1,68 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "dsp/fft.h"
+
+namespace msts::dsp {
+
+Spectrum::Spectrum(std::span<const double> x, double fs, WindowType window)
+    : fs_(fs), n_(x.size()), window_(window) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  MSTS_REQUIRE(is_power_of_two(n_) && n_ >= 2, "record length must be a power of two >= 2");
+
+  const auto w = make_window(n_, window);
+  double wsum = 0.0;
+  double wsq = 0.0;
+  std::vector<double> xw(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    xw[i] = x[i] * w[i];
+    wsum += w[i];
+    wsq += w[i] * w[i];
+  }
+  coherent_gain_ = wsum / static_cast<double>(n_);
+  enbw_ = static_cast<double>(n_) * wsq / (wsum * wsum);
+  bins_ = rfft(xw);
+}
+
+std::size_t Spectrum::nearest_bin(double freq) const {
+  const double k = freq / bin_width();
+  const auto rounded = static_cast<long long>(std::llround(k));
+  const long long hi = static_cast<long long>(num_bins()) - 1;
+  return static_cast<std::size_t>(std::clamp(rounded, 0LL, hi));
+}
+
+double Spectrum::amplitude(std::size_t k) const {
+  MSTS_REQUIRE(k < bins_.size(), "bin index out of range");
+  const double norm = static_cast<double>(n_) * coherent_gain_;
+  // DC and Nyquist are not split across positive/negative frequencies.
+  const double two_sided = (k == 0 || (n_ % 2 == 0 && k == n_ / 2)) ? 1.0 : 2.0;
+  return two_sided * std::abs(bins_[k]) / norm;
+}
+
+double Spectrum::power(std::size_t k) const {
+  const double a = amplitude(k);
+  // DC carries its full power; tones carry A^2/2.
+  return (k == 0) ? a * a : a * a / 2.0;
+}
+
+double Spectrum::power_db(std::size_t k) const {
+  return db_from_power_ratio(std::max(power(k), 1e-300));
+}
+
+double Spectrum::phase(std::size_t k) const {
+  MSTS_REQUIRE(k < bins_.size(), "bin index out of range");
+  return std::arg(bins_[k]);
+}
+
+double Spectrum::summed_power(std::size_t lo, std::size_t hi) const {
+  MSTS_REQUIRE(lo <= hi && hi < bins_.size(), "bin range out of bounds");
+  double acc = 0.0;
+  for (std::size_t k = lo; k <= hi; ++k) acc += power(k);
+  return acc;
+}
+
+}  // namespace msts::dsp

@@ -1,0 +1,74 @@
+// Windowed one-sided amplitude spectra.
+//
+// A Spectrum is the common currency between the simulated path (which
+// produces sample records) and the test evaluation machinery (which reasons
+// about tone powers, harmonics, spurs and noise floors). Amplitude
+// calibration is window-compensated so that a bin-centred tone of amplitude A
+// reads back as A regardless of the window.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace msts::dsp {
+
+/// One-sided spectrum of a real record.
+///
+/// `bins[k]` is the raw windowed DFT bin; the accessor functions apply the
+/// window's coherent-gain compensation so amplitudes/powers are in signal
+/// units (volts / volts^2) rather than raw DFT units.
+class Spectrum {
+ public:
+  /// Computes the spectrum of `x` sampled at `fs`, using `window`.
+  /// Precondition: x.size() is a power of two >= 2.
+  Spectrum(std::span<const double> x, double fs, WindowType window);
+
+  /// Sample rate of the underlying record (Hz).
+  double sample_rate() const { return fs_; }
+  /// Record length N.
+  std::size_t record_length() const { return n_; }
+  /// Number of one-sided bins (N/2 + 1).
+  std::size_t num_bins() const { return bins_.size(); }
+  /// Window used for analysis.
+  WindowType window() const { return window_; }
+  /// Frequency spacing between bins (Hz).
+  double bin_width() const { return fs_ / static_cast<double>(n_); }
+  /// Centre frequency of bin k (Hz).
+  double freq_of_bin(std::size_t k) const { return static_cast<double>(k) * bin_width(); }
+  /// Index of the bin nearest to `freq` (clamped to the one-sided range).
+  std::size_t nearest_bin(double freq) const;
+
+  /// Raw complex DFT bin k.
+  std::complex<double> bin(std::size_t k) const { return bins_[k]; }
+  /// Window-compensated tone-amplitude estimate at bin k (volts peak).
+  double amplitude(std::size_t k) const;
+  /// Tone-equivalent power at bin k: amplitude^2 / 2 (volts^2, i.e. power
+  /// into 1 ohm; divide by load R for watts).
+  double power(std::size_t k) const;
+  /// power(k) in dB relative to 1 V_rms^2 (10*log10).
+  double power_db(std::size_t k) const;
+  /// Phase of bin k (radians).
+  double phase(std::size_t k) const;
+
+  /// Equivalent noise bandwidth of the analysis window, in bins. Summed
+  /// tone-equivalent bin powers of a *noise* band overcount true noise power
+  /// by this factor.
+  double enbw_bins() const { return enbw_; }
+
+  /// Sum of tone-equivalent powers over bins [lo, hi] inclusive.
+  double summed_power(std::size_t lo, std::size_t hi) const;
+
+ private:
+  double fs_;
+  std::size_t n_;
+  WindowType window_;
+  double coherent_gain_;
+  double enbw_;
+  std::vector<std::complex<double>> bins_;
+};
+
+}  // namespace msts::dsp

@@ -1,0 +1,92 @@
+#include "dsp/tonegen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::dsp {
+
+std::vector<double> generate_tones(std::span<const Tone> tones, double dc, double fs,
+                                   std::size_t n) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  std::vector<double> x(n, dc);
+  for (const Tone& t : tones) {
+    const double w = kTwoPi * t.freq / fs;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += t.amplitude * std::cos(w * static_cast<double>(i) + t.phase);
+    }
+  }
+  return x;
+}
+
+double coherent_frequency(double fs, std::size_t n, double target, bool odd_bin) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  MSTS_REQUIRE(n >= 2, "record length must be >= 2");
+  const double bin_width = fs / static_cast<double>(n);
+  auto k = static_cast<std::int64_t>(std::llround(target / bin_width));
+  const auto k_max = static_cast<std::int64_t>(n / 2 - 1);
+  k = std::clamp<std::int64_t>(k, 1, k_max);
+  if (odd_bin && k % 2 == 0) {
+    // Move to the nearer odd neighbour (prefer down to stay in-band).
+    k = (k > 1) ? k - 1 : k + 1;
+  }
+  return static_cast<double>(k) * bin_width;
+}
+
+std::vector<double> place_test_tones(double fs, std::size_t n, double band_lo,
+                                     double band_hi, std::size_t count) {
+  MSTS_REQUIRE(band_lo >= 0.0 && band_hi > band_lo, "invalid band");
+  MSTS_REQUIRE(band_hi <= fs / 2.0, "band exceeds Nyquist");
+  MSTS_REQUIRE(count >= 1, "need at least one tone");
+
+  const double bin_width = fs / static_cast<double>(n);
+  auto bin_of = [&](double f) { return static_cast<std::int64_t>(std::llround(f / bin_width)); };
+
+  // Accepts a fundamental set iff no harmonic (2x, 3x) of a member and no
+  // second/third-order product of any ordered member pair lands on a member.
+  auto is_clean = [](const std::vector<std::int64_t>& set) {
+    std::set<std::int64_t> members(set.begin(), set.end());
+    if (members.size() != set.size()) return false;  // duplicate tone
+    for (std::int64_t a : set) {
+      if (members.count(2 * a) != 0 || members.count(3 * a) != 0) return false;
+      for (std::int64_t b : set) {
+        if (a == b) continue;
+        const std::int64_t products[] = {2 * a - b, 2 * b - a, a + b, std::abs(a - b)};
+        for (std::int64_t p : products) {
+          if (members.count(p) != 0) return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Candidate positions: `count` points spread over the middle of the band;
+  // each walks up odd bins until the whole set is product-clean.
+  std::vector<std::int64_t> chosen;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double frac = (count == 1) ? 0.5
+                                     : 0.25 + 0.5 * static_cast<double>(i) /
+                                                  static_cast<double>(count - 1);
+    const double target = band_lo + frac * (band_hi - band_lo);
+    std::int64_t k = bin_of(coherent_frequency(fs, n, target, /*odd_bin=*/true));
+    const auto k_max = static_cast<std::int64_t>(n / 2 - 1);
+    chosen.push_back(k);
+    for (int attempts = 0; attempts < 512 && !is_clean(chosen); ++attempts) {
+      k = std::min(k + 2, k_max);
+      chosen.back() = k;
+    }
+    MSTS_REQUIRE(is_clean(chosen), "could not place product-clean tones in band");
+  }
+
+  std::vector<double> freqs;
+  freqs.reserve(chosen.size());
+  for (std::int64_t k : chosen) freqs.push_back(static_cast<double>(k) * bin_width);
+  std::sort(freqs.begin(), freqs.end());
+  return freqs;
+}
+
+}  // namespace msts::dsp

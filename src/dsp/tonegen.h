@@ -1,0 +1,41 @@
+// Multi-tone stimulus generation.
+//
+// The paper's methodology (sec. 3) builds every test stimulus out of sine
+// tones — a pure or two-tone sine both propagates cleanly through analog
+// blocks and achieves high stuck-at coverage in the digital filter. Tone
+// frequencies are chosen bin-centred ("coherent") so rectangular-window
+// spectra have no leakage for the good circuit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace msts::dsp {
+
+/// One sinusoidal component of a stimulus.
+struct Tone {
+  double freq = 0.0;       ///< Hz.
+  double amplitude = 1.0;  ///< Volts peak.
+  double phase = 0.0;      ///< Radians.
+};
+
+/// Synthesises sum_i A_i cos(2 pi f_i n / fs + p_i) + dc for n = 0..n-1.
+std::vector<double> generate_tones(std::span<const Tone> tones, double dc, double fs,
+                                   std::size_t n);
+
+/// Nearest coherent (bin-centred) frequency to `target` for a length-`n`
+/// record at rate `fs`. If `odd_bin` is set the bin index is forced odd,
+/// which guarantees the record visits distinct phases (no short repetition)
+/// and keeps low-order harmonics/IM products off the fundamental's bin.
+double coherent_frequency(double fs, std::size_t n, double target, bool odd_bin = true);
+
+/// Picks `count` mutually distinct coherent frequencies inside
+/// [band_lo, band_hi], spread across the band on odd bins, such that no
+/// second/third-order intermodulation product of any pair lands on a
+/// fundamental bin. Used to place the paper's two-tone stimulus in the filter
+/// pass-band.
+std::vector<double> place_test_tones(double fs, std::size_t n, double band_lo,
+                                     double band_hi, std::size_t count);
+
+}  // namespace msts::dsp

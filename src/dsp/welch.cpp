@@ -1,0 +1,41 @@
+#include "dsp/welch.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "dsp/fft.h"
+#include "dsp/spectrum.h"
+
+namespace msts::dsp {
+
+double WelchResult::power_db(std::size_t k) const {
+  MSTS_REQUIRE(k < power.size(), "bin index out of range");
+  return db_from_power_ratio(std::max(power[k], 1e-300));
+}
+
+WelchResult welch_psd(std::span<const double> x, double fs, std::size_t segment,
+                      WindowType window) {
+  MSTS_REQUIRE(is_power_of_two(segment) && segment >= 8,
+               "segment must be a power of two >= 8");
+  MSTS_REQUIRE(x.size() >= segment, "record shorter than one segment");
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+
+  WelchResult r;
+  r.fs = fs;
+  r.bin_width = fs / static_cast<double>(segment);
+  r.power.assign(segment / 2 + 1, 0.0);
+
+  const std::size_t hop = segment / 2;
+  for (std::size_t start = 0; start + segment <= x.size(); start += hop) {
+    const Spectrum s(x.subspan(start, segment), fs, window);
+    for (std::size_t k = 0; k < r.power.size(); ++k) {
+      r.power[k] += s.power(k);
+    }
+    ++r.segments;
+  }
+  for (double& p : r.power) p /= static_cast<double>(r.segments);
+  return r;
+}
+
+}  // namespace msts::dsp

@@ -1,0 +1,36 @@
+// Welch-averaged power spectral density.
+//
+// Single-record spectra have chi-square per-bin scatter (each bin ~100 %
+// variance), which is what forces the detection-mask margin. Averaging
+// overlapped windowed segments shrinks that scatter by the segment count —
+// the standard instrument technique for measuring noise floors and spur
+// levels precisely (used by the characterisation-grade measurements and to
+// validate the mask margins).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace msts::dsp {
+
+/// Averaged one-sided PSD estimate.
+struct WelchResult {
+  double fs = 0.0;
+  double bin_width = 0.0;
+  std::size_t segments = 0;
+  /// Tone-equivalent power per bin (V^2), calibrated like Spectrum::power.
+  std::vector<double> power;
+
+  double freq_of_bin(std::size_t k) const { return static_cast<double>(k) * bin_width; }
+  double power_db(std::size_t k) const;
+};
+
+/// Welch estimate with `segment` samples per segment (power of two) and 50 %
+/// overlap. Precondition: x.size() >= segment.
+WelchResult welch_psd(std::span<const double> x, double fs, std::size_t segment,
+                      WindowType window = WindowType::kHann);
+
+}  // namespace msts::dsp

@@ -1,0 +1,107 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <span>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::dsp {
+
+std::string to_string(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return "rectangular";
+    case WindowType::kHann: return "hann";
+    case WindowType::kHamming: return "hamming";
+    case WindowType::kBlackman: return "blackman";
+    case WindowType::kBlackmanHarris4: return "blackman-harris";
+    case WindowType::kFlatTop: return "flat-top";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Generalised cosine window: w[i] = sum_k (-1)^k a[k] cos(2 pi k i / (N-1)).
+std::vector<double> cosine_window(std::size_t n, std::span<const double> coeffs) {
+  std::vector<double> w(n, 0.0);
+  if (n == 1) {
+    w[0] = 1.0;
+    return w;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = kTwoPi * static_cast<double>(i) / static_cast<double>(n - 1);
+    double acc = 0.0;
+    double sign = 1.0;
+    for (std::size_t k = 0; k < coeffs.size(); ++k) {
+      acc += sign * coeffs[k] * std::cos(static_cast<double>(k) * x);
+      sign = -sign;
+    }
+    w[i] = acc;
+  }
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> make_window(std::size_t n, WindowType type) {
+  MSTS_REQUIRE(n >= 1, "window length must be >= 1");
+  switch (type) {
+    case WindowType::kRectangular:
+      return std::vector<double>(n, 1.0);
+    case WindowType::kHann: {
+      const double a[] = {0.5, 0.5};
+      return cosine_window(n, a);
+    }
+    case WindowType::kHamming: {
+      const double a[] = {0.54, 0.46};
+      return cosine_window(n, a);
+    }
+    case WindowType::kBlackman: {
+      const double a[] = {0.42, 0.5, 0.08};
+      return cosine_window(n, a);
+    }
+    case WindowType::kBlackmanHarris4: {
+      const double a[] = {0.35875, 0.48829, 0.14128, 0.01168};
+      return cosine_window(n, a);
+    }
+    case WindowType::kFlatTop: {
+      const double a[] = {0.21557895, 0.41663158, 0.277263158, 0.083578947, 0.006947368};
+      return cosine_window(n, a);
+    }
+  }
+  MSTS_REQUIRE(false, "unknown window type");
+  return {};
+}
+
+double coherent_gain(WindowType type, std::size_t n) {
+  const auto w = make_window(n, type);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  return sum / static_cast<double>(n);
+}
+
+double equivalent_noise_bandwidth(WindowType type, std::size_t n) {
+  const auto w = make_window(n, type);
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double v : w) {
+    s1 += v;
+    s2 += v * v;
+  }
+  return static_cast<double>(n) * s2 / (s1 * s1);
+}
+
+std::size_t main_lobe_half_width(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular: return 1;
+    case WindowType::kHann: return 3;
+    case WindowType::kHamming: return 3;
+    case WindowType::kBlackman: return 4;
+    case WindowType::kBlackmanHarris4: return 5;
+    case WindowType::kFlatTop: return 6;
+  }
+  return 3;
+}
+
+}  // namespace msts::dsp

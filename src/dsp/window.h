@@ -1,0 +1,43 @@
+// Spectral analysis windows.
+//
+// Windowing controls leakage when a record is not perfectly coherent with the
+// tones it contains — exactly the situation of the paper's translated tests,
+// where the analog front end shifts tone frequencies (LO frequency error)
+// away from bin centres.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace msts::dsp {
+
+/// Supported window families.
+enum class WindowType {
+  kRectangular,      ///< No windowing; only for perfectly coherent records.
+  kHann,             ///< Good general-purpose, -31.5 dB sidelobes.
+  kHamming,          ///< Slightly narrower main lobe than Hann.
+  kBlackman,         ///< -58 dB sidelobes.
+  kBlackmanHarris4,  ///< 4-term, -92 dB sidelobes; default for fault spectra.
+  kFlatTop,          ///< Amplitude-accurate; wide main lobe.
+};
+
+/// Human-readable window name (for reports and benches).
+std::string to_string(WindowType type);
+
+/// Returns the N window samples w[0..N-1].
+std::vector<double> make_window(std::size_t n, WindowType type);
+
+/// Coherent gain: mean of the window samples. Dividing a windowed DFT bin by
+/// N*cg/2 recovers the amplitude of a bin-centred tone.
+double coherent_gain(WindowType type, std::size_t n = 4096);
+
+/// Equivalent noise bandwidth in bins: N * sum(w^2) / sum(w)^2. Needed to
+/// convert summed bin powers into a noise power estimate.
+double equivalent_noise_bandwidth(WindowType type, std::size_t n = 4096);
+
+/// Half-width (in bins) of the window main lobe; bins within this distance of
+/// a tone are attributed to the tone during spectral metric computation.
+std::size_t main_lobe_half_width(WindowType type);
+
+}  // namespace msts::dsp

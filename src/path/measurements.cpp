@@ -1,0 +1,199 @@
+#include "path/measurements.h"
+
+#include <cmath>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "dsp/tonegen.h"
+
+namespace msts::path {
+
+namespace {
+
+// Analog record length backing a digital record of opts.digital_record.
+std::size_t analog_record(const PathConfig& c, const MeasureOptions& opts) {
+  return opts.digital_record * c.adc_decimation;
+}
+
+analog::Signal make_rf(const ReceiverPath& path, std::span<const double> if_freqs,
+                       std::span<const double> amps, const MeasureOptions& opts) {
+  MSTS_REQUIRE(if_freqs.size() == amps.size(), "one amplitude per tone");
+  const PathConfig& c = path.config();
+  std::vector<dsp::Tone> tones;
+  tones.reserve(if_freqs.size());
+  for (std::size_t i = 0; i < if_freqs.size(); ++i) {
+    tones.push_back(dsp::Tone{c.lo.freq_hz + if_freqs[i], amps[i], 0.0});
+  }
+  analog::Signal rf;
+  rf.fs = c.analog_fs;
+  rf.samples = dsp::generate_tones(tones, 0.0, c.analog_fs, analog_record(c, opts));
+  return rf;
+}
+
+}  // namespace
+
+double coherent_if_freq(const PathConfig& config, const MeasureOptions& opts,
+                        double target_if) {
+  return dsp::coherent_frequency(config.digital_fs(), opts.digital_record, target_if);
+}
+
+dsp::Spectrum run_two_port(const ReceiverPath& path, std::span<const double> if_freqs,
+                           std::span<const double> amplitudes_vpeak,
+                           stats::Rng& noise_rng, const MeasureOptions& opts) {
+  const analog::Signal rf = make_rf(path, if_freqs, amplitudes_vpeak, opts);
+  const auto trace = path.run(rf, noise_rng);
+  const auto volts = path.filter_output_volts(trace);
+  return dsp::Spectrum(volts, trace.digital_fs, opts.window);
+}
+
+double measure_path_gain_db(const ReceiverPath& path, double if_freq, double amp_vpeak,
+                            stats::Rng& noise_rng, const MeasureOptions& opts) {
+  MSTS_REQUIRE(amp_vpeak > 0.0, "stimulus amplitude must be positive");
+  const double freqs[] = {if_freq};
+  const double amps[] = {amp_vpeak};
+  const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
+  const auto tone = dsp::measure_tone(spectrum, if_freq, "f1");
+  const double fir_mag = path.fir_magnitude_at(if_freq);
+  MSTS_REQUIRE(fir_mag > 1e-9, "IF frequency is in the digital filter stop-band");
+  return db_from_amplitude_ratio(tone.amplitude / fir_mag / amp_vpeak);
+}
+
+TwoToneResponse measure_two_tone(const ReceiverPath& path, double f1_if, double f2_if,
+                                 double amp_vpeak, stats::Rng& noise_rng,
+                                 const MeasureOptions& opts) {
+  MSTS_REQUIRE(f1_if != f2_if, "two-tone test needs distinct tones");
+  const double freqs[] = {f1_if, f2_if};
+  const double amps[] = {amp_vpeak, amp_vpeak};
+  const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
+
+  TwoToneResponse r;
+  r.f1 = f1_if;
+  r.f2 = f2_if;
+  const auto t1 = dsp::measure_tone(spectrum, f1_if, "f1");
+  const auto t2 = dsp::measure_tone(spectrum, f2_if, "f2");
+  r.fund_power_db = db_from_power_ratio((t1.power + t2.power) / 2.0);
+
+  const auto im_lo = dsp::measure_tone(spectrum, 2.0 * f1_if - f2_if, "2f1-f2");
+  const auto im_hi = dsp::measure_tone(spectrum, 2.0 * f2_if - f1_if, "2f2-f1");
+  r.im3_power_db = std::max(im_lo.power_db, im_hi.power_db);
+  return r;
+}
+
+double measure_path_p1db_dbm(const ReceiverPath& path, double if_freq,
+                             stats::Rng& noise_rng, const MeasureOptions& opts) {
+  // Establish the small-signal gain, then raise the drive until it has
+  // dropped by 1 dB; log-domain bisection between the last two points.
+  const double small_dbm = -45.0;
+  const double g0 = measure_path_gain_db(path, if_freq, vpeak_from_dbm(small_dbm),
+                                         noise_rng, opts);
+  double lo_dbm = small_dbm;
+  double hi_dbm = small_dbm;
+  double g_hi = g0;
+  for (double p = -30.0; p <= 10.0; p += 2.0) {
+    const double g = measure_path_gain_db(path, if_freq, vpeak_from_dbm(p),
+                                          noise_rng, opts);
+    hi_dbm = p;
+    g_hi = g;
+    if (g0 - g >= 1.0) break;
+    lo_dbm = p;
+  }
+  MSTS_REQUIRE(g0 - g_hi >= 1.0, "path never compressed by 1 dB within sweep");
+  for (int iter = 0; iter < 8; ++iter) {
+    const double mid = 0.5 * (lo_dbm + hi_dbm);
+    const double g = measure_path_gain_db(path, if_freq, vpeak_from_dbm(mid),
+                                          noise_rng, opts);
+    if (g0 - g >= 1.0) {
+      hi_dbm = mid;
+    } else {
+      lo_dbm = mid;
+    }
+  }
+  return 0.5 * (lo_dbm + hi_dbm);
+}
+
+double measure_path_cutoff_hz(const ReceiverPath& path, double amp_vpeak,
+                              stats::Rng& noise_rng, const MeasureOptions& opts) {
+  const PathConfig& c = path.config();
+  // Reference gain deep in the pass-band.
+  const double f_ref = coherent_if_freq(c, opts, 100e3);
+  const double g_ref = measure_path_gain_db(path, f_ref, amp_vpeak, noise_rng, opts);
+
+  // Bisect the -3 dB frequency between the reference and 1.5x nominal fc.
+  double lo = f_ref;
+  double hi = 1.5 * c.lpf.cutoff_hz.nominal;
+  for (int iter = 0; iter < 10; ++iter) {
+    const double mid = coherent_if_freq(c, opts, 0.5 * (lo + hi));
+    const double g = measure_path_gain_db(path, mid, amp_vpeak, noise_rng, opts);
+    if (g_ref - g >= 3.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (hi - lo <= c.digital_fs() / static_cast<double>(opts.digital_record)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double measure_output_dc_v(const ReceiverPath& path, stats::Rng& noise_rng,
+                           const MeasureOptions& opts) {
+  analog::Signal rf;
+  rf.fs = path.config().analog_fs;
+  rf.samples.assign(analog_record(path.config(), opts), 0.0);
+  const auto trace = path.run(rf, noise_rng);
+  const auto volts = path.filter_output_volts(trace);
+  // Skip the FIR warm-up, then average.
+  const std::size_t skip = path.fir_coeffs().size();
+  MSTS_REQUIRE(volts.size() > 2 * skip, "record too short for DC measurement");
+  double acc = 0.0;
+  for (std::size_t i = skip; i < volts.size(); ++i) acc += volts[i];
+  return acc / static_cast<double>(volts.size() - skip);
+}
+
+dsp::SpectralReport measure_spectrum_report(const ReceiverPath& path, double if_freq,
+                                            double amp_vpeak, stats::Rng& noise_rng,
+                                            const MeasureOptions& opts) {
+  const double freqs[] = {if_freq};
+  const double amps[] = {amp_vpeak};
+  const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
+  dsp::AnalysisOptions ao;
+  ao.fundamentals = {if_freq};
+  return dsp::analyze_spectrum(spectrum, ao);
+}
+
+double measure_group_delay_s(const ReceiverPath& path, double if_freq,
+                             double amp_vpeak, stats::Rng& noise_rng,
+                             const MeasureOptions& opts) {
+  const PathConfig& c = path.config();
+  const double bin_w = c.digital_fs() / static_cast<double>(opts.digital_record);
+  // Two coherent tones straddling if_freq, 8 bins apart.
+  const double f1 = coherent_if_freq(c, opts, if_freq - 4.0 * bin_w);
+  const double f2 = coherent_if_freq(c, opts, if_freq + 4.0 * bin_w);
+  MSTS_REQUIRE(f2 > f1, "group-delay tones collapsed; widen the record");
+  const double freqs[] = {f1, f2};
+  const double amps[] = {amp_vpeak, amp_vpeak};
+  const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
+  const auto t1 = dsp::measure_tone(spectrum, f1);
+  const auto t2 = dsp::measure_tone(spectrum, f2);
+  // Both RF tones start at phase 0, so the output phase difference is the
+  // path's phase slope; the LO phase offset is common and cancels.
+  double dphi = t2.phase - t1.phase;
+  while (dphi > kPi) dphi -= kTwoPi;
+  while (dphi < -kPi) dphi += kTwoPi;
+  return -dphi / (kTwoPi * (f2 - f1));
+}
+
+double measure_lo_freq_error_ppm(const ReceiverPath& path, double if_freq,
+                                 double amp_vpeak, stats::Rng& noise_rng,
+                                 const MeasureOptions& opts) {
+  const double freqs[] = {if_freq};
+  const double amps[] = {amp_vpeak};
+  const analog::Signal rf = make_rf(path, freqs, amps, opts);
+  const auto trace = path.run(rf, noise_rng);
+  const auto volts = path.filter_output_volts(trace);
+  // The tone comes out at f_rf - f_lo_actual = if_freq - lo_error.
+  const double measured = dsp::estimate_tone_frequency(volts, trace.digital_fs, if_freq);
+  const double lo_error_hz = if_freq - measured;
+  return lo_error_hz / path.config().lo.freq_hz * 1e6;
+}
+
+}  // namespace msts::path

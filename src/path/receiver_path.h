@@ -1,0 +1,109 @@
+// The experimental signal path of the paper (Fig. 6):
+//   Amp -> Mixer (with LO) -> switched-cap LPF -> ADC -> digital FIR filter.
+//
+// A ReceiverPath instance bundles one manufactured copy of every block plus
+// the digital filter's coefficient set, and runs transient simulations from
+// the primary RF input to the digital filter output — the only two points a
+// translated test may touch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/adc.h"
+#include "analog/amp.h"
+#include "analog/lo.h"
+#include "analog/lpf.h"
+#include "analog/mixer.h"
+#include "analog/signal.h"
+#include "stats/rng.h"
+
+namespace msts::path {
+
+/// Full configuration of the reference path (nominals + tolerances).
+struct PathConfig {
+  double analog_fs = 32.0e6;        ///< Analog simulation rate.
+  std::size_t adc_decimation = 8;   ///< Digital rate = analog_fs / this.
+
+  analog::AmpParams amp;
+  analog::MixerParams mixer;
+  analog::LoParams lo;
+  analog::LpfParams lpf;
+  analog::AdcParams adc;
+
+  std::size_t fir_taps = 13;
+  double fir_cutoff_norm = 0.3;     ///< Digital cutoff as fraction of digital fs.
+  int fir_coeff_frac_bits = 10;
+
+  /// Pass-band gain flatness allowance of the analog chain (dB): how much
+  /// the amp+mixer gain may tilt between two in-band frequencies. The
+  /// behavioral blocks are frequency-flat, but the attribute model budgets
+  /// this when a translated test compares gains at two frequencies (e.g.
+  /// the cutoff measurement referencing a low-frequency gain).
+  stats::Uncertain analog_flatness_db = stats::Uncertain::from_tolerance(0.0, 0.3);
+
+  double digital_fs() const { return analog_fs / static_cast<double>(adc_decimation); }
+};
+
+/// The communication-path configuration used throughout the experiments
+/// (values recorded in DESIGN.md section 5).
+PathConfig reference_path_config();
+
+/// One manufactured path.
+class ReceiverPath {
+ public:
+  /// Path with every block at its nominal parameters.
+  explicit ReceiverPath(const PathConfig& config);
+
+  /// Monte-Carlo path: every block parameter drawn from its tolerance.
+  static ReceiverPath sampled(const PathConfig& config, stats::Rng& rng);
+
+  /// Everything a transient run produces. Intermediate waveforms are
+  /// exposed for validation and plots; translated tests only use adc codes /
+  /// filter output.
+  struct Trace {
+    analog::Signal after_amp;
+    analog::Signal after_mixer;
+    analog::Signal after_lpf;
+    std::vector<std::int64_t> adc_codes;
+    std::vector<std::int64_t> filter_out;  ///< Full-precision FIR output.
+    double digital_fs = 0.0;
+  };
+
+  /// Drives the RF input waveform through the whole path.
+  Trace run(const analog::Signal& rf, stats::Rng& noise_rng) const;
+
+  /// Converts the integer filter output to volts (undoes the ADC LSB and the
+  /// coefficient scaling), so spectra are comparable with the analog nodes.
+  std::vector<double> filter_output_volts(const Trace& trace) const;
+
+  /// ADC codes as volts (for observing the path without the digital filter).
+  std::vector<double> adc_output_volts(const Trace& trace) const;
+
+  const PathConfig& config() const { return config_; }
+  const analog::Amplifier& amp() const { return amp_; }
+  const analog::Mixer& mixer() const { return mixer_; }
+  const analog::LocalOscillator& lo() const { return lo_; }
+  const analog::LowPassFilter& lpf() const { return lpf_; }
+  const analog::Adc& adc() const { return adc_; }
+  const std::vector<std::int32_t>& fir_coeffs() const { return fir_coeffs_; }
+
+  /// Known magnitude response of the digital filter at frequency f (digital
+  /// rate); deterministic, so measurements can divide it out — the paper's
+  /// "digital filter can be modeled as an analog filter ... no added noise".
+  double fir_magnitude_at(double f) const;
+
+ private:
+  ReceiverPath(const PathConfig& config, analog::Amplifier amp, analog::Mixer mixer,
+               analog::LocalOscillator lo, analog::LowPassFilter lpf, analog::Adc adc);
+
+  PathConfig config_;
+  analog::Amplifier amp_;
+  analog::Mixer mixer_;
+  analog::LocalOscillator lo_;
+  analog::LowPassFilter lpf_;
+  analog::Adc adc_;
+  std::vector<std::int32_t> fir_coeffs_;
+};
+
+}  // namespace msts::path

@@ -1,0 +1,47 @@
+// Probability distributions for parameter tolerance analysis.
+//
+// The paper models defect-free parameter spread with distributions "obtained
+// through Monte-Carlo simulations during the design process or predicted from
+// past distributions" (sec. 4.2). We provide Gaussian and uniform forms with
+// exact pdf/cdf/quantile so fault-coverage-loss and yield-loss can be
+// computed analytically as well as by simulation.
+#pragma once
+
+namespace msts::stats {
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double z);
+
+/// Standard normal probability density function.
+double normal_pdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |error| < 1e-12 over (0,1)).
+double normal_quantile(double p);
+
+/// Gaussian distribution N(mean, sigma^2).
+struct Normal {
+  double mean = 0.0;
+  double sigma = 1.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;
+
+  /// Distribution whose +/-3 sigma band equals the given tolerance interval —
+  /// the convention we use to turn a datasheet tolerance into a spread.
+  static Normal from_tolerance(double nominal, double tol_half_width,
+                               double sigmas = 3.0);
+};
+
+/// Uniform distribution on [lo, hi].
+struct Uniform {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  double quantile(double p) const;
+};
+
+}  // namespace msts::stats

@@ -1,0 +1,33 @@
+#include "stats/monte_carlo.h"
+
+namespace msts::stats {
+
+Summary summarize(std::vector<double> values) {
+  MSTS_REQUIRE(!values.empty(), "cannot summarise an empty sample");
+  Summary s;
+  s.count = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(ss / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  auto pct = [&](double p) {
+    const double idx = p * static_cast<double>(values.size() - 1);
+    const auto i = static_cast<std::size_t>(idx);
+    const double frac = idx - static_cast<double>(i);
+    if (i + 1 >= values.size()) return values.back();
+    return values[i] * (1.0 - frac) + values[i + 1] * frac;
+  };
+  s.p05 = pct(0.05);
+  s.median = pct(0.5);
+  s.p95 = pct(0.95);
+  return s;
+}
+
+}  // namespace msts::stats

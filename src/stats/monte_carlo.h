@@ -1,0 +1,59 @@
+// Small Monte-Carlo driver and summary statistics.
+//
+// Used wherever the paper calls for "expected distribution of the parameter
+// ... obtained through Monte-Carlo simulations": sampling toleranced block
+// parameters, running a measurement procedure per trial, and summarising the
+// resulting parameter estimates.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "base/require.h"
+#include "stats/rng.h"
+#include "stats/uncertain.h"
+
+namespace msts::stats {
+
+/// Draws a concrete value for an uncertain parameter: Gaussian around the
+/// nominal with the parameter's statistical sigma, truncated to the
+/// worst-case interval (a manufactured part never leaves its tolerance band
+/// in the paper's defect-free model; values beyond it are "faulty" parts and
+/// are injected explicitly by the experiments).
+inline double sample(const Uncertain& u, Rng& rng) {
+  if (u.sigma == 0.0) return u.nominal;
+  for (int i = 0; i < 64; ++i) {
+    const double v = rng.normal(u.nominal, u.sigma);
+    if (u.wc == 0.0 || (v >= u.lower() && v <= u.upper())) return v;
+  }
+  return u.nominal;  // pathological wc << sigma: fall back to nominal
+}
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double p05 = 0.0;  ///< 5th percentile.
+  double median = 0.0;
+  double p95 = 0.0;  ///< 95th percentile.
+};
+
+/// Computes summary statistics of `values` (copies for the percentile sort).
+Summary summarize(std::vector<double> values);
+
+/// Runs `trials` evaluations of `fn(rng)` and returns the sample.
+/// `fn` must accept an Rng& and return double.
+template <typename Fn>
+std::vector<double> run_trials(std::size_t trials, Rng& rng, Fn&& fn) {
+  MSTS_REQUIRE(trials >= 1, "need at least one trial");
+  std::vector<double> out;
+  out.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) out.push_back(fn(rng));
+  return out;
+}
+
+}  // namespace msts::stats

@@ -1,0 +1,88 @@
+#include "stats/uncertain.h"
+
+#include <cmath>
+#include <ostream>
+
+#include "base/require.h"
+#include "base/units.h"
+
+namespace msts::stats {
+
+Uncertain Uncertain::from_tolerance(double nom, double tol, double sigmas) {
+  MSTS_REQUIRE(tol >= 0.0, "tolerance must be non-negative");
+  MSTS_REQUIRE(sigmas > 0.0, "sigma multiple must be positive");
+  return Uncertain(nom, tol, tol / sigmas);
+}
+
+double Uncertain::relative_wc() const {
+  if (nominal == 0.0) return 0.0;
+  return std::abs(wc / nominal);
+}
+
+Uncertain operator+(const Uncertain& a, const Uncertain& b) {
+  return Uncertain(a.nominal + b.nominal, a.wc + b.wc,
+                   std::sqrt(a.sigma * a.sigma + b.sigma * b.sigma));
+}
+
+Uncertain operator-(const Uncertain& a, const Uncertain& b) {
+  return Uncertain(a.nominal - b.nominal, a.wc + b.wc,
+                   std::sqrt(a.sigma * a.sigma + b.sigma * b.sigma));
+}
+
+Uncertain operator-(const Uncertain& a) { return Uncertain(-a.nominal, a.wc, a.sigma); }
+
+Uncertain operator*(const Uncertain& a, double c) {
+  return Uncertain(a.nominal * c, a.wc * std::abs(c), a.sigma * std::abs(c));
+}
+
+Uncertain operator*(double c, const Uncertain& a) { return a * c; }
+
+Uncertain operator/(const Uncertain& a, double c) {
+  MSTS_REQUIRE(c != 0.0, "division by zero");
+  return a * (1.0 / c);
+}
+
+Uncertain multiply(const Uncertain& a, const Uncertain& b) {
+  const double nom = a.nominal * b.nominal;
+  // First order: d(ab) = b*da + a*db.
+  const double wc = std::abs(b.nominal) * a.wc + std::abs(a.nominal) * b.wc;
+  const double sa = b.nominal * a.sigma;
+  const double sb = a.nominal * b.sigma;
+  return Uncertain(nom, wc, std::sqrt(sa * sa + sb * sb));
+}
+
+Uncertain divide(const Uncertain& a, const Uncertain& b) {
+  MSTS_REQUIRE(b.nominal != 0.0, "division by uncertain value with zero nominal");
+  const double nom = a.nominal / b.nominal;
+  const double wc = a.wc / std::abs(b.nominal) +
+                    std::abs(a.nominal) * b.wc / (b.nominal * b.nominal);
+  const double sa = a.sigma / b.nominal;
+  const double sb = a.nominal * b.sigma / (b.nominal * b.nominal);
+  return Uncertain(nom, wc, std::sqrt(sa * sa + sb * sb));
+}
+
+Uncertain apply(const Uncertain& a, double (*f)(double), double (*dfdx)(double)) {
+  const double deriv = std::abs(dfdx(a.nominal));
+  return Uncertain(f(a.nominal), deriv * a.wc, deriv * a.sigma);
+}
+
+Uncertain db_to_linear_amplitude(const Uncertain& db) {
+  const double lin = amplitude_ratio_from_db(db.nominal);
+  // d(lin)/d(db) = lin * ln(10)/20.
+  const double deriv = lin * std::log(10.0) / 20.0;
+  return Uncertain(lin, deriv * db.wc, deriv * db.sigma);
+}
+
+Uncertain linear_amplitude_to_db(const Uncertain& lin) {
+  MSTS_REQUIRE(lin.nominal > 0.0, "amplitude must be positive to express in dB");
+  const double db = db_from_amplitude_ratio(lin.nominal);
+  // d(db)/d(lin) = 20 / (lin * ln 10).
+  const double deriv = 20.0 / (lin.nominal * std::log(10.0));
+  return Uncertain(db, deriv * lin.wc, deriv * lin.sigma);
+}
+
+std::ostream& operator<<(std::ostream& os, const Uncertain& u) {
+  return os << u.nominal << " (±" << u.wc << " wc, σ=" << u.sigma << ")";
+}
+
+}  // namespace msts::stats

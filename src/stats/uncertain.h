@@ -1,0 +1,68 @@
+// Uncertain values: the numeric type of signal-attribute propagation.
+//
+// Parameter tolerances make every propagated signal attribute (amplitude,
+// gain, DC level, ...) indeterminate within a range (paper sec. 3/4.2:
+// "it is not possible to compute the exact values of certain signal
+// attributes"). An Uncertain carries a nominal value together with BOTH a
+// worst-case half-width (interval arithmetic, what the paper's threshold
+// analysis uses) and a 1-sigma statistical spread (root-sum-square, used for
+// the FCL/YL distributions). Linear operations propagate both exactly; for
+// the mildly non-linear operations we use first-order propagation, which is
+// the standard practice for tolerance analysis.
+#pragma once
+
+#include <iosfwd>
+
+namespace msts::stats {
+
+/// Value with worst-case and statistical uncertainty.
+struct Uncertain {
+  double nominal = 0.0;
+  double wc = 0.0;     ///< Worst-case half-width (|error| <= wc).
+  double sigma = 0.0;  ///< 1-sigma statistical spread.
+
+  constexpr Uncertain() = default;
+  constexpr explicit Uncertain(double nom) : nominal(nom) {}
+  constexpr Uncertain(double nom, double worst_case, double one_sigma)
+      : nominal(nom), wc(worst_case), sigma(one_sigma) {}
+
+  /// Uncertain whose worst case is `tol` and whose sigma assumes the
+  /// tolerance is a 3-sigma bound (the toolkit-wide convention).
+  static Uncertain from_tolerance(double nom, double tol, double sigmas = 3.0);
+
+  /// Exactly known value.
+  static constexpr Uncertain exact(double nom) { return Uncertain(nom); }
+
+  double lower() const { return nominal - wc; }
+  double upper() const { return nominal + wc; }
+
+  /// Relative worst-case error |wc / nominal| (0 if nominal == 0).
+  double relative_wc() const;
+};
+
+Uncertain operator+(const Uncertain& a, const Uncertain& b);
+Uncertain operator-(const Uncertain& a, const Uncertain& b);
+Uncertain operator-(const Uncertain& a);
+Uncertain operator*(const Uncertain& a, double c);
+Uncertain operator*(double c, const Uncertain& a);
+Uncertain operator/(const Uncertain& a, double c);
+
+/// First-order product: nominal = a*b, relative errors add (wc) / RSS (sigma).
+Uncertain multiply(const Uncertain& a, const Uncertain& b);
+
+/// First-order quotient a / b (b.nominal must be nonzero).
+Uncertain divide(const Uncertain& a, const Uncertain& b);
+
+/// Applies a differentiable scalar function using its derivative at the
+/// nominal: f(a) with wc' = |f'(nom)| * wc.
+Uncertain apply(const Uncertain& a, double (*f)(double), double (*dfdx)(double));
+
+/// dB-domain <-> linear-domain conversion of an uncertain gain.
+/// Gains in the paper compose additively in dB; these helpers move between
+/// the two representations with first-order error mapping.
+Uncertain db_to_linear_amplitude(const Uncertain& db);
+Uncertain linear_amplitude_to_db(const Uncertain& lin);
+
+std::ostream& operator<<(std::ostream& os, const Uncertain& u);
+
+}  // namespace msts::stats

@@ -1,0 +1,80 @@
+// Fault-coverage-loss / yield-loss evaluation of a parameter test.
+//
+// This is the quantitative heart of the paper (Figs. 2 & 5, Table 2): a
+// translated test measures a parameter with some error; combined with the
+// parameter's manufacturing distribution and the chosen pass threshold this
+// determines how many good parts fail (yield loss) and how many faulty parts
+// pass (fault coverage loss). Both an analytic evaluation (numerical
+// integration over the joint parameter x error density) and a Monte-Carlo
+// evaluation are provided; they cross-check each other in the tests.
+#pragma once
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace msts::stats {
+
+/// Which side(s) of the parameter are specified.
+enum class SpecSide {
+  kLowerBound,  ///< Pass iff x >= lo        (e.g. IIP3, P1dB minimums).
+  kUpperBound,  ///< Pass iff x <= hi        (e.g. noise figure maximum).
+  kTwoSided,    ///< Pass iff lo <= x <= hi  (e.g. cutoff frequency window).
+};
+
+/// Acceptance region for a parameter (true spec) or for its measured value
+/// (test threshold).
+struct SpecLimits {
+  SpecSide side = SpecSide::kTwoSided;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  bool passes(double x) const;
+
+  static SpecLimits at_least(double lo);
+  static SpecLimits at_most(double hi);
+  static SpecLimits window(double lo, double hi);
+
+  /// Shifts every active limit outward/inward by `delta` (positive widens a
+  /// lower bound downward and an upper bound upward — i.e. loosens the test).
+  SpecLimits loosened(double delta) const;
+  /// Opposite of loosened(): tightens the acceptance region by `delta`.
+  SpecLimits tightened(double delta) const;
+};
+
+/// Measurement/computation error model for the translated test.
+struct ErrorModel {
+  enum class Kind {
+    kNone,      ///< Perfect measurement.
+    kUniform,   ///< Error uniform in [-magnitude, +magnitude] (worst-case
+                ///< tolerance-interval semantics).
+    kGaussian,  ///< Error ~ N(0, magnitude^2).
+  };
+  Kind kind = Kind::kNone;
+  double magnitude = 0.0;
+
+  static ErrorModel none();
+  static ErrorModel uniform(double half_width);
+  static ErrorModel gaussian(double sigma);
+};
+
+/// Outcome of evaluating a test against a parameter population.
+struct TestOutcome {
+  double yield = 0.0;                ///< P(part is good).
+  double defect_rate = 0.0;          ///< P(part is faulty) = 1 - yield.
+  double accept_rate = 0.0;          ///< P(test accepts).
+  double yield_loss = 0.0;           ///< P(reject | good).
+  double fault_coverage_loss = 0.0;  ///< P(accept | faulty).
+};
+
+/// Analytic evaluation by numerical integration on a grid of `grid` points
+/// spanning +/-8 sigma of the parameter distribution.
+TestOutcome evaluate_test(const Normal& param, const SpecLimits& spec,
+                          const SpecLimits& threshold, const ErrorModel& error,
+                          int grid = 4001);
+
+/// Monte-Carlo evaluation; converges to evaluate_test as trials grows.
+TestOutcome evaluate_test_mc(const Normal& param, const SpecLimits& spec,
+                             const SpecLimits& threshold, const ErrorModel& error,
+                             Rng& rng, int trials = 200000);
+
+}  // namespace msts::stats

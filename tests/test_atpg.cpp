@@ -1,0 +1,170 @@
+// Tests for the PODEM ATPG and redundancy identification (digital/atpg.h).
+#include "digital/atpg.h"
+
+#include <gtest/gtest.h>
+
+#include "digital/builder.h"
+#include "digital/fault_sim.h"
+#include "stats/rng.h"
+
+namespace msts::digital {
+namespace {
+
+// Applies an ATPG vector to a (combinational) netlist with the fault in
+// machine 1 and reports whether any output differs from the good machine.
+bool vector_detects(const Netlist& nl, const std::vector<NetId>& pis,
+                    const std::vector<bool>& vec, const Fault& fault) {
+  ParallelSimulator sim(nl);
+  sim.inject(fault, 1);
+  for (std::size_t i = 0; i < pis.size(); ++i) sim.set_input(pis[i], vec[i]);
+  sim.eval();
+  for (NetId o : nl.outputs()) {
+    if (sim.value_in_machine(o, 0) != sim.value_in_machine(o, 1)) return true;
+  }
+  return false;
+}
+
+TEST(Atpg, FindsVectorForAndGateFault) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, a, b);
+  nl.mark_output(g);
+
+  Atpg atpg(nl);
+  const auto r = atpg.generate(Fault{g, false});  // output s-a-0
+  ASSERT_EQ(r.status, AtpgStatus::kTestable);
+  // The only test is a=1, b=1.
+  EXPECT_TRUE(r.vector[0]);
+  EXPECT_TRUE(r.vector[1]);
+  EXPECT_TRUE(vector_detects(nl, atpg.controllable_nets(), r.vector, Fault{g, false}));
+}
+
+TEST(Atpg, PropagatesThroughChains) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId g1 = nl.add_gate(GateType::kAnd, a, b);
+  const NetId g2 = nl.add_gate(GateType::kOr, g1, c);
+  const NetId g3 = nl.add_gate(GateType::kXor, g2, a);
+  nl.mark_output(g3);
+
+  Atpg atpg(nl);
+  for (const Fault f : {Fault{g1, false}, Fault{g1, true}, Fault{b, false},
+                        Fault{c, true}}) {
+    const auto r = atpg.generate(f);
+    ASSERT_EQ(r.status, AtpgStatus::kTestable) << describe(nl, f);
+    EXPECT_TRUE(vector_detects(nl, atpg.controllable_nets(), r.vector, f))
+        << describe(nl, f);
+  }
+}
+
+TEST(Atpg, ProvesClassicRedundancyUntestable) {
+  // out = a OR (a AND b): the AND term is absorbed by a, so its s-a-0 is
+  // redundant — no input combination can ever expose it.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, a, b);
+  const NetId out = nl.add_gate(GateType::kOr, a, g);
+  nl.mark_output(out);
+
+  Atpg atpg(nl);
+  EXPECT_EQ(atpg.generate(Fault{g, false}).status, AtpgStatus::kUntestable);
+  // s-a-1 on the same net IS testable (a=0 exposes it).
+  const auto r = atpg.generate(Fault{g, true});
+  ASSERT_EQ(r.status, AtpgStatus::kTestable);
+  EXPECT_TRUE(vector_detects(nl, atpg.controllable_nets(), r.vector, Fault{g, true}));
+}
+
+TEST(Atpg, DffBoundariesActAsTestAccess) {
+  // Fault in the cone of a DFF's D pin: observable as a pseudo-PO; fault
+  // behind a DFF output: controllable as a pseudo-PI.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g1 = nl.add_gate(GateType::kAnd, a, b);
+  const NetId q = nl.add_dff(g1);
+  const NetId g2 = nl.add_gate(GateType::kNot, q);
+  nl.mark_output(g2);
+
+  Atpg atpg(nl);
+  EXPECT_EQ(atpg.generate(Fault{g1, false}).status, AtpgStatus::kTestable);
+  EXPECT_EQ(atpg.generate(Fault{q, true}).status, AtpgStatus::kTestable);
+}
+
+class AtpgRandomCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AtpgRandomCrossCheck, AgreesWithExhaustiveSimulation) {
+  // Random 8-input combinational circuits: every ATPG verdict is checked
+  // against ground truth — testable vectors must detect, and untestable
+  // faults must survive all 256 exhaustive patterns.
+  stats::Rng rng(GetParam());
+  Netlist nl;
+  std::vector<NetId> pool;
+  for (int i = 0; i < 8; ++i) pool.push_back(nl.add_input("i" + std::to_string(i)));
+  const GateType kinds[] = {GateType::kAnd, GateType::kOr,  GateType::kNand,
+                            GateType::kNor, GateType::kXor, GateType::kNot,
+                            GateType::kBuf, GateType::kXnor};
+  for (int g = 0; g < 60; ++g) {
+    const GateType t = kinds[rng.uniform_int(8)];
+    pool.push_back(nl.add_gate(t, pool[rng.uniform_int(pool.size())],
+                               pool[rng.uniform_int(pool.size())]));
+  }
+  nl.mark_output(pool.back());
+  nl.mark_output(pool[pool.size() - 2]);
+
+  std::vector<std::int64_t> exhaustive;
+  for (int v = 0; v < 256; ++v) exhaustive.push_back(v >= 128 ? v - 256 : v);
+  Bus in;
+  for (int i = 0; i < 8; ++i) in.bits.push_back(nl.inputs()[i]);
+  Bus out;
+  out.bits = nl.outputs();
+
+  auto faults = collapsed_faults(nl);
+  if (faults.size() > 60) faults.resize(60);
+  const auto ground_truth = simulate_faults(nl, in, out, exhaustive, faults);
+
+  Atpg atpg(nl, /*backtrack_limit=*/20000);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const auto r = atpg.generate(faults[i]);
+    if (r.status == AtpgStatus::kTestable) {
+      EXPECT_TRUE(ground_truth.detected[i])
+          << describe(nl, faults[i]) << " seed " << GetParam();
+      EXPECT_TRUE(vector_detects(nl, atpg.controllable_nets(), r.vector, faults[i]))
+          << describe(nl, faults[i]) << " seed " << GetParam();
+    } else if (r.status == AtpgStatus::kUntestable) {
+      EXPECT_FALSE(ground_truth.detected[i])
+          << describe(nl, faults[i]) << " wrongly proven redundant, seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtpgRandomCrossCheck,
+                         ::testing::Values<std::uint64_t>(11, 22, 33, 44, 55, 66));
+
+TEST(Atpg, RejectsBadFault) {
+  Netlist nl;
+  nl.add_input("a");
+  Atpg atpg(nl);
+  EXPECT_THROW(atpg.generate(Fault{42, false}), std::invalid_argument);
+}
+
+TEST(Atpg, ClassifyReturnsOneVerdictPerFault) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, a, b);
+  nl.mark_output(g);
+  Atpg atpg(nl);
+  const Fault faults[] = {Fault{g, false}, Fault{g, true}};
+  const auto verdicts = atpg.classify(faults);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_EQ(verdicts[0], AtpgStatus::kTestable);
+  EXPECT_EQ(verdicts[1], AtpgStatus::kTestable);
+}
+
+}  // namespace
+}  // namespace msts::digital

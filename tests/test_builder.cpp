@@ -1,0 +1,200 @@
+// Tests for the structural arithmetic builders (digital/builder.h): every
+// generated datapath is validated exhaustively or randomly against int64
+// arithmetic.
+#include "digital/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace msts::digital {
+namespace {
+
+// Evaluates a combinational bus function for a single input value.
+std::int64_t eval_bus(const Netlist& nl, const Bus& in, const Bus& out,
+                      std::int64_t x) {
+  ParallelSimulator sim(nl);
+  sim.set_bus(in, x);
+  sim.eval();
+  return sim.bus_value(out, 0);
+}
+
+TEST(Builder, ConstantBusHoldsValue) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus c = b.constant_bus(-42, 8);
+  ParallelSimulator sim(nl);
+  sim.eval();
+  EXPECT_EQ(sim.bus_value(c, 0), -42);
+}
+
+TEST(Builder, FullAdderTruthTable) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId bb = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  NetlistBuilder b(nl);
+  NetId cout = 0;
+  const NetId sum = b.full_adder(a, bb, c, &cout, "fa");
+  ParallelSimulator sim(nl);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      for (int cv = 0; cv <= 1; ++cv) {
+        sim.set_input(a, av != 0);
+        sim.set_input(bb, bv != 0);
+        sim.set_input(c, cv != 0);
+        sim.eval();
+        const int total = av + bv + cv;
+        EXPECT_EQ(sim.value_in_machine(sum, 0), (total & 1) != 0);
+        EXPECT_EQ(sim.value_in_machine(cout, 0), total >= 2);
+      }
+    }
+  }
+}
+
+TEST(Builder, AdditionExhaustive6Bit) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 6);
+  const Bus y = b.input_bus("y", 6);
+  const Bus s = b.add(x, y, "s");
+  ParallelSimulator sim(nl);
+  for (std::int64_t xv = -32; xv < 32; ++xv) {
+    for (std::int64_t yv = -32; yv < 32; ++yv) {
+      sim.set_bus(x, xv);
+      sim.set_bus(y, yv);
+      sim.eval();
+      ASSERT_EQ(sim.bus_value(s, 0), xv + yv) << xv << "+" << yv;
+    }
+  }
+}
+
+TEST(Builder, SubtractionExhaustive5Bit) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 5);
+  const Bus y = b.input_bus("y", 5);
+  const Bus d = b.subtract(x, y, "d");
+  ParallelSimulator sim(nl);
+  for (std::int64_t xv = -16; xv < 16; ++xv) {
+    for (std::int64_t yv = -16; yv < 16; ++yv) {
+      sim.set_bus(x, xv);
+      sim.set_bus(y, yv);
+      sim.eval();
+      ASSERT_EQ(sim.bus_value(d, 0), xv - yv) << xv << "-" << yv;
+    }
+  }
+}
+
+TEST(Builder, NegateExhaustive) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 6);
+  const Bus n = b.negate(x, "n");
+  for (std::int64_t v = -32; v < 32; ++v) {
+    EXPECT_EQ(eval_bus(nl, x, n, v), -v);
+  }
+}
+
+TEST(Builder, ShiftLeftMultipliesByPowerOfTwo) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 6);
+  const Bus s = b.shift_left(x, 3);
+  for (std::int64_t v : {-32ll, -1ll, 0ll, 5ll, 31ll}) {
+    EXPECT_EQ(eval_bus(nl, x, s, v), v * 8);
+  }
+}
+
+TEST(Builder, SignExtendPreservesValue) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 4);
+  const Bus e = b.sign_extend(x, 12);
+  EXPECT_EQ(e.width(), 12u);
+  for (std::int64_t v = -8; v < 8; ++v) {
+    EXPECT_EQ(eval_bus(nl, x, e, v), v);
+  }
+}
+
+TEST(CsdDigits, RecodesKnownValues) {
+  // 7 = 8 - 1 -> digits [-1, 0, 0, 1]
+  const auto d7 = csd_digits(7);
+  ASSERT_EQ(d7.size(), 4u);
+  EXPECT_EQ(d7[0], -1);
+  EXPECT_EQ(d7[1], 0);
+  EXPECT_EQ(d7[2], 0);
+  EXPECT_EQ(d7[3], 1);
+  EXPECT_TRUE(csd_digits(0).empty());
+}
+
+class CsdProperty : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(CsdProperty, DigitsReconstructValueWithNoAdjacentNonzeros) {
+  const std::int32_t v = GetParam();
+  const auto digits = csd_digits(v);
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    EXPECT_TRUE(digits[i] >= -1 && digits[i] <= 1);
+    sum += static_cast<std::int64_t>(digits[i]) << i;
+    if (i > 0) {
+      EXPECT_FALSE(digits[i] != 0 && digits[i - 1] != 0)
+          << "adjacent nonzero digits at " << i;
+    }
+  }
+  EXPECT_EQ(sum, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, CsdProperty,
+                         ::testing::Values(-1000, -517, -256, -255, -3, -1, 1, 2, 3,
+                                           7, 11, 100, 255, 256, 341, 1023, 4096));
+
+class ConstMultiply : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ConstMultiply, MatchesInt64Reference) {
+  const std::int32_t coeff = GetParam();
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 8);
+  const Bus p = b.multiply_const(x, coeff, "p");
+  ParallelSimulator sim(nl);
+  for (std::int64_t v = -128; v < 128; v += 3) {
+    sim.set_bus(x, v);
+    sim.eval();
+    ASSERT_EQ(sim.bus_value(p, 0), v * coeff) << v << "*" << coeff;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Coefficients, ConstMultiply,
+                         ::testing::Values(0, 1, -1, 2, -2, 3, 5, -7, 64, 100, -100,
+                                           255, -511, 1024, 2047, -2048));
+
+TEST(Builder, RegisterBusDelaysByOneCycle) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus x = b.input_bus("x", 8);
+  const Bus q = b.register_bus(x, "q");
+  ParallelSimulator sim(nl);
+  std::int64_t prev = 0;  // reset state
+  stats::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform_int(256)) - 128;
+    sim.set_bus(x, v);
+    sim.eval();
+    EXPECT_EQ(sim.bus_value(q, 0), prev);
+    sim.clock();
+    prev = v;
+  }
+}
+
+TEST(Builder, RejectsBadWidths) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  EXPECT_THROW(b.input_bus("x", 0), std::invalid_argument);
+  EXPECT_THROW(b.input_bus("x", 64), std::invalid_argument);
+  const Bus x = b.input_bus("x", 8);
+  EXPECT_THROW(b.sign_extend(x, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::digital

@@ -1,0 +1,110 @@
+// Tests for threshold studies (core/coverage.h) — the Table 2 semantics.
+#include "core/coverage.h"
+
+#include <gtest/gtest.h>
+
+namespace msts::core {
+namespace {
+
+stats::Normal pop() { return stats::Normal{10.0, 0.5}; }
+stats::SpecLimits lower_spec() { return stats::SpecLimits::at_least(8.5); }
+
+TEST(ThresholdStudy, HasThreeCanonicalRows) {
+  const auto s = threshold_study("p", "dB", pop(), lower_spec(),
+                                 stats::Uncertain(0.0, 0.4, 0.13));
+  ASSERT_EQ(s.rows.size(), 3u);
+  EXPECT_EQ(s.rows[0].label, "Tol");
+  EXPECT_EQ(s.rows[1].label, "Tol-Err");
+  EXPECT_EQ(s.rows[2].label, "Tol+Err");
+  EXPECT_DOUBLE_EQ(s.error_wc, 0.4);
+  EXPECT_THROW(s.row("bogus"), std::invalid_argument);
+}
+
+TEST(ThresholdStudy, GuardBandZeroesOneLoss) {
+  // The paper's Table 2 pattern: Thr = Tol-Err has zero yield loss and the
+  // worst coverage loss; Thr = Tol+Err has zero coverage loss and the worst
+  // yield loss; Thr = Tol sits in between on both.
+  const auto s = threshold_study("p", "dB", pop(), lower_spec(),
+                                 stats::Uncertain(0.0, 0.4, 0.13));
+  const auto& tol = s.row("Tol").outcome;
+  const auto& loose = s.row("Tol-Err").outcome;
+  const auto& tight = s.row("Tol+Err").outcome;
+
+  EXPECT_NEAR(loose.yield_loss, 0.0, 1e-9);
+  EXPECT_NEAR(tight.fault_coverage_loss, 0.0, 1e-9);
+  EXPECT_GT(loose.fault_coverage_loss, tol.fault_coverage_loss);
+  EXPECT_GT(tight.yield_loss, tol.yield_loss);
+  EXPECT_GT(tol.fault_coverage_loss, 0.0);
+  EXPECT_GT(tol.yield_loss, 0.0);
+}
+
+TEST(ThresholdStudy, ZeroErrorMeansNoLossAnywhere) {
+  const auto s = threshold_study("p", "dB", pop(), lower_spec(),
+                                 stats::Uncertain(0.0, 0.0, 0.0));
+  for (const auto& r : s.rows) {
+    EXPECT_NEAR(r.outcome.fault_coverage_loss, 0.0, 1e-9) << r.label;
+    EXPECT_NEAR(r.outcome.yield_loss, 0.0, 1e-9) << r.label;
+  }
+}
+
+TEST(ThresholdStudy, LargerErrorLargerLossesAtTol) {
+  double prev_fcl = 0.0, prev_yl = 0.0;
+  for (double err : {0.1, 0.3, 0.6}) {
+    const auto s = threshold_study("p", "dB", pop(), lower_spec(),
+                                   stats::Uncertain(0.0, err, err / 3.0));
+    const auto& o = s.row("Tol").outcome;
+    EXPECT_GE(o.fault_coverage_loss, prev_fcl);
+    EXPECT_GE(o.yield_loss, prev_yl);
+    prev_fcl = o.fault_coverage_loss;
+    prev_yl = o.yield_loss;
+  }
+}
+
+TEST(ThresholdStudy, TwoSidedSpecWorks) {
+  const auto s = threshold_study(
+      "f_c", "Hz", stats::Normal{1e6, 50e3 / 3.0},
+      stats::SpecLimits::window(0.95e6, 1.05e6), stats::Uncertain(0.0, 17e3, 5.7e3));
+  EXPECT_GT(s.row("Tol").outcome.fault_coverage_loss, 0.0);
+  EXPECT_NEAR(s.row("Tol+Err").outcome.fault_coverage_loss, 0.0, 1e-9);
+  EXPECT_NEAR(s.row("Tol-Err").outcome.yield_loss, 0.0, 1e-9);
+}
+
+TEST(ThresholdSweep, TradesMonotonically) {
+  const auto sweep = threshold_sweep(pop(), lower_spec(),
+                                     stats::Uncertain(0.0, 0.4, 0.13), 11);
+  ASSERT_EQ(sweep.size(), 11u);
+  // As the threshold tightens (shift grows), FCL falls and YL rises.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].second.fault_coverage_loss,
+              sweep[i - 1].second.fault_coverage_loss + 1e-12);
+    EXPECT_GE(sweep[i].second.yield_loss, sweep[i - 1].second.yield_loss - 1e-12);
+  }
+  EXPECT_THROW(threshold_sweep(pop(), lower_spec(), stats::Uncertain(0.0, 0.4, 0.1), 2),
+               std::invalid_argument);
+}
+
+TEST(ThresholdStudy, StatisticalTreatmentShrinksLosses) {
+  // RSS/Gaussian error (sigma = wc/3) concentrates probability near zero
+  // error, so losses at Thr=Tol shrink relative to the uniform worst case.
+  const auto err = stats::Uncertain(0.0, 0.6, 0.2);
+  const auto wc = threshold_study("p", "dB", pop(), lower_spec(), err,
+                                  ErrorTreatment::kWorstCase);
+  const auto st = threshold_study("p", "dB", pop(), lower_spec(), err,
+                                  ErrorTreatment::kStatistical);
+  EXPECT_EQ(st.treatment, ErrorTreatment::kStatistical);
+  EXPECT_LT(st.row("Tol").outcome.fault_coverage_loss,
+            wc.row("Tol").outcome.fault_coverage_loss);
+  EXPECT_LT(st.row("Tol").outcome.yield_loss, wc.row("Tol").outcome.yield_loss);
+  // Gaussian tails are unbounded: the Tol+Err guard band no longer zeroes
+  // FCL exactly, but it stays tiny (beyond 3 sigma of the error).
+  EXPECT_LT(st.row("Tol+Err").outcome.fault_coverage_loss, 0.02);
+}
+
+TEST(ThresholdStudy, RejectsNegativeError) {
+  EXPECT_THROW(threshold_study("p", "dB", pop(), lower_spec(),
+                               stats::Uncertain(0.0, -0.1, 0.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::core

@@ -1,0 +1,59 @@
+// Tests for the DFT advisor (core/dft_advisor.h).
+#include "core/dft_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "path/receiver_path.h"
+
+namespace msts::core {
+namespace {
+
+TEST(DftAdvisor, RecommendsExactlyTheUntranslatableTests) {
+  const TestSynthesizer synth(path::reference_path_config());
+  const auto plan = synth.synthesize();
+  const auto report = advise_dft(plan);
+
+  std::size_t expected_dft = 0;
+  for (const auto& t : plan) {
+    if (!t.translatable) ++expected_dft;
+  }
+  EXPECT_EQ(report.dft_tests, expected_dft);
+  EXPECT_EQ(report.recommendations.size(), expected_dft);
+  EXPECT_EQ(report.translated_tests + report.dft_tests, plan.size());
+}
+
+TEST(DftAdvisor, SavesTestPointsVsConventional) {
+  const TestSynthesizer synth(path::reference_path_config());
+  const auto report = advise_dft(synth.synthesize());
+  EXPECT_LT(report.required_test_points, report.conventional_test_points);
+  EXPECT_GT(report.required_test_points, 0u);  // some parameters do need access
+}
+
+TEST(DftAdvisor, RecommendationsNameConcreteAccess) {
+  const TestSynthesizer synth(path::reference_path_config());
+  const auto report = advise_dft(synth.synthesize());
+  for (const auto& rec : report.recommendations) {
+    EXPECT_FALSE(rec.access.empty());
+    EXPECT_FALSE(rec.rationale.empty());
+    EXPECT_NE(rec.access.find(rec.module), std::string::npos)
+        << rec.module << "." << rec.parameter;
+  }
+}
+
+TEST(DftAdvisor, EmptyPlanProducesEmptyReport) {
+  const auto report = advise_dft({});
+  EXPECT_EQ(report.dft_tests, 0u);
+  EXPECT_EQ(report.translated_tests, 0u);
+  EXPECT_TRUE(report.recommendations.empty());
+  EXPECT_EQ(report.required_test_points, 0u);
+}
+
+TEST(DftAdvisor, FormatsReadably) {
+  const TestSynthesizer synth(path::reference_path_config());
+  const auto text = format_dft_report(advise_dft(synth.synthesize()));
+  EXPECT_NE(text.find("insert:"), std::string::npos);
+  EXPECT_NE(text.find("saved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msts::core

@@ -1,0 +1,106 @@
+// Tests for dictionary-based spectral fault diagnosis (core/diagnosis.h).
+#include "core/diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "digital/fir.h"
+
+namespace msts::core {
+namespace {
+
+struct Fixture {
+  path::PathConfig config = path::reference_path_config();
+  DigitalTester tester{config};
+  DigitalTestPlan plan;
+  std::vector<std::int64_t> stimulus;
+  std::vector<digital::Fault> faults;
+
+  Fixture() {
+    DigitalTestOptions opt;
+    opt.record = 256;
+    plan = tester.plan(opt);
+    stimulus = tester.ideal_codes(plan);
+    // A manageable, detectable-heavy dictionary: every 60th fault.
+    for (std::size_t i = 0; i < tester.faults().size(); i += 60) {
+      faults.push_back(tester.faults()[i]);
+    }
+  }
+
+  std::vector<std::int64_t> output_with_fault(const digital::Fault& f) const {
+    digital::FaultSimOptions o;
+    o.capture_waveforms = true;
+    const digital::Fault one[] = {f};
+    const auto sim = digital::simulate_faults(tester.netlist(), tester.input_bus(),
+                                              tester.output_bus(), stimulus, one, o);
+    return sim.waveforms[0];
+  }
+};
+
+TEST(Diagnosis, DictionaryHoldsOneEntryPerFault) {
+  Fixture fx;
+  const FaultDictionary dict(fx.tester, fx.plan, fx.stimulus, fx.faults);
+  EXPECT_EQ(dict.size(), fx.faults.size());
+}
+
+TEST(Diagnosis, SelfSignatureRanksFirst) {
+  Fixture fx;
+  const FaultDictionary dict(fx.tester, fx.plan, fx.stimulus, fx.faults);
+  int checked = 0;
+  for (std::size_t i = 0; i < fx.faults.size() && checked < 8; i += 5) {
+    if (dict.entry(i).bins.empty()) continue;  // undetectable: no signature
+    const auto out = fx.output_with_fault(fx.faults[i]);
+    const auto ranked = dict.diagnose(out, 3);
+    ASSERT_FALSE(ranked.empty());
+    EXPECT_EQ(ranked[0].fault, fx.faults[i])
+        << describe(fx.tester.netlist(), fx.faults[i]);
+    EXPECT_NEAR(ranked[0].score, 1.0, 1e-9);
+    ++checked;
+  }
+  EXPECT_GE(checked, 4);
+}
+
+TEST(Diagnosis, HealthyOutputMatchesNothing) {
+  Fixture fx;
+  const FaultDictionary dict(fx.tester, fx.plan, fx.stimulus, fx.faults);
+  digital::FirModel fir(fx.tester.fir().coeffs, fx.config.adc.bits);
+  std::vector<std::int64_t> good;
+  for (auto c : fx.stimulus) good.push_back(fir.step(c));
+  const auto ranked = dict.diagnose(good, 3);
+  for (const auto& c : ranked) {
+    EXPECT_LT(c.score, 0.99);
+  }
+}
+
+TEST(Diagnosis, SimilarityIsSymmetricAndBounded) {
+  FaultSignature a;
+  a.bins = {3, 7, 9};
+  a.excess_db = {2.0f, 4.0f, 1.0f};
+  FaultSignature b;
+  b.bins = {3, 9, 12};
+  b.excess_db = {2.0f, 1.5f, 3.0f};
+  const double ab = signature_similarity(a, b);
+  const double ba = signature_similarity(b, a);
+  EXPECT_NEAR(ab, ba, 1e-12);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_LT(ab, 1.0);
+  EXPECT_NEAR(signature_similarity(a, a), 1.0, 1e-12);
+  const FaultSignature empty;
+  EXPECT_DOUBLE_EQ(signature_similarity(a, empty), 0.0);
+}
+
+TEST(Diagnosis, TopKLimitsTheCandidateList) {
+  Fixture fx;
+  const FaultDictionary dict(fx.tester, fx.plan, fx.stimulus, fx.faults);
+  const auto out = fx.output_with_fault(fx.faults[0]);
+  EXPECT_LE(dict.diagnose(out, 2).size(), 2u);
+}
+
+TEST(Diagnosis, RejectsWrongRecordLength) {
+  Fixture fx;
+  const FaultDictionary dict(fx.tester, fx.plan, fx.stimulus, fx.faults);
+  const std::vector<std::int64_t> wrong(100, 0);
+  EXPECT_THROW(dict.diagnose(wrong, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::core

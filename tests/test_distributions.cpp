@@ -1,0 +1,89 @@
+// Tests for probability distributions (stats/distributions.h).
+#include "stats/distributions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace msts::stats {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 1.0 - 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(3.0), 0.9986501019683699, 1e-9);
+}
+
+TEST(NormalPdf, KnownValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804014327, 1e-12);
+  EXPECT_NEAR(normal_pdf(1.0), 0.24197072451914337, 1e-12);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, InvertsTheCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTrip,
+                         ::testing::Values(1e-9, 1e-6, 0.001, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 0.999, 1.0 - 1e-6));
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(-0.5), std::invalid_argument);
+}
+
+TEST(Normal, ScalesAndShifts) {
+  const Normal n{10.0, 2.0};
+  EXPECT_NEAR(n.cdf(10.0), 0.5, 1e-12);
+  EXPECT_NEAR(n.cdf(12.0), normal_cdf(1.0), 1e-12);
+  EXPECT_NEAR(n.quantile(0.5), 10.0, 1e-9);
+  EXPECT_NEAR(n.pdf(10.0), normal_pdf(0.0) / 2.0, 1e-12);
+}
+
+TEST(Normal, PdfIntegratesToOne) {
+  const Normal n{-3.0, 0.7};
+  double acc = 0.0;
+  const int steps = 20000;
+  const double lo = n.mean - 10.0 * n.sigma;
+  const double hi = n.mean + 10.0 * n.sigma;
+  const double dx = (hi - lo) / steps;
+  for (int i = 0; i <= steps; ++i) {
+    const double w = (i == 0 || i == steps) ? 0.5 : 1.0;
+    acc += w * n.pdf(lo + dx * i) * dx;
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-8);
+}
+
+TEST(Normal, FromToleranceUsesThreeSigma) {
+  const Normal n = Normal::from_tolerance(5.0, 1.5);
+  EXPECT_DOUBLE_EQ(n.mean, 5.0);
+  EXPECT_DOUBLE_EQ(n.sigma, 0.5);
+  // Fraction inside the tolerance band is the 3-sigma probability.
+  EXPECT_NEAR(n.cdf(6.5) - n.cdf(3.5), 0.9973, 1e-4);
+}
+
+TEST(Normal, FromToleranceRejectsBadArguments) {
+  EXPECT_THROW(Normal::from_tolerance(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(Normal::from_tolerance(0.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(UniformDist, PdfCdfQuantile) {
+  const Uniform u{2.0, 6.0};
+  EXPECT_DOUBLE_EQ(u.pdf(4.0), 0.25);
+  EXPECT_DOUBLE_EQ(u.pdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(u.cdf(4.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.cdf(7.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.quantile(0.25), 3.0);
+  EXPECT_THROW(u.quantile(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::stats

@@ -1,0 +1,151 @@
+// Tests for the parallel fault-simulation driver (digital/fault_sim.h).
+#include "digital/fault_sim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+#include "digital/fir.h"
+#include "dsp/fir_design.h"
+#include "stats/rng.h"
+
+namespace msts::digital {
+namespace {
+
+// Small circuit: y = (a AND b) XOR c, 3-bit input bus mapped bitwise.
+struct SmallCircuit {
+  Netlist nl;
+  Bus in;
+  Bus out;
+  NetId and_net;
+};
+
+SmallCircuit make_small() {
+  SmallCircuit c;
+  NetlistBuilder b(c.nl);
+  c.in = b.input_bus("i", 3);
+  c.and_net = c.nl.add_gate(GateType::kAnd, c.in.bits[0], c.in.bits[1], "g1");
+  const NetId y = c.nl.add_gate(GateType::kXor, c.and_net, c.in.bits[2], "y");
+  c.nl.mark_output(y);
+  c.out.bits = {y};
+  return c;
+}
+
+TEST(FaultSim, GoodWaveformMatchesTruthTable) {
+  SmallCircuit c = make_small();
+  const std::vector<std::int64_t> stim = {0, 1, 2, 3, -4, -3, -2, -1};  // 3-bit values
+  const auto y = simulate_good(c.nl, c.in, c.out, stim);
+  ASSERT_EQ(y.size(), stim.size());
+  for (std::size_t i = 0; i < stim.size(); ++i) {
+    const std::uint64_t bits = static_cast<std::uint64_t>(stim[i]);
+    const bool a = bits & 1, b = bits & 2, cc = bits & 4;
+    const bool expect = (a && b) ^ cc;
+    // Output bus is 1 bit wide; value is sign-extended (bit pattern 1 -> -1).
+    EXPECT_EQ(y[i] != 0, expect) << "i=" << i;
+  }
+}
+
+TEST(FaultSim, DetectableFaultIsDetected) {
+  SmallCircuit c = make_small();
+  // Stimulus covers all 8 input combinations: every stuck-at on the AND net
+  // and the inputs is detectable.
+  std::vector<std::int64_t> stim;
+  for (int v = 0; v < 8; ++v) stim.push_back(v >= 4 ? v - 8 : v);
+  const auto faults = all_faults(c.nl);
+  const auto r = simulate_faults(c.nl, c.in, c.out, stim, faults);
+  ASSERT_EQ(r.detected.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_TRUE(r.detected[i]) << describe(c.nl, faults[i]);
+  }
+  EXPECT_DOUBLE_EQ(r.coverage(), 1.0);
+}
+
+TEST(FaultSim, UnexercisedFaultIsNotDetected) {
+  SmallCircuit c = make_small();
+  // Hold inputs at a=1,b=1,c=0 only: AND output is always 1, so SA1 on the
+  // AND net can never be observed.
+  const std::vector<std::int64_t> stim(4, 3);
+  const Fault sa1{c.and_net, true};
+  const Fault sa0{c.and_net, false};
+  const Fault faults[] = {sa1, sa0};
+  const auto r = simulate_faults(c.nl, c.in, c.out, stim, faults);
+  EXPECT_FALSE(r.detected[0]);  // SA1 invisible
+  EXPECT_TRUE(r.detected[1]);   // SA0 flips the output
+  EXPECT_DOUBLE_EQ(r.coverage(), 0.5);
+}
+
+TEST(FaultSim, WaveformCaptureMatchesSingleFaultRuns) {
+  SmallCircuit c = make_small();
+  std::vector<std::int64_t> stim;
+  for (int v = 0; v < 8; ++v) stim.push_back(v >= 4 ? v - 8 : v);
+  const auto faults = all_faults(c.nl);
+  FaultSimOptions opts;
+  opts.capture_waveforms = true;
+  const auto r = simulate_faults(c.nl, c.in, c.out, stim, faults, opts);
+  ASSERT_EQ(r.waveforms.size(), faults.size());
+
+  // Re-run each fault alone and compare streams.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const Fault one[] = {faults[i]};
+    FaultSimOptions single;
+    single.capture_waveforms = true;
+    const auto rr = simulate_faults(c.nl, c.in, c.out, stim, one, single);
+    ASSERT_EQ(r.waveforms[i], rr.waveforms[0]) << describe(c.nl, faults[i]);
+  }
+}
+
+TEST(FaultSim, MoreThan63FaultsBatchCorrectly) {
+  // The 13-tap FIR has thousands of faults; spot-check batching by verifying
+  // that detection results are independent of batch position.
+  const auto h = dsp::design_lowpass(5, 0.2);
+  const auto q = dsp::quantize_coefficients(h, 6);
+  const FirCircuit fir = build_fir(q, 6, 6);
+  const Netlist nl = fir.netlist.with_explicit_branches();
+  Bus in, out;
+  for (std::size_t i = 0; i < fir.input.width(); ++i) in.bits.push_back(nl.inputs()[i]);
+  for (std::size_t i = 0; i < fir.output.width(); ++i) out.bits.push_back(nl.outputs()[i]);
+
+  stats::Rng rng(5);
+  std::vector<std::int64_t> stim;
+  for (int i = 0; i < 64; ++i) {
+    stim.push_back(static_cast<std::int64_t>(rng.uniform_int(64)) - 32);
+  }
+
+  auto faults = collapsed_faults(nl);
+  ASSERT_GT(faults.size(), 63u);
+  const auto r_all = simulate_faults(nl, in, out, stim, faults);
+
+  // Pick a handful of faults across batch boundaries and re-simulate alone.
+  for (std::size_t idx : {std::size_t{0}, std::size_t{62}, std::size_t{63},
+                          std::size_t{64}, faults.size() - 1}) {
+    const Fault one[] = {faults[idx]};
+    const auto r_one = simulate_faults(nl, in, out, stim, one);
+    EXPECT_EQ(r_one.detected[0], r_all.detected[idx]) << "fault index " << idx;
+  }
+}
+
+TEST(FaultSim, GoodWaveformIndependentOfFaultLoad) {
+  SmallCircuit c = make_small();
+  std::vector<std::int64_t> stim = {1, 3, 5, 7, 2, 6};
+  const auto faults = all_faults(c.nl);
+  const auto with_faults = simulate_faults(c.nl, c.in, c.out, stim, faults);
+  const auto clean = simulate_good(c.nl, c.in, c.out, stim);
+  EXPECT_EQ(with_faults.good_waveform, clean);
+}
+
+TEST(FaultSim, RejectsEmptyStimulus) {
+  SmallCircuit c = make_small();
+  EXPECT_THROW(simulate_faults(c.nl, c.in, c.out, {}, {}), std::invalid_argument);
+}
+
+TEST(FaultSim, CoverageOfEmptyFaultListIsZero) {
+  SmallCircuit c = make_small();
+  const std::vector<std::int64_t> stim = {1, 2};
+  const auto r = simulate_faults(c.nl, c.in, c.out, stim, {});
+  EXPECT_DOUBLE_EQ(r.coverage(), 0.0);
+  EXPECT_EQ(r.good_waveform.size(), stim.size());
+}
+
+}  // namespace
+}  // namespace msts::digital

@@ -1,0 +1,132 @@
+// Tests for the stuck-at fault universe and equivalence collapsing
+// (digital/faults.h).
+#include "digital/faults.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "digital/fir.h"
+#include "dsp/fir_design.h"
+
+namespace msts::digital {
+namespace {
+
+TEST(AllFaults, TwoPerNetExceptConstants) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_const(true);
+  nl.add_const(false);
+  nl.add_gate(GateType::kAnd, a, b);
+  const auto faults = all_faults(nl);
+  EXPECT_EQ(faults.size(), 2u * 3u);  // a, b, and-gate; constants excluded
+}
+
+TEST(CollapsedFaults, BufferChainCollapsesToOneClassPerPolarity) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b1 = nl.add_gate(GateType::kBuf, a);
+  const NetId b2 = nl.add_gate(GateType::kBuf, b1);
+  nl.mark_output(b2);
+  const auto collapsed = collapsed_faults(nl);
+  // All three nets are equivalent through the buffers: 2 classes remain.
+  EXPECT_EQ(collapsed.size(), 2u);
+}
+
+TEST(CollapsedFaults, InverterSwapsPolarity) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n = nl.add_gate(GateType::kNot, a);
+  nl.mark_output(n);
+  const auto map = collapse_map(nl);
+  // a/SA0 == n/SA1 and a/SA1 == n/SA0.
+  EXPECT_EQ(map[2 * a + 0], map[2 * n + 1]);
+  EXPECT_EQ(map[2 * a + 1], map[2 * n + 0]);
+  EXPECT_NE(map[2 * a + 0], map[2 * a + 1]);
+}
+
+TEST(CollapsedFaults, AndGateInputSa0EquivalentToOutputSa0) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, a, b);
+  nl.mark_output(g);
+  const auto map = collapse_map(nl);
+  EXPECT_EQ(map[2 * a + 0], map[2 * g + 0]);
+  EXPECT_EQ(map[2 * b + 0], map[2 * g + 0]);
+  // SA1 faults stay distinct.
+  EXPECT_NE(map[2 * a + 1], map[2 * g + 1]);
+  // 6 faults - 2 merged = 4 classes.
+  EXPECT_EQ(collapsed_faults(nl).size(), 4u);
+}
+
+TEST(CollapsedFaults, FanoutBlocksCollapsing) {
+  // A net driving two gates must keep its own faults (the textbook rule).
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g1 = nl.add_gate(GateType::kAnd, a, b);
+  const NetId g2 = nl.add_gate(GateType::kOr, a, b);
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  const auto map = collapse_map(nl);
+  EXPECT_NE(map[2 * a + 0], map[2 * g1 + 0]);
+  EXPECT_NE(map[2 * a + 1], map[2 * g2 + 1]);
+}
+
+TEST(CollapsedFaults, NandNorRules) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId gn = nl.add_gate(GateType::kNand, a, b);
+  nl.mark_output(gn);
+  const auto map = collapse_map(nl);
+  // NAND: input SA0 == output SA1.
+  EXPECT_EQ(map[2 * a + 0], map[2 * gn + 1]);
+  EXPECT_EQ(map[2 * b + 0], map[2 * gn + 1]);
+}
+
+TEST(CollapsedFaults, XorHasNoEquivalence) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kXor, a, b);
+  nl.mark_output(g);
+  EXPECT_EQ(collapsed_faults(nl).size(), 6u);
+}
+
+TEST(CollapsedFaults, EveryFaultHasARepresentativeInTheList) {
+  const auto h = dsp::design_lowpass(13, 0.125);
+  const auto q = dsp::quantize_coefficients(h, 8);
+  const FirCircuit fir = build_fir(q, 8, 8);
+  const Netlist nl = fir.netlist.with_explicit_branches();
+
+  const auto collapsed = collapsed_faults(nl);
+  const auto map = collapse_map(nl);
+  std::set<std::uint32_t> reps;
+  for (const Fault& f : collapsed) {
+    reps.insert(map[2 * f.net + (f.stuck_at_one ? 1 : 0)]);
+  }
+  EXPECT_EQ(reps.size(), collapsed.size());  // one per class
+  for (const Fault& f : all_faults(nl)) {
+    EXPECT_EQ(reps.count(map[2 * f.net + (f.stuck_at_one ? 1 : 0)]), 1u);
+  }
+  // Collapsing actually shrinks a real netlist.
+  EXPECT_LT(collapsed.size(), all_faults(nl).size());
+  EXPECT_GT(collapsed.size(), all_faults(nl).size() / 4);
+}
+
+TEST(Describe, IncludesPolarityAndType) {
+  Netlist nl;
+  const NetId a = nl.add_input("stim");
+  const auto s0 = describe(nl, Fault{a, false});
+  const auto s1 = describe(nl, Fault{a, true});
+  EXPECT_NE(s0.find("SA0"), std::string::npos);
+  EXPECT_NE(s1.find("SA1"), std::string::npos);
+  EXPECT_NE(s0.find("INPUT"), std::string::npos);
+  EXPECT_NE(s0.find("stim"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msts::digital

@@ -1,0 +1,151 @@
+// Unit and property tests for the radix-2 FFT (dsp/fft.h).
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace msts::dsp {
+namespace {
+
+TEST(Fft, PowerOfTwoPredicate) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1000));
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> x(12, {1.0, 0.0});
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<double> x(64, 0.0);
+  x[0] = 1.0;
+  const auto spec = fft_real(x);
+  for (const auto& bin : spec) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, DcInputConcentratesInBinZero) {
+  std::vector<double> x(128, 3.5);
+  const auto spec = fft_real(x);
+  EXPECT_NEAR(spec[0].real(), 3.5 * 128, 1e-9);
+  for (std::size_t k = 1; k < spec.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-9) << "bin " << k;
+  }
+}
+
+TEST(Fft, SingleToneLandsOnItsBin) {
+  const std::size_t n = 256;
+  const std::size_t k0 = 17;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 2.0 * std::cos(kTwoPi * static_cast<double>(k0 * i) / static_cast<double>(n));
+  }
+  const auto spec = rfft(x);
+  EXPECT_NEAR(std::abs(spec[k0]), 2.0 * n / 2.0, 1e-8);
+  for (std::size_t k = 0; k < spec.size(); ++k) {
+    if (k == k0) continue;
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-7) << "bin " << k;
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, InverseRecoversInput) {
+  const std::size_t n = GetParam();
+  std::vector<std::complex<double>> x(n);
+  // Deterministic pseudo-signal.
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = {std::sin(0.1 * static_cast<double>(i) + 0.3),
+            std::cos(0.07 * static_cast<double>(i))};
+  }
+  auto y = x;
+  fft_inplace(y, /*inverse=*/false);
+  fft_inplace(y, /*inverse=*/true);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(y[i].real(), x[i].real(), 1e-10) << "i=" << i;
+    EXPECT_NEAR(y[i].imag(), x[i].imag(), 1e-10) << "i=" << i;
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = {std::sin(0.3 * static_cast<double>(i)), 0.25 * std::cos(1.1 * static_cast<double>(i))};
+  }
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  auto y = x;
+  fft_inplace(y);
+  double freq_energy = 0.0;
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-8 * time_energy + 1e-12);
+}
+
+TEST_P(FftRoundTrip, Linearity) {
+  const std::size_t n = GetParam();
+  std::vector<std::complex<double>> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = {std::sin(0.2 * static_cast<double>(i)), 0.0};
+    b[i] = {0.0, std::cos(0.5 * static_cast<double>(i))};
+    sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  }
+  fft_inplace(a);
+  fft_inplace(b);
+  fft_inplace(sum);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto expected = 2.0 * a[k] + 3.0 * b[k];
+    EXPECT_NEAR(std::abs(sum[k] - expected), 0.0, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values<std::size_t>(2, 4, 8, 32, 128, 1024, 4096));
+
+TEST(SingleBinDft, RecoversAmplitudeAndPhase) {
+  const double fs = 1000.0;
+  const std::size_t n = 500;  // not a power of two: single_bin_dft must not care
+  const double f = 40.0;      // 20 cycles in the record -> coherent
+  const double amp = 1.7;
+  const double phase = 0.6;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::cos(kTwoPi * f * static_cast<double>(i) / fs + phase);
+  }
+  const auto c = single_bin_dft(x, f, fs);
+  EXPECT_NEAR(std::abs(c), amp, 1e-9);
+  EXPECT_NEAR(std::arg(c), phase, 1e-9);
+}
+
+TEST(SingleBinDft, OrthogonalToneReadsZero) {
+  const double fs = 1000.0;
+  const std::size_t n = 500;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(kTwoPi * 40.0 * static_cast<double>(i) / fs);
+  }
+  // 60 Hz is also coherent in this record, hence exactly orthogonal.
+  EXPECT_NEAR(std::abs(single_bin_dft(x, 60.0, fs)), 0.0, 1e-9);
+}
+
+TEST(SingleBinDft, RejectsEmptyAndBadRate) {
+  std::vector<double> empty;
+  EXPECT_THROW(single_bin_dft(empty, 10.0, 100.0), std::invalid_argument);
+  std::vector<double> x(8, 0.0);
+  EXPECT_THROW(single_bin_dft(x, 10.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::dsp

@@ -1,0 +1,84 @@
+// Tests for windowed-sinc FIR design and coefficient quantisation
+// (dsp/fir_design.h), which produces the paper's 13/16-tap filters.
+#include "dsp/fir_design.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace msts::dsp {
+namespace {
+
+class LowpassDesign : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LowpassDesign, UnityDcGain) {
+  const auto h = design_lowpass(GetParam(), 0.2);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(frequency_response(h, 0.0)), 1.0, 1e-12);
+}
+
+TEST_P(LowpassDesign, LinearPhaseSymmetry) {
+  const auto h = design_lowpass(GetParam(), 0.15);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST_P(LowpassDesign, CutoffIsApproxMinus6dB) {
+  // The window method yields ~0.5 amplitude at the design cutoff.
+  const double fc = 0.2;
+  const auto h = design_lowpass(GetParam(), fc);
+  const double mag = std::abs(frequency_response(h, fc));
+  EXPECT_NEAR(db_from_amplitude_ratio(mag), -6.0, 1.5);
+}
+
+TEST_P(LowpassDesign, PassbandAboveStopband) {
+  const double fc = 0.15;
+  const auto h = design_lowpass(GetParam(), fc);
+  const double pass = std::abs(frequency_response(h, 0.05 * fc));
+  const double stop = std::abs(frequency_response(h, 0.45));
+  EXPECT_GT(db_from_amplitude_ratio(pass) - db_from_amplitude_ratio(stop), 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(TapCounts, LowpassDesign,
+                         ::testing::Values<std::size_t>(13, 16, 33, 65));
+
+TEST(LowpassDesign, RejectsBadArguments) {
+  EXPECT_THROW(design_lowpass(2, 0.2), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(13, 0.0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(13, 0.5), std::invalid_argument);
+}
+
+TEST(Quantize, RoundsToHalfLsb) {
+  const auto h = design_lowpass(13, 0.2);
+  const int frac_bits = 10;
+  const auto q = quantize_coefficients(h, frac_bits);
+  ASSERT_EQ(q.size(), h.size());
+  const double lsb = 1.0 / static_cast<double>(1 << frac_bits);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(q[i]) * lsb, h[i], lsb / 2.0 + 1e-12);
+  }
+}
+
+TEST(Quantize, FixedResponseTracksDoubleResponse) {
+  const auto h = design_lowpass(16, 0.18);
+  const auto q = quantize_coefficients(h, 12);
+  for (double f : {0.0, 0.05, 0.1, 0.18, 0.3, 0.45}) {
+    const double mag_d = std::abs(frequency_response(h, f));
+    const double mag_q = std::abs(frequency_response_fixed(q, 12, f));
+    EXPECT_NEAR(mag_q, mag_d, 0.01) << "f=" << f;
+  }
+}
+
+TEST(Quantize, RejectsBadFracBits) {
+  const auto h = design_lowpass(13, 0.2);
+  EXPECT_THROW(quantize_coefficients(h, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_coefficients(h, 31), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::dsp

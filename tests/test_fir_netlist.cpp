@@ -1,0 +1,149 @@
+// Tests for the gate-level FIR generator (digital/fir.h): the netlist must
+// agree bit-for-bit with the int64 reference model, including the paper's
+// 13-tap and 16-tap low-pass configurations.
+#include "digital/fir.h"
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+#include "digital/fault_sim.h"
+#include "dsp/fir_design.h"
+#include "stats/rng.h"
+
+namespace msts::digital {
+namespace {
+
+std::vector<std::int64_t> random_samples(int width, std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  const std::int64_t hi = (1ll << (width - 1));
+  std::vector<std::int64_t> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs.push_back(static_cast<std::int64_t>(rng.uniform_int(2 * hi)) - hi);
+  }
+  return xs;
+}
+
+void expect_netlist_matches_model(const FirCircuit& fir,
+                                  std::span<const std::int64_t> stimulus) {
+  FirModel model(fir.coeffs, fir.input_width);
+  ParallelSimulator sim(fir.netlist);
+  for (std::size_t i = 0; i < stimulus.size(); ++i) {
+    sim.set_bus(fir.input, stimulus[i]);
+    sim.eval();
+    const std::int64_t expected = model.step(stimulus[i]);
+    ASSERT_EQ(sim.bus_value(fir.output, 0), expected) << "cycle " << i;
+    sim.clock();
+  }
+}
+
+TEST(FirCircuit, TrivialOneTapIsAConstantMultiplier) {
+  const std::int32_t coeffs[] = {37};
+  const FirCircuit fir = build_fir(coeffs, 8, 0);
+  ParallelSimulator sim(fir.netlist);
+  for (std::int64_t v = -128; v < 128; v += 5) {
+    sim.set_bus(fir.input, v);
+    sim.eval();
+    EXPECT_EQ(sim.bus_value(fir.output, 0), 37 * v);
+  }
+}
+
+TEST(FirCircuit, MovingAverageMatchesModel) {
+  const std::int32_t coeffs[] = {1, 1, 1, 1};
+  const FirCircuit fir = build_fir(coeffs, 6, 0);
+  const auto xs = random_samples(6, 200, 11);
+  expect_netlist_matches_model(fir, xs);
+}
+
+TEST(FirCircuit, NegativeCoefficientsMatchModel) {
+  const std::int32_t coeffs[] = {-3, 7, -11, 5, -2};
+  const FirCircuit fir = build_fir(coeffs, 8, 0);
+  const auto xs = random_samples(8, 300, 13);
+  expect_netlist_matches_model(fir, xs);
+}
+
+class PaperFilters : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PaperFilters, DesignedLowpassNetlistMatchesModel) {
+  const std::size_t taps = GetParam();
+  const auto h = dsp::design_lowpass(taps, 0.125);
+  const auto q = dsp::quantize_coefficients(h, 10);
+  const FirCircuit fir = build_fir(q, 12, 10);
+  EXPECT_EQ(fir.netlist.dffs().size(), (taps - 1) * 12);
+  const auto xs = random_samples(12, 256, 17);
+  expect_netlist_matches_model(fir, xs);
+}
+
+INSTANTIATE_TEST_SUITE_P(TapCounts, PaperFilters, ::testing::Values<std::size_t>(13, 16));
+
+TEST(FirCircuit, ImpulseResponseIsTheCoefficients) {
+  const std::int32_t coeffs[] = {4, -9, 2, 15, -1};
+  const FirCircuit fir = build_fir(coeffs, 8, 0);
+  std::vector<std::int64_t> impulse(8, 0);
+  impulse[0] = 1;
+  FirModel model(coeffs, 8);
+  const auto y = model.run(impulse);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(y[k], coeffs[k]) << "tap " << k;
+  }
+  EXPECT_EQ(y[5], 0);
+}
+
+TEST(FirCircuit, ExplicitBranchVersionIsFunctionallyIdentical) {
+  const auto h = dsp::design_lowpass(13, 0.125);
+  const auto q = dsp::quantize_coefficients(h, 8);
+  const FirCircuit fir = build_fir(q, 8, 8);
+  const Netlist expanded = fir.netlist.with_explicit_branches();
+
+  // I/O nets keep their order under the transform.
+  Bus ein;
+  for (std::size_t i = 0; i < fir.input.width(); ++i) {
+    ein.bits.push_back(expanded.inputs()[i]);
+  }
+  Bus eout;
+  for (std::size_t i = 0; i < fir.output.width(); ++i) {
+    eout.bits.push_back(expanded.outputs()[i]);
+  }
+
+  const auto xs = random_samples(8, 128, 23);
+  const auto y_orig = simulate_good(fir.netlist, fir.input, fir.output, xs);
+  const auto y_exp = simulate_good(expanded, ein, eout, xs);
+  ASSERT_EQ(y_orig.size(), y_exp.size());
+  for (std::size_t i = 0; i < y_orig.size(); ++i) {
+    ASSERT_EQ(y_orig[i], y_exp[i]) << "cycle " << i;
+  }
+}
+
+TEST(FirModel, ResetClearsDelayLine) {
+  const std::int32_t coeffs[] = {1, 2, 3};
+  FirModel model(coeffs, 8);
+  model.step(10);
+  model.step(20);
+  model.reset();
+  EXPECT_EQ(model.step(1), 1);  // no history left
+}
+
+TEST(FirModel, RejectsOutOfRangeInput) {
+  const std::int32_t coeffs[] = {1};
+  FirModel model(coeffs, 8);
+  EXPECT_THROW(model.step(128), std::invalid_argument);
+  EXPECT_THROW(model.step(-129), std::invalid_argument);
+  EXPECT_NO_THROW(model.step(127));
+  EXPECT_NO_THROW(model.step(-128));
+}
+
+TEST(ClampToWidth, Saturates) {
+  EXPECT_EQ(clamp_to_width(300, 8), 127);
+  EXPECT_EQ(clamp_to_width(-300, 8), -128);
+  EXPECT_EQ(clamp_to_width(5, 8), 5);
+}
+
+TEST(FirCircuit, RejectsBadParameters) {
+  const std::int32_t coeffs[] = {1};
+  EXPECT_THROW(build_fir({}, 8, 0), std::invalid_argument);
+  EXPECT_THROW(build_fir(coeffs, 1, 0), std::invalid_argument);
+  EXPECT_THROW(build_fir(coeffs, 30, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::digital

@@ -1,0 +1,55 @@
+// Tests for the executed-test Monte-Carlo validation (core/mc_validation.h).
+#include "core/mc_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/synthesizer.h"
+
+namespace msts::core {
+namespace {
+
+TEST(McValidation, LossesFiniteAndBelowWorstCasePrediction) {
+  const auto config = path::reference_path_config();
+  const TestSynthesizer synth(config, /*adaptive=*/true);
+  const auto study = synth.study_mixer_iip3();
+  stats::Rng rng(77);
+  path::MeasureOptions opts;
+  opts.digital_record = 1024;
+  const auto v = validate_iip3_study_mc(config, study, 150, rng, true, opts);
+
+  EXPECT_EQ(v.trials, 150);
+  EXPECT_GT(v.weight_good, 0.0);
+  EXPECT_GT(v.weight_faulty, 0.0);
+  EXPECT_GE(v.fcl_measured, 0.0);
+  EXPECT_LE(v.fcl_measured, 1.0);
+  EXPECT_GE(v.yl_measured, 0.0);
+  EXPECT_LE(v.yl_measured, 1.0);
+  // The uniform worst-case analytic model upper-bounds the executed test
+  // (generous slack for 150-trial statistics).
+  EXPECT_LT(v.fcl_measured, v.fcl_predicted + 0.15);
+  EXPECT_LT(v.yl_measured, v.yl_predicted + 0.10);
+}
+
+TEST(McValidation, MeasurementErrorWithinBudget) {
+  const auto config = path::reference_path_config();
+  const TestSynthesizer synth(config, /*adaptive=*/true);
+  const auto study = synth.study_mixer_iip3();
+  stats::Rng rng(78);
+  path::MeasureOptions opts;
+  opts.digital_record = 1024;
+  const auto v = validate_iip3_study_mc(config, study, 60, rng, true, opts);
+  // Mean |error| must sit well inside the worst-case budget.
+  EXPECT_LT(v.mean_abs_meas_error, study.error_wc);
+  EXPECT_GT(v.mean_abs_meas_error, 0.0);
+}
+
+TEST(McValidation, RejectsTooFewTrials) {
+  const auto config = path::reference_path_config();
+  const TestSynthesizer synth(config);
+  stats::Rng rng(79);
+  EXPECT_THROW(validate_iip3_study_mc(config, synth.study_mixer_iip3(), 5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::core

@@ -1,0 +1,148 @@
+// Tests for spectral metrics (dsp/metrics.h): tone measurement, SNR, THD,
+// SFDR, intermodulation detection — the primitives of every translated test.
+#include "dsp/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+#include "dsp/tonegen.h"
+#include "stats/rng.h"
+
+namespace msts::dsp {
+namespace {
+
+constexpr double kFs = 4e6;
+constexpr std::size_t kN = 4096;
+
+TEST(AliasFrequency, FoldsIntoFirstNyquistZone) {
+  EXPECT_DOUBLE_EQ(alias_frequency(100.0, 1000.0), 100.0);
+  EXPECT_DOUBLE_EQ(alias_frequency(600.0, 1000.0), 400.0);   // fs - f
+  EXPECT_DOUBLE_EQ(alias_frequency(1000.0, 1000.0), 0.0);    // at fs
+  EXPECT_DOUBLE_EQ(alias_frequency(1100.0, 1000.0), 100.0);  // fs + f
+  EXPECT_DOUBLE_EQ(alias_frequency(2400.0, 1000.0), 400.0);
+  EXPECT_DOUBLE_EQ(alias_frequency(-100.0, 1000.0), 100.0);
+}
+
+TEST(MeasureTone, RecoversCleanTone) {
+  const double f = coherent_frequency(kFs, kN, 300e3);
+  const Tone tone{f, 1.2, 0.0};
+  const auto x = generate_tones(std::span(&tone, 1), 0.0, kFs, kN);
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  const auto m = measure_tone(s, f, "f1");
+  EXPECT_NEAR(m.amplitude, 1.2, 0.01);
+  EXPECT_NEAR(m.power, 1.2 * 1.2 / 2.0, 0.02);
+  EXPECT_EQ(m.label, "f1");
+  EXPECT_EQ(m.bin, s.nearest_bin(f));
+}
+
+TEST(MeasureTone, FindsSlightlyOffBinTone) {
+  // 0.3-bin offset: the lobe-local peak search plus main-lobe integration
+  // must still report the power within a fraction of a dB.
+  const double bw = kFs / static_cast<double>(kN);
+  const double f = coherent_frequency(kFs, kN, 300e3) + 0.3 * bw;
+  const Tone tone{f, 1.0, 0.0};
+  const auto x = generate_tones(std::span(&tone, 1), 0.0, kFs, kN);
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  const auto m = measure_tone(s, f);
+  EXPECT_NEAR(m.power_db, db_from_power_ratio(0.5), 0.5);
+}
+
+TEST(AnalyzeSpectrum, SnrMatchesInjectedNoise) {
+  stats::Rng rng(42);
+  const double f = coherent_frequency(kFs, kN, 300e3);
+  const double amp = 1.0;
+  const double noise_sigma = 1e-3;
+  Tone tone{f, amp, 0.0};
+  auto x = generate_tones(std::span(&tone, 1), 0.0, kFs, kN);
+  for (double& v : x) v += rng.normal(0.0, noise_sigma);
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  AnalysisOptions opts;
+  opts.fundamentals = {f};
+  const auto r = analyze_spectrum(s, opts);
+  const double expected_snr =
+      db_from_power_ratio((amp * amp / 2.0) / (noise_sigma * noise_sigma));
+  EXPECT_NEAR(r.snr_db, expected_snr, 1.0);
+  EXPECT_NEAR(r.signal_power, amp * amp / 2.0, 0.02);
+}
+
+TEST(AnalyzeSpectrum, ThdPicksUpHarmonics) {
+  const double f = coherent_frequency(kFs, kN, 200e3);
+  // Fundamental plus an explicit -40 dBc 3rd harmonic.
+  const Tone tones[] = {{f, 1.0, 0.0}, {3.0 * f, 0.01, 0.3}};
+  const auto x = generate_tones(tones, 0.0, kFs, kN);
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  AnalysisOptions opts;
+  opts.fundamentals = {f};
+  const auto r = analyze_spectrum(s, opts);
+  EXPECT_NEAR(r.thd_db, -40.0, 0.5);
+  ASSERT_FALSE(r.harmonics.empty());
+  // H3 should dominate the harmonic list.
+  double h3 = -300.0;
+  for (const auto& h : r.harmonics) {
+    if (h.label.find("H3") != std::string::npos) h3 = std::max(h3, h.power_db);
+  }
+  EXPECT_NEAR(h3, db_from_power_ratio(0.01 * 0.01 / 2.0), 0.5);
+}
+
+TEST(AnalyzeSpectrum, SfdrSeesWorstSpur) {
+  const double f = coherent_frequency(kFs, kN, 250e3);
+  const double spur_f = coherent_frequency(kFs, kN, 800e3);
+  const Tone tones[] = {{f, 1.0, 0.0}, {spur_f, 0.001, 0.0}};  // -60 dBc spur
+  const auto x = generate_tones(tones, 0.0, kFs, kN);
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  AnalysisOptions opts;
+  opts.fundamentals = {f};
+  opts.num_harmonics = 2;  // keep the spur out of the harmonic list
+  const auto r = analyze_spectrum(s, opts);
+  EXPECT_NEAR(r.sfdr_db, 60.0, 1.0);
+}
+
+TEST(AnalyzeSpectrum, TwoToneCubicNonlinearityShowsIm3) {
+  // Pass a two-tone through y = x + a3 x^3 and check IM3 products appear at
+  // the right bins with the right level (a3 * 3/4 * A^3 each).
+  const auto freqs = place_test_tones(kFs, kN, 100e3, 900e3, 2);
+  const double amp = 0.5;
+  const Tone tones[] = {{freqs[0], amp, 0.0}, {freqs[1], amp, 0.0}};
+  auto x = generate_tones(tones, 0.0, kFs, kN);
+  const double a3 = 0.02;
+  for (double& v : x) v = v + a3 * v * v * v;
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  AnalysisOptions opts;
+  opts.fundamentals = {freqs[0], freqs[1]};
+  const auto r = analyze_spectrum(s, opts);
+  const double im3_amp = 0.75 * a3 * amp * amp * amp;
+  double measured = -300.0;
+  for (const auto& im : r.intermods) {
+    if (im.label.rfind("IM3", 0) == 0) measured = std::max(measured, im.power_db);
+  }
+  EXPECT_NEAR(measured, db_from_power_ratio(im3_amp * im3_amp / 2.0), 1.0);
+}
+
+TEST(AnalyzeSpectrum, DcLevelReported) {
+  const double f = coherent_frequency(kFs, kN, 300e3);
+  const Tone tone{f, 1.0, 0.0};
+  const auto x = generate_tones(std::span(&tone, 1), -0.15, kFs, kN);
+  const Spectrum s(x, kFs, WindowType::kBlackmanHarris4);
+  AnalysisOptions opts;
+  opts.fundamentals = {f};
+  const auto r = analyze_spectrum(s, opts);
+  EXPECT_NEAR(r.dc_level, -0.15, 1e-3);
+}
+
+TEST(AnalyzeSpectrum, RequiresFundamentals) {
+  const std::vector<double> x(256, 0.0);
+  const Spectrum s(x, kFs, WindowType::kHann);
+  EXPECT_THROW(analyze_spectrum(s, AnalysisOptions{}), std::invalid_argument);
+}
+
+TEST(PowerDbSeries, HasOneEntryPerBin) {
+  const std::vector<double> x(512, 0.0);
+  const Spectrum s(x, kFs, WindowType::kHann);
+  EXPECT_EQ(power_db_series(s).size(), s.num_bins());
+}
+
+}  // namespace
+}  // namespace msts::dsp

@@ -1,0 +1,68 @@
+// Tests for the Monte-Carlo driver and summary statistics
+// (stats/monte_carlo.h).
+#include "stats/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace msts::stats {
+namespace {
+
+TEST(Summarize, KnownSample) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Summarize, PercentilesInterpolate) {
+  const auto s = summarize({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.median, 0.5);
+  EXPECT_DOUBLE_EQ(s.p05, 0.05);
+  EXPECT_DOUBLE_EQ(s.p95, 0.95);
+}
+
+TEST(Summarize, SingleValue) {
+  const auto s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p05, 7.0);
+  EXPECT_DOUBLE_EQ(s.p95, 7.0);
+}
+
+TEST(Summarize, RejectsEmpty) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+TEST(RunTrials, ProducesRequestedCount) {
+  Rng rng(5);
+  const auto sample = run_trials(1000, rng, [](Rng& r) { return r.uniform(); });
+  EXPECT_EQ(sample.size(), 1000u);
+  const auto s = summarize(sample);
+  EXPECT_NEAR(s.mean, 0.5, 0.05);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.0 / 12.0), 0.02);
+}
+
+TEST(RunTrials, GaussianSampleSummary) {
+  Rng rng(6);
+  const auto sample =
+      run_trials(20000, rng, [](Rng& r) { return r.normal(10.0, 2.0); });
+  const auto s = summarize(sample);
+  EXPECT_NEAR(s.mean, 10.0, 0.1);
+  EXPECT_NEAR(s.stddev, 2.0, 0.1);
+  // 5th/95th percentiles of N(10, 2) are 10 ± 1.645*2.
+  EXPECT_NEAR(s.p05, 10.0 - 3.29, 0.15);
+  EXPECT_NEAR(s.p95, 10.0 + 3.29, 0.15);
+}
+
+TEST(RunTrials, RejectsZeroTrials) {
+  Rng rng(7);
+  EXPECT_THROW(run_trials(0, rng, [](Rng&) { return 0.0; }), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::stats

@@ -1,0 +1,136 @@
+// Tests for the structural netlist (digital/netlist.h): construction,
+// topological ordering, fanout bookkeeping and explicit-branch expansion.
+#include "digital/netlist.h"
+
+#include <gtest/gtest.h>
+
+namespace msts::digital {
+namespace {
+
+TEST(Netlist, BuildsSimpleCombinational) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, a, b, "g");
+  nl.mark_output(g, "y");
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.gate(g).type, GateType::kAnd);
+  EXPECT_EQ(nl.output_name(0), "y");
+  EXPECT_EQ(nl.combinational_gate_count(), 1u);
+}
+
+TEST(Netlist, RejectsDanglingFanin) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::kAnd, a, 99), std::invalid_argument);
+  EXPECT_THROW(nl.add_dff(42), std::invalid_argument);
+  EXPECT_THROW(nl.mark_output(42), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::kDff, a, 0), std::invalid_argument);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId n1 = nl.add_gate(GateType::kOr, a, b);
+  const NetId n2 = nl.add_gate(GateType::kNot, n1);
+  const NetId n3 = nl.add_gate(GateType::kXor, n2, a);
+  nl.mark_output(n3);
+  const auto order = nl.topo_order();
+  ASSERT_EQ(order.size(), nl.num_nets());
+  std::vector<std::size_t> pos(nl.num_nets());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[a], pos[n1]);
+  EXPECT_LT(pos[b], pos[n1]);
+  EXPECT_LT(pos[n1], pos[n2]);
+  EXPECT_LT(pos[n2], pos[n3]);
+}
+
+TEST(Netlist, DffChainIsLegalSequentialLogic) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId d = nl.add_gate(GateType::kNot, a);
+  const NetId q = nl.add_dff(d);
+  const NetId q2 = nl.add_dff(q);
+  nl.mark_output(q2);
+  EXPECT_NO_THROW(nl.topo_order());
+  EXPECT_EQ(nl.dffs().size(), 2u);
+}
+
+TEST(Netlist, FanoutCountsIncludeOutputsAndDffs) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId n1 = nl.add_gate(GateType::kNot, a);
+  nl.add_gate(GateType::kBuf, n1);
+  nl.add_dff(n1);
+  nl.mark_output(n1);
+  const auto counts = nl.fanout_counts();
+  EXPECT_EQ(counts[a], 1);
+  EXPECT_EQ(counts[n1], 3);  // BUF pin + DFF D pin + primary output
+}
+
+TEST(Netlist, ExplicitBranchesInsertBuffersOnlyOnMultiFanout) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId stem = nl.add_gate(GateType::kAnd, a, b, "stem");
+  const NetId u = nl.add_gate(GateType::kNot, stem, 0, "u");
+  const NetId v = nl.add_gate(GateType::kBuf, stem, 0, "v");
+  const NetId w = nl.add_gate(GateType::kOr, u, v, "w");
+  nl.mark_output(w);
+
+  const Netlist expanded = nl.with_explicit_branches();
+  // stem drives two pins -> two branch buffers; u and v are fanout-free.
+  EXPECT_EQ(expanded.num_nets(), nl.num_nets() + 2);
+  EXPECT_EQ(expanded.inputs().size(), 2u);
+  EXPECT_EQ(expanded.outputs().size(), 1u);
+  // Every *functional* gate pin reads a fanout-free net; only the inserted
+  // branch buffers (named "*.br*") may read a multi-fanout stem.
+  const auto counts = expanded.fanout_counts();
+  auto is_branch_buffer = [&](const Gate& g) {
+    return g.type == GateType::kBuf && g.name.find(".br") != std::string::npos;
+  };
+  for (NetId id = 0; id < expanded.num_nets(); ++id) {
+    const Gate& g = expanded.gate(id);
+    if (is_branch_buffer(g)) continue;
+    const int n = arity(g.type);
+    if (n >= 1) {
+      EXPECT_LE(counts[g.fanin0], 1) << "pin reads multi-fanout net " << g.fanin0;
+    }
+    if (n >= 2) {
+      EXPECT_LE(counts[g.fanin1], 1);
+    }
+  }
+}
+
+TEST(Netlist, ExplicitBranchesPreserveDffs) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_dff(a);
+  const NetId n1 = nl.add_gate(GateType::kNot, q);
+  const NetId n2 = nl.add_gate(GateType::kBuf, q);
+  nl.mark_output(n1);
+  nl.mark_output(n2);
+  const Netlist expanded = nl.with_explicit_branches();
+  EXPECT_EQ(expanded.dffs().size(), 1u);
+  // a has fanout 1 (the DFF D pin); q drives two pins -> 2 buffers.
+  EXPECT_EQ(expanded.num_nets(), nl.num_nets() + 2);
+}
+
+TEST(Netlist, GateHistogramCounts) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_gate(GateType::kAnd, a, b);
+  nl.add_gate(GateType::kAnd, a, b);
+  nl.add_gate(GateType::kXor, a, b);
+  const auto h = nl.gate_histogram();
+  EXPECT_EQ(h.at(GateType::kInput), 2u);
+  EXPECT_EQ(h.at(GateType::kAnd), 2u);
+  EXPECT_EQ(h.at(GateType::kXor), 1u);
+}
+
+}  // namespace
+}  // namespace msts::digital

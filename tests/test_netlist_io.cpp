@@ -1,0 +1,90 @@
+// Tests for netlist serialisation (digital/netlist_io.h): text round-trips
+// must preserve structure and function exactly.
+#include "digital/netlist_io.h"
+
+#include <gtest/gtest.h>
+
+#include "digital/fault_sim.h"
+#include "digital/fir.h"
+#include "dsp/fir_design.h"
+#include "stats/rng.h"
+
+namespace msts::digital {
+namespace {
+
+TEST(NetlistIo, RoundTripsSmallCircuit) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_const(true);
+  const NetId g = nl.add_gate(GateType::kNand, a, b, "g1");
+  const NetId n = nl.add_gate(GateType::kNot, g, 0, "inv");
+  const NetId q = nl.add_dff(n, "state");
+  nl.mark_output(q, "y");
+
+  const Netlist back = from_text(to_text(nl));
+  ASSERT_EQ(back.num_nets(), nl.num_nets());
+  ASSERT_EQ(back.inputs().size(), 2u);
+  ASSERT_EQ(back.outputs().size(), 1u);
+  ASSERT_EQ(back.dffs().size(), 1u);
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    EXPECT_EQ(back.gate(id).type, nl.gate(id).type) << "net " << id;
+    EXPECT_EQ(back.gate(id).fanin0, nl.gate(id).fanin0) << "net " << id;
+    EXPECT_EQ(back.gate(id).fanin1, nl.gate(id).fanin1) << "net " << id;
+    EXPECT_EQ(back.gate(id).name, nl.gate(id).name) << "net " << id;
+  }
+  EXPECT_EQ(back.output_name(0), "y");
+}
+
+TEST(NetlistIo, RoundTrippedFirIsFunctionallyIdentical) {
+  const auto h = dsp::design_lowpass(13, 0.25);
+  const auto q = dsp::quantize_coefficients(h, 8);
+  const FirCircuit fir = build_fir(q, 8, 8);
+
+  const Netlist back = from_text(to_text(fir.netlist));
+  Bus in, out;
+  for (std::size_t i = 0; i < fir.input.width(); ++i) in.bits.push_back(back.inputs()[i]);
+  for (std::size_t i = 0; i < fir.output.width(); ++i) out.bits.push_back(back.outputs()[i]);
+
+  stats::Rng rng(4);
+  std::vector<std::int64_t> stim;
+  for (int i = 0; i < 128; ++i) {
+    stim.push_back(static_cast<std::int64_t>(rng.uniform_int(256)) - 128);
+  }
+  const auto y1 = simulate_good(fir.netlist, fir.input, fir.output, stim);
+  const auto y2 = simulate_good(back, in, out, stim);
+  EXPECT_EQ(y1, y2);
+}
+
+TEST(NetlistIo, IgnoresCommentsAndBlankLines) {
+  const Netlist nl = from_text(
+      "# header comment\n"
+      "\n"
+      "input a\n"
+      "# another comment\n"
+      "gate NOT 0 inv\n"
+      "output 1 y\n");
+  EXPECT_EQ(nl.num_nets(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(NetlistIo, RejectsMalformedInput) {
+  EXPECT_THROW(from_text("gate FROB 0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("gate AND 0 1\n"), std::invalid_argument);  // undeclared
+  EXPECT_THROW(from_text("input a\ngate AND 0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("output 5\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("input a\ndff 7\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("bogus\n"), std::invalid_argument);
+}
+
+TEST(NetlistIo, UnnamedCellsRoundTrip) {
+  Netlist nl;
+  const NetId a = nl.add_input("");
+  nl.add_gate(GateType::kBuf, a);
+  const Netlist back = from_text(to_text(nl));
+  EXPECT_EQ(back.num_nets(), 2u);
+  EXPECT_EQ(back.gate(1).type, GateType::kBuf);
+}
+
+}  // namespace
+}  // namespace msts::digital

@@ -1,0 +1,130 @@
+// Randomized property tests for the digital substrate: on randomly generated
+// sequential netlists, the 64-way parallel fault simulator must agree
+// exactly with one-fault-at-a-time simulation, and fault collapsing must
+// never change detectability.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "digital/fault_sim.h"
+#include "digital/netlist.h"
+#include "stats/rng.h"
+
+namespace msts::digital {
+namespace {
+
+struct RandomCircuit {
+  Netlist nl;
+  Bus in;
+  Bus out;
+};
+
+// Random DAG of gates over a small input bus, with a few DFFs sprinkled in.
+RandomCircuit make_random_circuit(stats::Rng& rng, std::size_t inputs,
+                                  std::size_t gates, std::size_t outputs) {
+  RandomCircuit c;
+  std::vector<NetId> pool;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    const NetId n = c.nl.add_input("i" + std::to_string(i));
+    c.in.bits.push_back(n);
+    pool.push_back(n);
+  }
+  const GateType kinds[] = {GateType::kAnd, GateType::kOr,  GateType::kNand,
+                            GateType::kNor, GateType::kXor, GateType::kXnor,
+                            GateType::kNot, GateType::kBuf};
+  for (std::size_t g = 0; g < gates; ++g) {
+    if (rng.uniform() < 0.12) {
+      pool.push_back(c.nl.add_dff(pool[rng.uniform_int(pool.size())]));
+      continue;
+    }
+    const GateType t = kinds[rng.uniform_int(8)];
+    const NetId a = pool[rng.uniform_int(pool.size())];
+    const NetId b = pool[rng.uniform_int(pool.size())];
+    pool.push_back(c.nl.add_gate(t, a, b));
+  }
+  for (std::size_t o = 0; o < outputs; ++o) {
+    const NetId n = pool[pool.size() - 1 - o];
+    c.nl.mark_output(n);
+    c.out.bits.push_back(n);
+  }
+  return c;
+}
+
+std::vector<std::int64_t> random_stimulus(stats::Rng& rng, std::size_t inputs,
+                                          std::size_t cycles) {
+  std::vector<std::int64_t> stim;
+  const std::int64_t hi = 1ll << (inputs - 1);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    stim.push_back(static_cast<std::int64_t>(rng.uniform_int(2 * hi)) - hi);
+  }
+  return stim;
+}
+
+class RandomCircuitProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuitProperty, ParallelAgreesWithSerialFaultSimulation) {
+  stats::Rng rng(GetParam());
+  const auto c = make_random_circuit(rng, 6, 80, 3);
+  const auto stim = random_stimulus(rng, 6, 48);
+  const Netlist expanded = c.nl.with_explicit_branches();
+  Bus ein, eout;
+  for (std::size_t i = 0; i < c.in.width(); ++i) ein.bits.push_back(expanded.inputs()[i]);
+  for (std::size_t i = 0; i < c.out.width(); ++i) eout.bits.push_back(expanded.outputs()[i]);
+
+  auto faults = collapsed_faults(expanded);
+  // Cap for runtime: a random prefix is representative.
+  if (faults.size() > 150) faults.resize(150);
+
+  const auto batch = simulate_faults(expanded, ein, eout, stim, faults);
+  for (std::size_t i = 0; i < faults.size(); i += 7) {
+    const Fault one[] = {faults[i]};
+    const auto serial = simulate_faults(expanded, ein, eout, stim, one);
+    ASSERT_EQ(serial.detected[0], batch.detected[i])
+        << describe(expanded, faults[i]) << " seed " << GetParam();
+  }
+}
+
+TEST_P(RandomCircuitProperty, EquivalentFaultsAreEquallyDetectable) {
+  stats::Rng rng(GetParam() ^ 0xABCDEFull);
+  const auto c = make_random_circuit(rng, 5, 60, 2);
+  const auto stim = random_stimulus(rng, 5, 64);
+  const Netlist expanded = c.nl.with_explicit_branches();
+  Bus ein, eout;
+  for (std::size_t i = 0; i < c.in.width(); ++i) ein.bits.push_back(expanded.inputs()[i]);
+  for (std::size_t i = 0; i < c.out.width(); ++i) eout.bits.push_back(expanded.outputs()[i]);
+
+  const auto all = all_faults(expanded);
+  const auto map = collapse_map(expanded);
+  const auto r = simulate_faults(expanded, ein, eout, stim, all);
+
+  // Every fault in an equivalence class must share its verdict.
+  std::map<std::uint32_t, bool> verdict;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const std::uint32_t rep = map[2 * all[i].net + (all[i].stuck_at_one ? 1 : 0)];
+    const auto it = verdict.find(rep);
+    if (it == verdict.end()) {
+      verdict[rep] = r.detected[i];
+    } else {
+      ASSERT_EQ(it->second, r.detected[i])
+          << "class " << rep << " inconsistent at " << describe(expanded, all[i])
+          << " seed " << GetParam();
+    }
+  }
+}
+
+TEST_P(RandomCircuitProperty, GoodMachineUnaffectedByInjectedFaults) {
+  stats::Rng rng(GetParam() ^ 0x5A5A5Aull);
+  const auto c = make_random_circuit(rng, 6, 70, 2);
+  const auto stim = random_stimulus(rng, 6, 32);
+  auto faults = all_faults(c.nl);
+  if (faults.size() > 120) faults.resize(120);
+  const auto with = simulate_faults(c.nl, c.in, c.out, stim, faults);
+  const auto without = simulate_good(c.nl, c.in, c.out, stim);
+  ASSERT_EQ(with.good_waveform, without) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitProperty,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace msts::digital

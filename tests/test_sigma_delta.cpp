@@ -1,0 +1,181 @@
+// Tests for the sigma-delta modulator (analog/sigma_delta.h) and the CIC
+// decimator (dsp/cic.h) — the alternative analog/digital interface the
+// paper names in sec. 1.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "analog/sigma_delta.h"
+#include "dsp/cic.h"
+#include "dsp/metrics.h"
+#include "dsp/spectrum.h"
+#include "dsp/tonegen.h"
+#include "stats/rng.h"
+
+namespace msts {
+namespace {
+
+constexpr double kFsOver = 8.192e6;  // oversampled rate
+
+analog::Signal tone(double freq, double amp, std::size_t n) {
+  const dsp::Tone t{freq, amp, 0.0};
+  analog::Signal s;
+  s.fs = kFsOver;
+  s.samples = dsp::generate_tones(std::span(&t, 1), 0.0, kFsOver, n);
+  return s;
+}
+
+TEST(SigmaDelta, BitstreamMeanTracksDcInput) {
+  analog::SigmaDeltaParams p;
+  const analog::SigmaDeltaModulator mod(p);
+  for (double dc : {-0.3, -0.1, 0.0, 0.2, 0.4}) {
+    analog::Signal in;
+    in.fs = kFsOver;
+    in.samples.assign(32768, dc);
+    const auto bits = mod.modulate(in);
+    const double mean =
+        std::accumulate(bits.begin(), bits.end(), 0.0) / static_cast<double>(bits.size());
+    EXPECT_NEAR(mean * p.vref, dc, 0.01) << "dc=" << dc;
+  }
+}
+
+TEST(SigmaDelta, NoiseIsShapedOutOfBand) {
+  // In-band noise must be far below the near-Nyquist shaped noise.
+  analog::SigmaDeltaParams p;
+  const analog::SigmaDeltaModulator mod(p);
+  const std::size_t n = 65536;
+  const double f = dsp::coherent_frequency(kFsOver, n, 20e3);
+  const auto bits = mod.modulate(tone(f, 0.25, n));
+  std::vector<double> stream(bits.begin(), bits.end());
+  const dsp::Spectrum s(stream, kFsOver, dsp::WindowType::kHann);
+  const double lo_noise = s.summed_power(s.nearest_bin(40e3), s.nearest_bin(60e3));
+  const double hi_noise =
+      s.summed_power(s.nearest_bin(3.0e6), s.nearest_bin(3.02e6));
+  EXPECT_GT(hi_noise / lo_noise, 100.0);  // > 20 dB of shaping
+}
+
+class SigmaDeltaEnob : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SigmaDeltaEnob, ResolutionGrowsWithOversampling) {
+  const std::size_t osr = GetParam();
+  analog::SigmaDeltaParams p;
+  const analog::SigmaDeltaModulator mod(p);
+  const dsp::CicDecimator cic(3, osr);
+
+  const std::size_t n_out = 2048;
+  const std::size_t n = n_out * osr;
+  const double fs_out = kFsOver / static_cast<double>(osr);
+  const double f = dsp::coherent_frequency(fs_out, n_out, fs_out * 0.013);
+
+  const auto bits = mod.modulate(tone(f, 0.25, n));
+  const auto dec = cic.decimate(std::span(bits.data(), bits.size()));
+  ASSERT_GE(dec.size(), n_out);
+  const std::vector<double> rec(dec.end() - static_cast<long>(n_out), dec.end());
+
+  dsp::AnalysisOptions ao;
+  ao.fundamentals = {f};
+  const auto rep = dsp::analyze_spectrum(
+      dsp::Spectrum(rec, fs_out, dsp::WindowType::kBlackmanHarris4), ao);
+
+  // 2nd-order modulator: ~15 dB SNR per octave of OSR. Loose floors only.
+  if (osr == 32) EXPECT_GT(rep.snr_db, 50.0);
+  if (osr == 64) EXPECT_GT(rep.snr_db, 62.0);
+  if (osr == 128) EXPECT_GT(rep.snr_db, 72.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Osr, SigmaDeltaEnob, ::testing::Values<std::size_t>(32, 64, 128));
+
+TEST(SigmaDelta, DacMismatchShowsAsOffsetNotDistortion) {
+  // A 1-bit feedback DAC is inherently linear — two levels always define a
+  // line — so a level error maps to offset/gain error, which is exactly how
+  // the attribute model should budget it.
+  analog::SigmaDeltaParams clean;
+  analog::SigmaDeltaParams dirty;
+  dirty.dac_mismatch_v = stats::Uncertain::exact(10e-3);
+
+  auto mean_out = [&](const analog::SigmaDeltaParams& p) {
+    const analog::SigmaDeltaModulator mod(p);
+    analog::Signal in;
+    in.fs = kFsOver;
+    in.samples.assign(65536, 0.0);
+    const auto bits = mod.modulate(in);
+    double m = std::accumulate(bits.begin(), bits.end(), 0.0) /
+               static_cast<double>(bits.size());
+    return m * p.vref;
+  };
+  const double offset_clean = mean_out(clean);
+  const double offset_dirty = mean_out(dirty);
+  EXPECT_NEAR(offset_clean, 0.0, 1e-3);
+  EXPECT_NEAR(offset_dirty, -5e-3, 1.5e-3);  // ~ -mismatch/2
+}
+
+TEST(SigmaDelta, SampledInstancesRespectTolerances) {
+  analog::SigmaDeltaParams p;
+  stats::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const auto mod = analog::SigmaDeltaModulator::sampled(p, rng);
+    EXPECT_GE(mod.actual_integrator_gain(), 1.0 + p.integrator_gain_error.lower());
+    EXPECT_LE(mod.actual_integrator_gain(), 1.0 + p.integrator_gain_error.upper());
+  }
+}
+
+TEST(SigmaDelta, RejectsBadConfig) {
+  analog::SigmaDeltaParams p;
+  p.order = 3;
+  EXPECT_THROW(analog::SigmaDeltaModulator{p}, std::invalid_argument);
+  analog::SigmaDeltaParams q;
+  q.vref = -1.0;
+  EXPECT_THROW(analog::SigmaDeltaModulator{q}, std::invalid_argument);
+}
+
+TEST(Cic, DcGainIsUnityAfterNormalisation) {
+  const dsp::CicDecimator cic(3, 16);
+  std::vector<double> dc(16 * 64, 0.7);
+  const auto out = cic.decimate(std::span(dc.data(), dc.size()));
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(out.back(), 0.7, 1e-5);  // after settling; 2^-20 quantisation
+}
+
+TEST(Cic, OutputLengthIsInputOverRatio) {
+  const dsp::CicDecimator cic(2, 8);
+  std::vector<int> x(800, 1);
+  EXPECT_EQ(cic.decimate(std::span(x.data(), x.size())).size(), 100u);
+}
+
+TEST(Cic, MagnitudeResponseHasNullsAtOutputRateMultiples) {
+  const dsp::CicDecimator cic(3, 16);
+  EXPECT_NEAR(cic.magnitude_at(0.0), 1.0, 1e-12);
+  // Nulls at k / R of the input rate.
+  EXPECT_NEAR(cic.magnitude_at(1.0 / 16.0), 0.0, 1e-9);
+  EXPECT_NEAR(cic.magnitude_at(2.0 / 16.0), 0.0, 1e-9);
+  // Modest droop inside the output band.
+  EXPECT_GT(cic.magnitude_at(0.25 / 16.0), 0.7);
+}
+
+TEST(Cic, ToneAttenuationMatchesClosedForm) {
+  const int stages = 3;
+  const std::size_t ratio = 16;
+  const dsp::CicDecimator cic(stages, ratio);
+  const std::size_t n_out = 1024;
+  const std::size_t n = n_out * ratio;
+  const double fs_out = kFsOver / static_cast<double>(ratio);
+  const double f = dsp::coherent_frequency(fs_out, n_out, fs_out * 0.1);
+
+  const auto in = dsp::generate_tones(
+      std::array{dsp::Tone{f, 0.5, 0.0}}, 0.0, kFsOver, n);
+  const auto out = cic.decimate(std::span(in.data(), in.size()));
+  const std::vector<double> rec(out.end() - n_out, out.end());
+  const dsp::Spectrum s(rec, fs_out, dsp::WindowType::kBlackmanHarris4);
+  const double measured = dsp::measure_tone(s, f).amplitude;
+  EXPECT_NEAR(measured / 0.5, cic.magnitude_at(f / kFsOver), 0.01);
+}
+
+TEST(Cic, RejectsBadConfig) {
+  EXPECT_THROW(dsp::CicDecimator(0, 8), std::invalid_argument);
+  EXPECT_THROW(dsp::CicDecimator(7, 8), std::invalid_argument);
+  EXPECT_THROW(dsp::CicDecimator(3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts

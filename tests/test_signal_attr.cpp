@@ -1,0 +1,74 @@
+// Tests for the signal-attribute model (core/signal_attr.h).
+#include "core/signal_attr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace msts::core {
+namespace {
+
+using stats::Uncertain;
+
+SignalAttributes two_tone_sig() {
+  SignalAttributes s = make_stimulus(
+      4e6, {ToneAttr{Uncertain::exact(300e3), Uncertain::exact(0.1), Uncertain::exact(0.0)},
+            ToneAttr{Uncertain::exact(500e3), Uncertain::exact(0.2), Uncertain::exact(0.0)}});
+  return s;
+}
+
+TEST(SignalAttributes, TotalTonePowerSums) {
+  const auto s = two_tone_sig();
+  EXPECT_NEAR(s.total_tone_power(), 0.1 * 0.1 / 2.0 + 0.2 * 0.2 / 2.0, 1e-12);
+}
+
+TEST(SignalAttributes, SnrUsesTrackedNoise) {
+  auto s = two_tone_sig();
+  s.noise_power = Uncertain::exact(1e-8);
+  const double expected =
+      db_from_power_ratio(s.total_tone_power() / 1e-8);
+  EXPECT_NEAR(s.snr_db(), expected, 1e-9);
+}
+
+TEST(SignalAttributes, WorstSpur) {
+  auto s = two_tone_sig();
+  EXPECT_DOUBLE_EQ(s.worst_spur_amplitude(), 0.0);
+  s.spurs.push_back(SpurAttr{1e6, Uncertain::exact(1e-4), "a"});
+  s.spurs.push_back(SpurAttr{2e6, Uncertain::exact(3e-4), "b"});
+  EXPECT_DOUBLE_EQ(s.worst_spur_amplitude(), 3e-4);
+}
+
+TEST(SignalAttributes, MinDetectableAmplitudeScalesWithNoise) {
+  auto s = two_tone_sig();
+  s.noise_power = Uncertain::exact(1e-8);
+  const double a1 = s.min_detectable_amplitude(10.0, 1024);
+  s.noise_power = Uncertain::exact(4e-8);
+  const double a2 = s.min_detectable_amplitude(10.0, 1024);
+  EXPECT_NEAR(a2 / a1, 2.0, 1e-9);  // amplitude goes as sqrt(power)
+  // More margin -> higher detectable level.
+  EXPECT_GT(s.min_detectable_amplitude(20.0, 1024), a2);
+  // More bins -> noise spread thinner -> lower detectable level.
+  EXPECT_LT(s.min_detectable_amplitude(10.0, 4096), a2);
+  EXPECT_THROW(s.min_detectable_amplitude(10.0, 1), std::invalid_argument);
+}
+
+TEST(SignalAttributes, MakeStimulusValidates) {
+  EXPECT_THROW(make_stimulus(0.0, {}), std::invalid_argument);
+  const auto s = make_stimulus(1e6, {});
+  EXPECT_DOUBLE_EQ(s.dc.nominal, 0.0);
+  EXPECT_DOUBLE_EQ(s.noise_power.nominal, 0.0);
+}
+
+TEST(SignalAttributes, ToStringMentionsKeyFacts) {
+  auto s = two_tone_sig();
+  s.spurs.push_back(SpurAttr{1e6, Uncertain::exact(1e-4), "x"});
+  const std::string str = to_string(s);
+  EXPECT_NE(str.find("tone"), std::string::npos);
+  EXPECT_NE(str.find("spurs"), std::string::npos);
+  EXPECT_NE(str.find("dc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msts::core

@@ -1,0 +1,187 @@
+// Tests for the word-parallel logic simulator (digital/sim.h), including
+// fault-mask injection and sequential behaviour.
+#include "digital/sim.h"
+
+#include <gtest/gtest.h>
+
+#include "digital/builder.h"
+
+namespace msts::digital {
+namespace {
+
+TEST(ParallelSimulator, EvaluatesAllGateTypes) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  struct Case {
+    GateType type;
+    bool expected[4];  // for (a,b) in {00,01,10,11}
+  };
+  const Case cases[] = {
+      {GateType::kAnd, {false, false, false, true}},
+      {GateType::kOr, {false, true, true, true}},
+      {GateType::kNand, {true, true, true, false}},
+      {GateType::kNor, {true, false, false, false}},
+      {GateType::kXor, {false, true, true, false}},
+      {GateType::kXnor, {true, false, false, true}},
+  };
+  std::vector<NetId> nets;
+  for (const Case& c : cases) nets.push_back(nl.add_gate(c.type, a, b));
+  const NetId nb = nl.add_gate(GateType::kNot, a);
+  const NetId bb = nl.add_gate(GateType::kBuf, a);
+
+  ParallelSimulator sim(nl);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      sim.set_input(a, av != 0);
+      sim.set_input(b, bv != 0);
+      sim.eval();
+      const int idx = av * 2 + bv;
+      for (std::size_t i = 0; i < nets.size(); ++i) {
+        EXPECT_EQ(sim.value_in_machine(nets[i], 0), cases[i].expected[idx])
+            << to_string(cases[i].type) << " a=" << av << " b=" << bv;
+      }
+      EXPECT_EQ(sim.value_in_machine(nb, 0), av == 0);
+      EXPECT_EQ(sim.value_in_machine(bb, 0), av != 0);
+    }
+  }
+}
+
+TEST(ParallelSimulator, ConstantsEvaluate) {
+  Netlist nl;
+  const NetId c0 = nl.add_const(false);
+  const NetId c1 = nl.add_const(true);
+  ParallelSimulator sim(nl);
+  sim.eval();
+  EXPECT_FALSE(sim.value_in_machine(c0, 0));
+  EXPECT_TRUE(sim.value_in_machine(c1, 17));
+}
+
+TEST(ParallelSimulator, BroadcastFillsAllMachines) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  ParallelSimulator sim(nl);
+  sim.set_input(a, true);
+  sim.eval();
+  EXPECT_EQ(sim.value(a), ~0ull);
+  for (int m = 0; m < 64; ++m) EXPECT_TRUE(sim.value_in_machine(a, m));
+}
+
+TEST(ParallelSimulator, StuckAtFaultsAffectOnlyTheirMachine) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g = nl.add_gate(GateType::kAnd, a, b);
+  ParallelSimulator sim(nl);
+  sim.inject(Fault{g, /*stuck_at_one=*/true}, 5);
+  sim.inject(Fault{a, /*stuck_at_one=*/false}, 9);
+  sim.set_input(a, true);
+  sim.set_input(b, false);
+  sim.eval();
+  // Good machine: AND(1,0) = 0. Machine 5: output stuck at 1.
+  EXPECT_FALSE(sim.value_in_machine(g, 0));
+  EXPECT_TRUE(sim.value_in_machine(g, 5));
+  // Machine 9: input a stuck at 0 -> AND still 0 here; check the net itself.
+  EXPECT_FALSE(sim.value_in_machine(a, 9));
+  EXPECT_TRUE(sim.value_in_machine(a, 0));
+  sim.clear_faults();
+  sim.eval();
+  EXPECT_FALSE(sim.value_in_machine(g, 5));
+  EXPECT_TRUE(sim.value_in_machine(a, 9));
+}
+
+TEST(ParallelSimulator, FaultPropagatesThroughLogic) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId inv = nl.add_gate(GateType::kNot, a);
+  const NetId buf = nl.add_gate(GateType::kBuf, inv);
+  ParallelSimulator sim(nl);
+  sim.inject(Fault{a, true}, 3);
+  sim.set_input(a, false);
+  sim.eval();
+  EXPECT_TRUE(sim.value_in_machine(buf, 0));   // good: NOT(0) = 1
+  EXPECT_FALSE(sim.value_in_machine(buf, 3));  // faulty: NOT(1) = 0
+}
+
+TEST(ParallelSimulator, DffShiftsOnClock) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q1 = nl.add_dff(a);
+  const NetId q2 = nl.add_dff(q1);
+  nl.mark_output(q2);
+  ParallelSimulator sim(nl);
+
+  const bool pattern[] = {true, false, true, true, false};
+  std::vector<bool> seen_q2;
+  for (bool v : pattern) {
+    sim.set_input(a, v);
+    sim.eval();
+    seen_q2.push_back(sim.value_in_machine(q2, 0));
+    sim.clock();
+  }
+  // q2 lags the input by two cycles, starting from reset state 0.
+  EXPECT_EQ(seen_q2[0], false);
+  EXPECT_EQ(seen_q2[1], false);
+  EXPECT_EQ(seen_q2[2], pattern[0]);
+  EXPECT_EQ(seen_q2[3], pattern[1]);
+  EXPECT_EQ(seen_q2[4], pattern[2]);
+}
+
+TEST(ParallelSimulator, ResetClearsState) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_dff(a);
+  ParallelSimulator sim(nl);
+  sim.set_input(a, true);
+  sim.eval();
+  sim.clock();
+  sim.eval();
+  EXPECT_TRUE(sim.value_in_machine(q, 0));
+  sim.reset_state();
+  sim.eval();
+  EXPECT_FALSE(sim.value_in_machine(q, 0));
+}
+
+TEST(ParallelSimulator, StateFaultPersistsAcrossCycles) {
+  // A stuck-at on a DFF output keeps overriding the latched value.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId q = nl.add_dff(a);
+  nl.mark_output(q);
+  ParallelSimulator sim(nl);
+  sim.inject(Fault{q, true}, 1);
+  sim.set_input(a, false);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    sim.eval();
+    EXPECT_FALSE(sim.value_in_machine(q, 0)) << "cycle " << cycle;
+    EXPECT_TRUE(sim.value_in_machine(q, 1)) << "cycle " << cycle;
+    sim.clock();
+  }
+}
+
+TEST(ParallelSimulator, BusRoundTripTwosComplement) {
+  Netlist nl;
+  NetlistBuilder b(nl);
+  const Bus bus = b.input_bus("x", 8);
+  ParallelSimulator sim(nl);
+  for (std::int64_t v : {0ll, 1ll, -1ll, 127ll, -128ll, 42ll, -37ll}) {
+    sim.set_bus(bus, v);
+    sim.eval();
+    EXPECT_EQ(sim.bus_value(bus, 0), v);
+    EXPECT_EQ(sim.bus_value(bus, 63), v);
+  }
+}
+
+TEST(ParallelSimulator, RejectsBadUsage) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId g = nl.add_gate(GateType::kNot, a);
+  ParallelSimulator sim(nl);
+  EXPECT_THROW(sim.set_input(g, true), std::invalid_argument);
+  EXPECT_THROW(sim.inject(Fault{99, false}, 0), std::invalid_argument);
+  EXPECT_THROW(sim.inject(Fault{a, false}, 64), std::invalid_argument);
+  EXPECT_THROW(sim.value_in_machine(a, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::digital

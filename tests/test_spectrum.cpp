@@ -1,0 +1,111 @@
+// Tests for windowed spectra (dsp/spectrum.h): amplitude calibration must be
+// window-independent for coherent tones, since translated tests compare tone
+// powers across different analysis settings.
+#include "dsp/spectrum.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+#include "dsp/tonegen.h"
+
+namespace msts::dsp {
+namespace {
+
+const WindowType kAllWindows[] = {
+    WindowType::kRectangular, WindowType::kHann,     WindowType::kHamming,
+    WindowType::kBlackman,    WindowType::kBlackmanHarris4, WindowType::kFlatTop,
+};
+
+class SpectrumCalibration : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(SpectrumCalibration, CoherentToneAmplitudeIsWindowIndependent) {
+  const double fs = 1e6;
+  const std::size_t n = 1024;
+  const double f = coherent_frequency(fs, n, 100e3);
+  const Tone tone{f, 0.8, 0.3};
+  const auto x = generate_tones(std::span(&tone, 1), 0.0, fs, n);
+  const Spectrum s(x, fs, GetParam());
+  const std::size_t k = s.nearest_bin(f);
+  EXPECT_NEAR(s.amplitude(k), 0.8, 0.01) << to_string(GetParam());
+}
+
+TEST_P(SpectrumCalibration, DcLevelRecovered) {
+  const double fs = 1e6;
+  const std::size_t n = 512;
+  const std::vector<double> x(n, 0.25);
+  const Spectrum s(x, fs, GetParam());
+  EXPECT_NEAR(s.amplitude(0), 0.25, 1e-9);
+  EXPECT_NEAR(s.power(0), 0.25 * 0.25, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, SpectrumCalibration, ::testing::ValuesIn(kAllWindows));
+
+TEST(Spectrum, BinBookkeeping) {
+  const double fs = 4e6;
+  const std::size_t n = 4096;
+  const std::vector<double> x(n, 0.0);
+  const Spectrum s(x, fs, WindowType::kHann);
+  EXPECT_EQ(s.record_length(), n);
+  EXPECT_EQ(s.num_bins(), n / 2 + 1);
+  EXPECT_DOUBLE_EQ(s.bin_width(), fs / static_cast<double>(n));
+  EXPECT_DOUBLE_EQ(s.freq_of_bin(10), 10.0 * fs / static_cast<double>(n));
+  EXPECT_EQ(s.nearest_bin(0.0), 0u);
+  EXPECT_EQ(s.nearest_bin(fs / 2.0), n / 2);
+  EXPECT_EQ(s.nearest_bin(1e12), n / 2);  // clamped
+  EXPECT_EQ(s.nearest_bin(s.freq_of_bin(100) + 0.4 * s.bin_width()), 100u);
+}
+
+TEST(Spectrum, TonePowerMatchesAmplitude) {
+  const double fs = 1e6;
+  const std::size_t n = 2048;
+  const double f = coherent_frequency(fs, n, 50e3);
+  const Tone tone{f, 2.0, 0.0};
+  const auto x = generate_tones(std::span(&tone, 1), 0.0, fs, n);
+  const Spectrum s(x, fs, WindowType::kRectangular);
+  const std::size_t k = s.nearest_bin(f);
+  EXPECT_NEAR(s.power(k), 2.0 * 2.0 / 2.0, 1e-6);  // A^2/2
+  EXPECT_NEAR(s.power_db(k), db_from_power_ratio(2.0), 1e-5);
+}
+
+TEST(Spectrum, SilenceIsDeepBelowAnyTone) {
+  const std::size_t n = 256;
+  const std::vector<double> x(n, 0.0);
+  const Spectrum s(x, 1e6, WindowType::kHann);
+  for (std::size_t k = 0; k < s.num_bins(); ++k) {
+    EXPECT_LT(s.power_db(k), -200.0);
+  }
+}
+
+TEST(Spectrum, SummedPowerAddsBins) {
+  const double fs = 1e6;
+  const std::size_t n = 1024;
+  const Tone tones[] = {{coherent_frequency(fs, n, 100e3), 1.0, 0.0},
+                        {coherent_frequency(fs, n, 200e3), 1.0, 0.0}};
+  const auto x = generate_tones(tones, 0.0, fs, n);
+  const Spectrum s(x, fs, WindowType::kRectangular);
+  // Both tones together carry 2 * A^2/2 = 1.0.
+  EXPECT_NEAR(s.summed_power(1, s.num_bins() - 1), 1.0, 1e-6);
+}
+
+TEST(Spectrum, RejectsBadInput) {
+  const std::vector<double> x(100, 0.0);  // not a power of two
+  EXPECT_THROW(Spectrum(x, 1e6, WindowType::kHann), std::invalid_argument);
+  const std::vector<double> y(128, 0.0);
+  EXPECT_THROW(Spectrum(y, -1.0, WindowType::kHann), std::invalid_argument);
+}
+
+TEST(Spectrum, PhaseOfCoherentTone) {
+  const double fs = 1e6;
+  const std::size_t n = 1024;
+  const double f = coherent_frequency(fs, n, 100e3);
+  const Tone tone{f, 1.0, 0.7};
+  const auto x = generate_tones(std::span(&tone, 1), 0.0, fs, n);
+  const Spectrum s(x, fs, WindowType::kRectangular);
+  EXPECT_NEAR(s.phase(s.nearest_bin(f)), 0.7, 1e-6);
+}
+
+}  // namespace
+}  // namespace msts::dsp

@@ -1,0 +1,109 @@
+// Tests for the end-to-end test-plan synthesizer (core/synthesizer.h).
+#include "core/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+namespace msts::core {
+namespace {
+
+path::PathConfig cfg() { return path::reference_path_config(); }
+
+TEST(TestSynthesizer, PlanCoversTableOneParameterSet) {
+  const TestSynthesizer synth(cfg());
+  const auto plan = synth.synthesize();
+  ASSERT_GE(plan.size(), 15u);
+
+  auto find = [&](const std::string& module, const std::string& param) -> const PlannedTest* {
+    for (const auto& t : plan) {
+      if (t.module == module && t.parameter == param) return &t;
+    }
+    return nullptr;
+  };
+  // Table 1 rows.
+  EXPECT_NE(find("amp", "Gain"), nullptr);
+  EXPECT_NE(find("amp", "IIP3"), nullptr);
+  EXPECT_NE(find("amp", "DC offset"), nullptr);
+  EXPECT_NE(find("amp", "HD3"), nullptr);
+  EXPECT_NE(find("mixer", "Gain"), nullptr);
+  EXPECT_NE(find("mixer", "IIP3"), nullptr);
+  EXPECT_NE(find("mixer", "LO isolation"), nullptr);
+  EXPECT_NE(find("mixer", "NF"), nullptr);
+  EXPECT_NE(find("mixer", "P1dB"), nullptr);
+  EXPECT_NE(find("lo", "Frequency error"), nullptr);
+  EXPECT_NE(find("lo", "Phase noise"), nullptr);
+  EXPECT_NE(find("lpf", "Passband gain"), nullptr);
+  EXPECT_NE(find("lpf", "f_c"), nullptr);
+  EXPECT_NE(find("lpf", "Stopband gain"), nullptr);
+  EXPECT_NE(find("lpf", "Dynamic range"), nullptr);
+  EXPECT_NE(find("adc", "Offset error"), nullptr);
+  EXPECT_NE(find("adc", "INL/DNL"), nullptr);
+  EXPECT_NE(find("adc", "NF / DR"), nullptr);
+}
+
+TEST(TestSynthesizer, MostTestsTranslateWithoutDft) {
+  // The abstract's claim: test translation yields a "precipitous reduction
+  // in DFT requirements" — most parameters must not need test points.
+  const TestSynthesizer synth(cfg());
+  const auto plan = synth.synthesize();
+  std::size_t translatable = 0;
+  std::size_t dft = 0;
+  for (const auto& t : plan) {
+    (t.translatable ? translatable : dft) += 1;
+  }
+  EXPECT_GT(translatable, 2 * dft);
+  EXPECT_GT(dft, 0u);  // and the analysis does find the real DFT cases
+}
+
+TEST(TestSynthesizer, StudiesAttachedToTableTwoParameters) {
+  const TestSynthesizer synth(cfg());
+  const auto plan = synth.synthesize();
+  std::size_t with_study = 0;
+  for (const auto& t : plan) {
+    if (t.has_study) {
+      ++with_study;
+      ASSERT_EQ(t.study.rows.size(), 3u);
+    }
+  }
+  EXPECT_EQ(with_study, 3u);  // IIP3, P1dB, f_c
+}
+
+TEST(TestSynthesizer, AdaptiveShrinksIip3Study) {
+  const TestSynthesizer adaptive(cfg(), true);
+  const TestSynthesizer nominal(cfg(), false);
+  const auto sa = adaptive.study_mixer_iip3();
+  const auto sn = nominal.study_mixer_iip3();
+  EXPECT_LT(sa.error_wc, sn.error_wc);
+  // Smaller error -> smaller losses at the Tol threshold.
+  EXPECT_LE(sa.row("Tol").outcome.fault_coverage_loss,
+            sn.row("Tol").outcome.fault_coverage_loss);
+}
+
+TEST(TestSynthesizer, TableTwoRowsFollowThePattern) {
+  const TestSynthesizer synth(cfg());
+  for (const auto& study : {synth.study_mixer_p1db(), synth.study_mixer_iip3(),
+                            synth.study_lpf_cutoff()}) {
+    const auto& tol = study.row("Tol").outcome;
+    const auto& loose = study.row("Tol-Err").outcome;
+    const auto& tight = study.row("Tol+Err").outcome;
+    EXPECT_NEAR(loose.yield_loss, 0.0, 1e-9) << study.parameter;
+    EXPECT_NEAR(tight.fault_coverage_loss, 0.0, 1e-9) << study.parameter;
+    EXPECT_GE(loose.fault_coverage_loss, tol.fault_coverage_loss) << study.parameter;
+    EXPECT_GE(tight.yield_loss, tol.yield_loss) << study.parameter;
+  }
+}
+
+TEST(TestSynthesizer, FormattersProduceReadableTables) {
+  const TestSynthesizer synth(cfg());
+  const auto plan = synth.synthesize();
+  const std::string table = format_plan(plan);
+  EXPECT_NE(table.find("module"), std::string::npos);
+  EXPECT_NE(table.find("mixer"), std::string::npos);
+  EXPECT_NE(table.find("DFT required"), std::string::npos);
+
+  const std::string study = format_study(synth.study_mixer_iip3());
+  EXPECT_NE(study.find("Tol-Err"), std::string::npos);
+  EXPECT_NE(study.find("FCL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msts::core

@@ -1,0 +1,111 @@
+// Tests for multi-tone stimulus generation and test-tone placement
+// (dsp/tonegen.h).
+#include "dsp/tonegen.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace msts::dsp {
+namespace {
+
+TEST(ToneGen, SingleToneMatchesClosedForm) {
+  const double fs = 48000.0;
+  const Tone t{1000.0, 0.5, 0.25};
+  const auto x = generate_tones(std::span(&t, 1), 0.1, fs, 64);
+  ASSERT_EQ(x.size(), 64u);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double expected =
+        0.1 + 0.5 * std::cos(kTwoPi * 1000.0 * static_cast<double>(i) / fs + 0.25);
+    EXPECT_NEAR(x[i], expected, 1e-12) << "i=" << i;
+  }
+}
+
+TEST(ToneGen, SumsTones) {
+  const double fs = 1e6;
+  const Tone tones[] = {{10e3, 1.0, 0.0}, {30e3, 0.5, 1.0}};
+  const auto both = generate_tones(tones, 0.0, fs, 32);
+  const auto first = generate_tones(std::span(tones, 1), 0.0, fs, 32);
+  const auto second = generate_tones(std::span(tones + 1, 1), 0.0, fs, 32);
+  for (std::size_t i = 0; i < both.size(); ++i) {
+    EXPECT_NEAR(both[i], first[i] + second[i], 1e-12);
+  }
+}
+
+TEST(ToneGen, EmptyToneListGivesDc) {
+  const auto x = generate_tones({}, 0.7, 1e6, 16);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.7);
+}
+
+TEST(CoherentFrequency, LandsOnOddBin) {
+  const double fs = 4e6;
+  const std::size_t n = 4096;
+  const double f = coherent_frequency(fs, n, 500e3);
+  const double bin = f / (fs / static_cast<double>(n));
+  EXPECT_NEAR(bin, std::round(bin), 1e-9);
+  EXPECT_EQ(static_cast<long long>(std::llround(bin)) % 2, 1);
+  EXPECT_NEAR(f, 500e3, 2.0 * fs / static_cast<double>(n));
+}
+
+TEST(CoherentFrequency, EvenBinAllowedWhenRequested) {
+  const double fs = 1024.0;
+  const std::size_t n = 1024;
+  const double f = coherent_frequency(fs, n, 100.0, /*odd_bin=*/false);
+  EXPECT_DOUBLE_EQ(f, 100.0);  // bin 100 exactly
+}
+
+TEST(CoherentFrequency, ClampsIntoValidRange) {
+  const double fs = 1000.0;
+  const std::size_t n = 64;
+  // Target far above Nyquist clamps below fs/2; target 0 clamps to bin >= 1.
+  EXPECT_LT(coherent_frequency(fs, n, 1e9), fs / 2.0);
+  EXPECT_GT(coherent_frequency(fs, n, 0.0), 0.0);
+}
+
+class TonePlacement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TonePlacement, TonesAreDistinctInBandAndIntermodClean) {
+  const double fs = 4e6;
+  const std::size_t n = 4096;
+  const double lo = 100e3;
+  const double hi = 900e3;
+  const auto freqs = place_test_tones(fs, n, lo, hi, GetParam());
+  ASSERT_EQ(freqs.size(), GetParam());
+
+  const double bw = fs / static_cast<double>(n);
+  std::set<std::int64_t> bins;
+  for (double f : freqs) {
+    EXPECT_GE(f, lo - bw);
+    EXPECT_LE(f, hi + bw);
+    const auto k = static_cast<std::int64_t>(std::llround(f / bw));
+    EXPECT_NEAR(f / bw, static_cast<double>(k), 1e-9);  // coherent
+    EXPECT_TRUE(bins.insert(k).second) << "duplicate tone bin " << k;
+  }
+  // No pairwise IM3/IM2/harmonic product may land on a fundamental bin.
+  for (std::int64_t a : bins) {
+    for (std::int64_t b : bins) {
+      if (a == b) continue;
+      const std::int64_t products[] = {2 * a - b, 2 * b - a, a + b,
+                                       std::abs(a - b), 2 * a, 3 * a};
+      for (std::int64_t p : products) {
+        EXPECT_EQ(bins.count(p), 0u)
+            << "product " << p << " of tones " << a << "," << b << " collides";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, TonePlacement, ::testing::Values<std::size_t>(1, 2, 3, 4));
+
+TEST(TonePlacement, RejectsBadBand) {
+  EXPECT_THROW(place_test_tones(1e6, 1024, 200e3, 100e3, 2), std::invalid_argument);
+  EXPECT_THROW(place_test_tones(1e6, 1024, 0.0, 600e3, 2), std::invalid_argument);
+  EXPECT_THROW(place_test_tones(1e6, 1024, 0.0, 100e3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::dsp

@@ -1,0 +1,108 @@
+// Tests for uncertain-value arithmetic (stats/uncertain.h), the numeric type
+// carried by signal-attribute propagation.
+#include "stats/uncertain.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+
+namespace msts::stats {
+namespace {
+
+TEST(Uncertain, ConstructionAndAccessors) {
+  const Uncertain u(10.0, 1.0, 0.3);
+  EXPECT_DOUBLE_EQ(u.nominal, 10.0);
+  EXPECT_DOUBLE_EQ(u.lower(), 9.0);
+  EXPECT_DOUBLE_EQ(u.upper(), 11.0);
+  EXPECT_DOUBLE_EQ(u.relative_wc(), 0.1);
+  EXPECT_DOUBLE_EQ(Uncertain::exact(5.0).wc, 0.0);
+}
+
+TEST(Uncertain, FromToleranceConvention) {
+  const auto u = Uncertain::from_tolerance(20.0, 3.0);
+  EXPECT_DOUBLE_EQ(u.wc, 3.0);
+  EXPECT_DOUBLE_EQ(u.sigma, 1.0);
+}
+
+TEST(Uncertain, AdditionAccumulatesWorstCaseLinearly) {
+  const Uncertain a(1.0, 0.5, 0.1);
+  const Uncertain b(2.0, 0.25, 0.2);
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s.nominal, 3.0);
+  EXPECT_DOUBLE_EQ(s.wc, 0.75);
+  EXPECT_NEAR(s.sigma, std::sqrt(0.1 * 0.1 + 0.2 * 0.2), 1e-12);
+}
+
+TEST(Uncertain, SubtractionStillAccumulatesError) {
+  // Errors never cancel in worst-case analysis.
+  const Uncertain a(5.0, 0.3, 0.1);
+  const Uncertain b(5.0, 0.3, 0.1);
+  const auto d = a - b;
+  EXPECT_DOUBLE_EQ(d.nominal, 0.0);
+  EXPECT_DOUBLE_EQ(d.wc, 0.6);
+}
+
+TEST(Uncertain, ScalarOperations) {
+  const Uncertain a(4.0, 0.4, 0.1);
+  const auto m = a * -2.5;
+  EXPECT_DOUBLE_EQ(m.nominal, -10.0);
+  EXPECT_DOUBLE_EQ(m.wc, 1.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).nominal, 8.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).wc, 0.2);
+  EXPECT_THROW(a / 0.0, std::invalid_argument);
+  EXPECT_DOUBLE_EQ((-a).nominal, -4.0);
+  EXPECT_DOUBLE_EQ((-a).wc, 0.4);
+}
+
+TEST(Uncertain, ProductPropagatesRelativeErrors) {
+  const Uncertain a(10.0, 1.0, 0.0);  // 10 % wc
+  const Uncertain b(2.0, 0.1, 0.0);   // 5 % wc
+  const auto p = multiply(a, b);
+  EXPECT_DOUBLE_EQ(p.nominal, 20.0);
+  EXPECT_NEAR(p.relative_wc(), 0.15, 1e-12);  // 10 % + 5 %
+}
+
+TEST(Uncertain, QuotientPropagatesRelativeErrors) {
+  const Uncertain a(10.0, 1.0, 0.0);
+  const Uncertain b(2.0, 0.1, 0.0);
+  const auto q = divide(a, b);
+  EXPECT_DOUBLE_EQ(q.nominal, 5.0);
+  EXPECT_NEAR(q.relative_wc(), 0.15, 1e-12);
+  EXPECT_THROW(divide(a, Uncertain::exact(0.0)), std::invalid_argument);
+}
+
+TEST(Uncertain, ApplyUsesDerivative) {
+  const Uncertain a(1.0, 0.01, 0.003);
+  const auto e = apply(a, std::exp, std::exp);
+  EXPECT_NEAR(e.nominal, std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e.wc, std::exp(1.0) * 0.01, 1e-12);
+}
+
+TEST(Uncertain, DbLinearRoundTrip) {
+  const Uncertain gain_db(15.0, 1.0, 0.33);
+  const auto lin = db_to_linear_amplitude(gain_db);
+  EXPECT_NEAR(lin.nominal, amplitude_ratio_from_db(15.0), 1e-12);
+  const auto back = linear_amplitude_to_db(lin);
+  EXPECT_NEAR(back.nominal, 15.0, 1e-9);
+  EXPECT_NEAR(back.wc, 1.0, 1e-9);
+  EXPECT_NEAR(back.sigma, 0.33, 1e-9);
+}
+
+TEST(Uncertain, DbErrorMapsToRelativeLinearError) {
+  // ±1 dB is about ±12 % in amplitude (first order: ln10/20 ≈ 0.115).
+  const auto lin = db_to_linear_amplitude(Uncertain(0.0, 1.0, 0.0));
+  EXPECT_NEAR(lin.relative_wc(), std::log(10.0) / 20.0, 1e-12);
+}
+
+TEST(Uncertain, StreamsReadably) {
+  std::ostringstream os;
+  os << Uncertain(1.5, 0.25, 0.1);
+  EXPECT_NE(os.str().find("1.5"), std::string::npos);
+  EXPECT_NE(os.str().find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msts::stats

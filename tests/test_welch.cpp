@@ -1,0 +1,78 @@
+// Tests for the Welch PSD estimator (dsp/welch.h).
+#include "dsp/welch.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+#include "dsp/tonegen.h"
+#include "stats/rng.h"
+
+namespace msts::dsp {
+namespace {
+
+TEST(Welch, RecoversCoherentToneLevel) {
+  const double fs = 1e6;
+  const std::size_t seg = 1024;
+  const double f = coherent_frequency(fs, seg, 100e3);
+  const Tone t{f, 0.5, 0.0};
+  const auto x = generate_tones(std::span(&t, 1), 0.0, fs, seg * 8);
+  const auto r = welch_psd(x, fs, seg);
+  const auto k = static_cast<std::size_t>(std::llround(f / r.bin_width));
+  EXPECT_NEAR(r.power[k], 0.5 * 0.5 / 2.0, 0.02);
+  EXPECT_EQ(r.segments, 15u);  // 50 % overlap
+}
+
+TEST(Welch, AveragingShrinksNoiseScatter) {
+  stats::Rng rng(7);
+  const double fs = 1e6;
+  std::vector<double> noise(64 * 1024);
+  for (double& v : noise) v = rng.normal(0.0, 1e-3);
+
+  auto scatter_db = [&](std::size_t record_segments) {
+    const std::size_t seg = 1024;
+    const auto r = welch_psd(
+        std::span(noise.data(), seg * record_segments), fs, seg);
+    // Spread of per-bin estimates around their mean, in dB.
+    double mean = 0.0;
+    for (std::size_t k = 10; k < r.power.size() - 10; ++k) mean += r.power[k];
+    mean /= static_cast<double>(r.power.size() - 20);
+    double var = 0.0;
+    for (std::size_t k = 10; k < r.power.size() - 10; ++k) {
+      var += (r.power[k] / mean - 1.0) * (r.power[k] / mean - 1.0);
+    }
+    return std::sqrt(var / static_cast<double>(r.power.size() - 20));
+  };
+
+  const double few = scatter_db(2);
+  const double many = scatter_db(64);
+  EXPECT_LT(many, few / 3.0);  // ~sqrt(segments) improvement
+}
+
+TEST(Welch, NoiseFloorMatchesInjectedLevel) {
+  stats::Rng rng(9);
+  const double fs = 4e6;
+  const double sigma = 2e-4;
+  std::vector<double> noise(32 * 512);
+  for (double& v : noise) v = rng.normal(0.0, sigma);
+  const auto r = welch_psd(noise, fs, 512, WindowType::kHann);
+  // Total noise power = sum of per-bin tone-equivalent powers / ENBW.
+  double total = 0.0;
+  for (std::size_t k = 1; k < r.power.size(); ++k) total += r.power[k];
+  total /= equivalent_noise_bandwidth(WindowType::kHann);
+  EXPECT_NEAR(total, sigma * sigma, 0.15 * sigma * sigma);
+}
+
+TEST(Welch, RejectsBadArguments) {
+  const std::vector<double> x(100, 0.0);
+  EXPECT_THROW(welch_psd(x, 1e6, 100), std::invalid_argument);   // not pow2
+  EXPECT_THROW(welch_psd(x, 1e6, 256), std::invalid_argument);   // too short
+  const std::vector<double> y(512, 0.0);
+  EXPECT_THROW(welch_psd(y, -1.0, 256), std::invalid_argument);
+  const auto r = welch_psd(y, 1e6, 256);
+  EXPECT_THROW(r.power_db(10000), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::dsp

@@ -1,0 +1,85 @@
+// Tests for analysis windows (dsp/window.h).
+#include "dsp/window.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace msts::dsp {
+namespace {
+
+const WindowType kAllWindows[] = {
+    WindowType::kRectangular, WindowType::kHann,     WindowType::kHamming,
+    WindowType::kBlackman,    WindowType::kBlackmanHarris4, WindowType::kFlatTop,
+};
+
+class WindowProperties : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowProperties, IsSymmetric) {
+  const auto w = make_window(101, GetParam());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST_P(WindowProperties, PeaksNearOneInTheMiddle) {
+  const auto w = make_window(101, GetParam());
+  EXPECT_NEAR(w[50], GetParam() == WindowType::kFlatTop ? 1.0 : 1.0, 6e-3);
+}
+
+TEST_P(WindowProperties, CoherentGainPositiveAndAtMostOne) {
+  const double cg = coherent_gain(GetParam());
+  EXPECT_GT(cg, 0.0);
+  EXPECT_LE(cg, 1.0 + 1e-12);
+}
+
+TEST_P(WindowProperties, EnbwAtLeastOne) {
+  // The rectangular window minimises ENBW at exactly 1 bin.
+  EXPECT_GE(equivalent_noise_bandwidth(GetParam()), 1.0 - 1e-12);
+}
+
+TEST_P(WindowProperties, MainLobeWidthPositive) {
+  EXPECT_GE(main_lobe_half_width(GetParam()), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWindows, WindowProperties, ::testing::ValuesIn(kAllWindows));
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(16, WindowType::kRectangular);
+  for (double v : w) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_DOUBLE_EQ(coherent_gain(WindowType::kRectangular), 1.0);
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowType::kRectangular), 1.0, 1e-12);
+}
+
+TEST(Window, KnownEnbwValues) {
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowType::kHann), 1.5, 0.01);
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowType::kHamming), 1.36, 0.01);
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowType::kBlackmanHarris4), 2.0, 0.02);
+  EXPECT_NEAR(equivalent_noise_bandwidth(WindowType::kFlatTop), 3.77, 0.05);
+}
+
+TEST(Window, HannEndpointsAreZero) {
+  const auto w = make_window(64, WindowType::kHann);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+}
+
+TEST(Window, LengthOneIsUnity) {
+  for (WindowType t : kAllWindows) {
+    const auto w = make_window(1, t);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, RejectsZeroLength) {
+  EXPECT_THROW(make_window(0, WindowType::kHann), std::invalid_argument);
+}
+
+TEST(Window, NamesAreDistinct) {
+  EXPECT_EQ(to_string(WindowType::kHann), "hann");
+  EXPECT_NE(to_string(WindowType::kBlackman), to_string(WindowType::kBlackmanHarris4));
+}
+
+}  // namespace
+}  // namespace msts::dsp

@@ -1,0 +1,137 @@
+// Tests for fault-coverage-loss / yield-loss evaluation (stats/yield.h),
+// the math behind the paper's Figs. 2 & 5 and Table 2.
+#include "stats/yield.h"
+
+#include <gtest/gtest.h>
+
+namespace msts::stats {
+namespace {
+
+TEST(SpecLimits, PassPredicates) {
+  EXPECT_TRUE(SpecLimits::at_least(2.0).passes(2.0));
+  EXPECT_TRUE(SpecLimits::at_least(2.0).passes(5.0));
+  EXPECT_FALSE(SpecLimits::at_least(2.0).passes(1.9));
+  EXPECT_TRUE(SpecLimits::at_most(2.0).passes(-10.0));
+  EXPECT_FALSE(SpecLimits::at_most(2.0).passes(2.1));
+  EXPECT_TRUE(SpecLimits::window(1.0, 2.0).passes(1.5));
+  EXPECT_FALSE(SpecLimits::window(1.0, 2.0).passes(2.5));
+  EXPECT_THROW(SpecLimits::window(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(SpecLimits, LoosenedAndTightened) {
+  const auto lb = SpecLimits::at_least(2.0).loosened(0.5);
+  EXPECT_TRUE(lb.passes(1.6));
+  const auto ub = SpecLimits::at_most(2.0).loosened(0.5);
+  EXPECT_TRUE(ub.passes(2.4));
+  const auto win = SpecLimits::window(1.0, 2.0).tightened(0.25);
+  EXPECT_FALSE(win.passes(1.1));
+  EXPECT_TRUE(win.passes(1.5));
+}
+
+TEST(EvaluateTest, PerfectMeasurementHasNoLoss) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.0);
+  const auto out = evaluate_test(param, spec, spec, ErrorModel::none());
+  EXPECT_NEAR(out.yield_loss, 0.0, 1e-9);
+  EXPECT_NEAR(out.fault_coverage_loss, 0.0, 1e-9);
+  EXPECT_NEAR(out.yield, 1.0 - normal_cdf(-2.0), 1e-6);
+}
+
+TEST(EvaluateTest, ErrorCreatesBothLosses) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.0);
+  const auto out =
+      evaluate_test(param, spec, spec, ErrorModel::uniform(0.5));
+  EXPECT_GT(out.yield_loss, 0.0);
+  EXPECT_GT(out.fault_coverage_loss, 0.0);
+}
+
+TEST(EvaluateTest, MoreErrorMoreLoss) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.0);
+  double prev_yl = 0.0, prev_fcl = 0.0;
+  for (double err : {0.1, 0.3, 0.6, 1.0}) {
+    const auto out = evaluate_test(param, spec, spec, ErrorModel::uniform(err));
+    EXPECT_GE(out.yield_loss, prev_yl);
+    EXPECT_GE(out.fault_coverage_loss, prev_fcl);
+    prev_yl = out.yield_loss;
+    prev_fcl = out.fault_coverage_loss;
+  }
+}
+
+TEST(EvaluateTest, GuardBandTradesFclForYl) {
+  // The paper's Table 2 structure: loosening the threshold (Thr = Tol - Err
+  // for a lower bound) zeroes yield loss but inflates fault coverage loss;
+  // tightening (Thr = Tol + Err) zeroes FCL but inflates yield loss.
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.0);
+  const double err = 0.5;
+  const auto model = ErrorModel::uniform(err);
+
+  const auto at_tol = evaluate_test(param, spec, spec, model);
+  const auto loose = evaluate_test(param, spec, spec.loosened(err), model);
+  const auto tight = evaluate_test(param, spec, spec.tightened(err), model);
+
+  EXPECT_NEAR(loose.yield_loss, 0.0, 1e-9);
+  EXPECT_GT(loose.fault_coverage_loss, at_tol.fault_coverage_loss);
+  EXPECT_NEAR(tight.fault_coverage_loss, 0.0, 1e-9);
+  EXPECT_GT(tight.yield_loss, at_tol.yield_loss);
+}
+
+TEST(EvaluateTest, TwoSidedSpecSymmetricCase) {
+  const Normal param{0.0, 1.0};
+  const auto spec = SpecLimits::window(-3.0, 3.0);
+  const auto out = evaluate_test(param, spec, spec, ErrorModel::none());
+  EXPECT_NEAR(out.yield, 0.9973, 1e-4);
+  EXPECT_NEAR(out.defect_rate, 0.0027, 1e-4);
+}
+
+TEST(EvaluateTest, GaussianErrorModel) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.0);
+  const auto out = evaluate_test(param, spec, spec, ErrorModel::gaussian(0.3));
+  EXPECT_GT(out.yield_loss, 0.0);
+  EXPECT_GT(out.fault_coverage_loss, 0.0);
+  EXPECT_LT(out.yield_loss, 0.05);
+}
+
+TEST(EvaluateTest, AgreesWithMonteCarlo) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  const auto model = ErrorModel::uniform(0.4);
+  const auto analytic = evaluate_test(param, spec, spec, model);
+  Rng rng(99);
+  const auto mc = evaluate_test_mc(param, spec, spec, model, rng, 400000);
+  EXPECT_NEAR(mc.yield, analytic.yield, 0.003);
+  EXPECT_NEAR(mc.yield_loss, analytic.yield_loss, 0.003);
+  EXPECT_NEAR(mc.fault_coverage_loss, analytic.fault_coverage_loss, 0.02);
+  EXPECT_NEAR(mc.accept_rate, analytic.accept_rate, 0.003);
+}
+
+TEST(EvaluateTest, UpperBoundSpecWorks) {
+  // e.g. noise figure must be at most 8 dB.
+  const Normal param{7.0, 0.5};
+  const auto spec = SpecLimits::at_most(8.0);
+  const auto out = evaluate_test(param, spec, spec, ErrorModel::uniform(0.25));
+  EXPECT_GT(out.yield, 0.95);
+  EXPECT_GT(out.yield_loss, 0.0);
+  EXPECT_GT(out.fault_coverage_loss, 0.0);
+}
+
+TEST(EvaluateTest, RejectsBadArguments) {
+  const Normal param{0.0, 0.0};
+  const auto spec = SpecLimits::at_least(0.0);
+  EXPECT_THROW(evaluate_test(param, spec, spec, ErrorModel::none()),
+               std::invalid_argument);
+  const Normal ok{0.0, 1.0};
+  EXPECT_THROW(evaluate_test(ok, spec, spec, ErrorModel::none(), 10),
+               std::invalid_argument);
+  EXPECT_THROW(ErrorModel::uniform(-1.0), std::invalid_argument);
+  EXPECT_THROW(ErrorModel::gaussian(-1.0), std::invalid_argument);
+  Rng rng(1);
+  EXPECT_THROW(evaluate_test_mc(ok, spec, spec, ErrorModel::none(), rng, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace msts::stats
