@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diagnosis.dir/bench_ablation_diagnosis.cpp.o"
+  "CMakeFiles/bench_ablation_diagnosis.dir/bench_ablation_diagnosis.cpp.o.d"
+  "bench_ablation_diagnosis"
+  "bench_ablation_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

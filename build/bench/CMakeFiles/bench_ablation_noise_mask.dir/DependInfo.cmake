@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_noise_mask.cpp" "bench/CMakeFiles/bench_ablation_noise_mask.dir/bench_ablation_noise_mask.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_noise_mask.dir/bench_ablation_noise_mask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/msts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/path/CMakeFiles/msts_path.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/msts_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/msts_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/msts_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/msts_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

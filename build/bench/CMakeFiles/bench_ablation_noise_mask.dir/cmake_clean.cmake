@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_noise_mask.dir/bench_ablation_noise_mask.cpp.o"
+  "CMakeFiles/bench_ablation_noise_mask.dir/bench_ablation_noise_mask.cpp.o.d"
+  "bench_ablation_noise_mask"
+  "bench_ablation_noise_mask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_noise_mask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

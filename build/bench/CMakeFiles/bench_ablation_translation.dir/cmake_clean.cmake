@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_translation.dir/bench_ablation_translation.cpp.o"
+  "CMakeFiles/bench_ablation_translation.dir/bench_ablation_translation.cpp.o.d"
+  "bench_ablation_translation"
+  "bench_ablation_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

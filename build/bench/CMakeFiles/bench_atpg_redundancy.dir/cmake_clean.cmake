@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atpg_redundancy.dir/bench_atpg_redundancy.cpp.o"
+  "CMakeFiles/bench_atpg_redundancy.dir/bench_atpg_redundancy.cpp.o.d"
+  "bench_atpg_redundancy"
+  "bench_atpg_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atpg_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

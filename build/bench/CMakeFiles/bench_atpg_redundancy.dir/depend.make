@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_atpg_redundancy.
+# This may be replaced when dependencies are built.

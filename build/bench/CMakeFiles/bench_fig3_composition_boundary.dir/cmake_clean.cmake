@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_composition_boundary.dir/bench_fig3_composition_boundary.cpp.o"
+  "CMakeFiles/bench_fig3_composition_boundary.dir/bench_fig3_composition_boundary.cpp.o.d"
+  "bench_fig3_composition_boundary"
+  "bench_fig3_composition_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_composition_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_fault_coverage.dir/bench_sec5_fault_coverage.cpp.o"
+  "CMakeFiles/bench_sec5_fault_coverage.dir/bench_sec5_fault_coverage.cpp.o.d"
+  "bench_sec5_fault_coverage"
+  "bench_sec5_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_test_plan.dir/bench_table1_test_plan.cpp.o"
+  "CMakeFiles/bench_table1_test_plan.dir/bench_table1_test_plan.cpp.o.d"
+  "bench_table1_test_plan"
+  "bench_table1_test_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_test_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fcl_yl.dir/bench_table2_fcl_yl.cpp.o"
+  "CMakeFiles/bench_table2_fcl_yl.dir/bench_table2_fcl_yl.cpp.o.d"
+  "bench_table2_fcl_yl"
+  "bench_table2_fcl_yl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fcl_yl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table2_fcl_yl.
+# This may be replaced when dependencies are built.

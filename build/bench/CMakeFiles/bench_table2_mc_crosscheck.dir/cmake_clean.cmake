@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mc_crosscheck.dir/bench_table2_mc_crosscheck.cpp.o"
+  "CMakeFiles/bench_table2_mc_crosscheck.dir/bench_table2_mc_crosscheck.cpp.o.d"
+  "bench_table2_mc_crosscheck"
+  "bench_table2_mc_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mc_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_accuracy.dir/adaptive_accuracy.cpp.o"
+  "CMakeFiles/adaptive_accuracy.dir/adaptive_accuracy.cpp.o.d"
+  "adaptive_accuracy"
+  "adaptive_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_receiver_testplan.dir/comm_receiver_testplan.cpp.o"
+  "CMakeFiles/comm_receiver_testplan.dir/comm_receiver_testplan.cpp.o.d"
+  "comm_receiver_testplan"
+  "comm_receiver_testplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_receiver_testplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

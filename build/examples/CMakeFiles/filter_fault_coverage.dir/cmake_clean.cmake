@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_fault_coverage.dir/filter_fault_coverage.cpp.o"
+  "CMakeFiles/filter_fault_coverage.dir/filter_fault_coverage.cpp.o.d"
+  "filter_fault_coverage"
+  "filter_fault_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_fault_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

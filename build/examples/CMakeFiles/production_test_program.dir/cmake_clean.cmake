@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_test_program.dir/production_test_program.cpp.o"
+  "CMakeFiles/production_test_program.dir/production_test_program.cpp.o.d"
+  "production_test_program"
+  "production_test_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

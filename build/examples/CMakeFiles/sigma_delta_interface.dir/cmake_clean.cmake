@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigma_delta_interface.dir/sigma_delta_interface.cpp.o"
+  "CMakeFiles/sigma_delta_interface.dir/sigma_delta_interface.cpp.o.d"
+  "sigma_delta_interface"
+  "sigma_delta_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigma_delta_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

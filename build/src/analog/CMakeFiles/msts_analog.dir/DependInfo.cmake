@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/adc.cpp" "src/analog/CMakeFiles/msts_analog.dir/adc.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/adc.cpp.o.d"
+  "/root/repo/src/analog/adc_histogram.cpp" "src/analog/CMakeFiles/msts_analog.dir/adc_histogram.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/adc_histogram.cpp.o.d"
+  "/root/repo/src/analog/amp.cpp" "src/analog/CMakeFiles/msts_analog.dir/amp.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/amp.cpp.o.d"
+  "/root/repo/src/analog/lo.cpp" "src/analog/CMakeFiles/msts_analog.dir/lo.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/lo.cpp.o.d"
+  "/root/repo/src/analog/lpf.cpp" "src/analog/CMakeFiles/msts_analog.dir/lpf.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/lpf.cpp.o.d"
+  "/root/repo/src/analog/mixer.cpp" "src/analog/CMakeFiles/msts_analog.dir/mixer.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/mixer.cpp.o.d"
+  "/root/repo/src/analog/noise.cpp" "src/analog/CMakeFiles/msts_analog.dir/noise.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/noise.cpp.o.d"
+  "/root/repo/src/analog/sigma_delta.cpp" "src/analog/CMakeFiles/msts_analog.dir/sigma_delta.cpp.o" "gcc" "src/analog/CMakeFiles/msts_analog.dir/sigma_delta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/msts_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/msts_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msts_analog.dir/adc.cpp.o"
+  "CMakeFiles/msts_analog.dir/adc.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/adc_histogram.cpp.o"
+  "CMakeFiles/msts_analog.dir/adc_histogram.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/amp.cpp.o"
+  "CMakeFiles/msts_analog.dir/amp.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/lo.cpp.o"
+  "CMakeFiles/msts_analog.dir/lo.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/lpf.cpp.o"
+  "CMakeFiles/msts_analog.dir/lpf.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/mixer.cpp.o"
+  "CMakeFiles/msts_analog.dir/mixer.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/noise.cpp.o"
+  "CMakeFiles/msts_analog.dir/noise.cpp.o.d"
+  "CMakeFiles/msts_analog.dir/sigma_delta.cpp.o"
+  "CMakeFiles/msts_analog.dir/sigma_delta.cpp.o.d"
+  "libmsts_analog.a"
+  "libmsts_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msts_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

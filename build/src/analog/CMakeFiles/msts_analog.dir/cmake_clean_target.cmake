@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmsts_analog.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attr_models.cpp" "src/core/CMakeFiles/msts_core.dir/attr_models.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/attr_models.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/core/CMakeFiles/msts_core.dir/coverage.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/coverage.cpp.o.d"
+  "/root/repo/src/core/dft_advisor.cpp" "src/core/CMakeFiles/msts_core.dir/dft_advisor.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/dft_advisor.cpp.o.d"
+  "/root/repo/src/core/diagnosis.cpp" "src/core/CMakeFiles/msts_core.dir/diagnosis.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/diagnosis.cpp.o.d"
+  "/root/repo/src/core/digital_test.cpp" "src/core/CMakeFiles/msts_core.dir/digital_test.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/digital_test.cpp.o.d"
+  "/root/repo/src/core/mc_validation.cpp" "src/core/CMakeFiles/msts_core.dir/mc_validation.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/mc_validation.cpp.o.d"
+  "/root/repo/src/core/signal_attr.cpp" "src/core/CMakeFiles/msts_core.dir/signal_attr.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/signal_attr.cpp.o.d"
+  "/root/repo/src/core/spec_backprop.cpp" "src/core/CMakeFiles/msts_core.dir/spec_backprop.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/spec_backprop.cpp.o.d"
+  "/root/repo/src/core/synthesizer.cpp" "src/core/CMakeFiles/msts_core.dir/synthesizer.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/core/test_program.cpp" "src/core/CMakeFiles/msts_core.dir/test_program.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/test_program.cpp.o.d"
+  "/root/repo/src/core/translation.cpp" "src/core/CMakeFiles/msts_core.dir/translation.cpp.o" "gcc" "src/core/CMakeFiles/msts_core.dir/translation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/path/CMakeFiles/msts_path.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/msts_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/digital/CMakeFiles/msts_digital.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/msts_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/msts_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msts_core.dir/attr_models.cpp.o"
+  "CMakeFiles/msts_core.dir/attr_models.cpp.o.d"
+  "CMakeFiles/msts_core.dir/coverage.cpp.o"
+  "CMakeFiles/msts_core.dir/coverage.cpp.o.d"
+  "CMakeFiles/msts_core.dir/dft_advisor.cpp.o"
+  "CMakeFiles/msts_core.dir/dft_advisor.cpp.o.d"
+  "CMakeFiles/msts_core.dir/diagnosis.cpp.o"
+  "CMakeFiles/msts_core.dir/diagnosis.cpp.o.d"
+  "CMakeFiles/msts_core.dir/digital_test.cpp.o"
+  "CMakeFiles/msts_core.dir/digital_test.cpp.o.d"
+  "CMakeFiles/msts_core.dir/mc_validation.cpp.o"
+  "CMakeFiles/msts_core.dir/mc_validation.cpp.o.d"
+  "CMakeFiles/msts_core.dir/signal_attr.cpp.o"
+  "CMakeFiles/msts_core.dir/signal_attr.cpp.o.d"
+  "CMakeFiles/msts_core.dir/spec_backprop.cpp.o"
+  "CMakeFiles/msts_core.dir/spec_backprop.cpp.o.d"
+  "CMakeFiles/msts_core.dir/synthesizer.cpp.o"
+  "CMakeFiles/msts_core.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/msts_core.dir/test_program.cpp.o"
+  "CMakeFiles/msts_core.dir/test_program.cpp.o.d"
+  "CMakeFiles/msts_core.dir/translation.cpp.o"
+  "CMakeFiles/msts_core.dir/translation.cpp.o.d"
+  "libmsts_core.a"
+  "libmsts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/digital/atpg.cpp" "src/digital/CMakeFiles/msts_digital.dir/atpg.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/atpg.cpp.o.d"
+  "/root/repo/src/digital/builder.cpp" "src/digital/CMakeFiles/msts_digital.dir/builder.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/builder.cpp.o.d"
+  "/root/repo/src/digital/fault_sim.cpp" "src/digital/CMakeFiles/msts_digital.dir/fault_sim.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/digital/faults.cpp" "src/digital/CMakeFiles/msts_digital.dir/faults.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/faults.cpp.o.d"
+  "/root/repo/src/digital/fir.cpp" "src/digital/CMakeFiles/msts_digital.dir/fir.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/fir.cpp.o.d"
+  "/root/repo/src/digital/logic.cpp" "src/digital/CMakeFiles/msts_digital.dir/logic.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/logic.cpp.o.d"
+  "/root/repo/src/digital/netlist.cpp" "src/digital/CMakeFiles/msts_digital.dir/netlist.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/netlist.cpp.o.d"
+  "/root/repo/src/digital/netlist_io.cpp" "src/digital/CMakeFiles/msts_digital.dir/netlist_io.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/netlist_io.cpp.o.d"
+  "/root/repo/src/digital/sim.cpp" "src/digital/CMakeFiles/msts_digital.dir/sim.cpp.o" "gcc" "src/digital/CMakeFiles/msts_digital.dir/sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

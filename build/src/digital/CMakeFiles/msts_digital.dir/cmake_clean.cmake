@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msts_digital.dir/atpg.cpp.o"
+  "CMakeFiles/msts_digital.dir/atpg.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/builder.cpp.o"
+  "CMakeFiles/msts_digital.dir/builder.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/fault_sim.cpp.o"
+  "CMakeFiles/msts_digital.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/faults.cpp.o"
+  "CMakeFiles/msts_digital.dir/faults.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/fir.cpp.o"
+  "CMakeFiles/msts_digital.dir/fir.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/logic.cpp.o"
+  "CMakeFiles/msts_digital.dir/logic.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/netlist.cpp.o"
+  "CMakeFiles/msts_digital.dir/netlist.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/netlist_io.cpp.o"
+  "CMakeFiles/msts_digital.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/msts_digital.dir/sim.cpp.o"
+  "CMakeFiles/msts_digital.dir/sim.cpp.o.d"
+  "libmsts_digital.a"
+  "libmsts_digital.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msts_digital.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/cic.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/cic.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/cic.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir_design.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/fir_design.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/fir_design.cpp.o.d"
+  "/root/repo/src/dsp/metrics.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/metrics.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/metrics.cpp.o.d"
+  "/root/repo/src/dsp/spectrum.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/spectrum.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/spectrum.cpp.o.d"
+  "/root/repo/src/dsp/tonegen.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/tonegen.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/tonegen.cpp.o.d"
+  "/root/repo/src/dsp/welch.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/welch.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/welch.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/msts_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/msts_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

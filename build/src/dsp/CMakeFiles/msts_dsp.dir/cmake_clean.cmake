@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msts_dsp.dir/cic.cpp.o"
+  "CMakeFiles/msts_dsp.dir/cic.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/fft.cpp.o"
+  "CMakeFiles/msts_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/fir_design.cpp.o"
+  "CMakeFiles/msts_dsp.dir/fir_design.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/metrics.cpp.o"
+  "CMakeFiles/msts_dsp.dir/metrics.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/spectrum.cpp.o"
+  "CMakeFiles/msts_dsp.dir/spectrum.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/tonegen.cpp.o"
+  "CMakeFiles/msts_dsp.dir/tonegen.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/welch.cpp.o"
+  "CMakeFiles/msts_dsp.dir/welch.cpp.o.d"
+  "CMakeFiles/msts_dsp.dir/window.cpp.o"
+  "CMakeFiles/msts_dsp.dir/window.cpp.o.d"
+  "libmsts_dsp.a"
+  "libmsts_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msts_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

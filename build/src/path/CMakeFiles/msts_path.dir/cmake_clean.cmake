@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msts_path.dir/measurements.cpp.o"
+  "CMakeFiles/msts_path.dir/measurements.cpp.o.d"
+  "CMakeFiles/msts_path.dir/receiver_path.cpp.o"
+  "CMakeFiles/msts_path.dir/receiver_path.cpp.o.d"
+  "libmsts_path.a"
+  "libmsts_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msts_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

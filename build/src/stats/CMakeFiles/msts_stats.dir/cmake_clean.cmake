@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/msts_stats.dir/distributions.cpp.o"
+  "CMakeFiles/msts_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/msts_stats.dir/monte_carlo.cpp.o"
+  "CMakeFiles/msts_stats.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/msts_stats.dir/rng.cpp.o"
+  "CMakeFiles/msts_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/msts_stats.dir/uncertain.cpp.o"
+  "CMakeFiles/msts_stats.dir/uncertain.cpp.o.d"
+  "CMakeFiles/msts_stats.dir/yield.cpp.o"
+  "CMakeFiles/msts_stats.dir/yield.cpp.o.d"
+  "libmsts_stats.a"
+  "libmsts_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/msts_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

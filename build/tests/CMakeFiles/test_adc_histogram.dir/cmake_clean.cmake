@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adc_histogram.dir/test_adc_histogram.cpp.o"
+  "CMakeFiles/test_adc_histogram.dir/test_adc_histogram.cpp.o.d"
+  "test_adc_histogram"
+  "test_adc_histogram.pdb"
+  "test_adc_histogram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adc_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog_blocks.dir/test_analog_blocks.cpp.o"
+  "CMakeFiles/test_analog_blocks.dir/test_analog_blocks.cpp.o.d"
+  "test_analog_blocks"
+  "test_analog_blocks.pdb"
+  "test_analog_blocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

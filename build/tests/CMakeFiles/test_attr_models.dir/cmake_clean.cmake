@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attr_models.dir/test_attr_models.cpp.o"
+  "CMakeFiles/test_attr_models.dir/test_attr_models.cpp.o.d"
+  "test_attr_models"
+  "test_attr_models.pdb"
+  "test_attr_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attr_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

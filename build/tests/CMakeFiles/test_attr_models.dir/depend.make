@@ -1,0 +1,2 @@
+# Empty dependencies file for test_attr_models.
+# This may be replaced when dependencies are built.

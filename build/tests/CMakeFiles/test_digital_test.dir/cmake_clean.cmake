@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digital_test.dir/test_digital_test.cpp.o"
+  "CMakeFiles/test_digital_test.dir/test_digital_test.cpp.o.d"
+  "test_digital_test"
+  "test_digital_test.pdb"
+  "test_digital_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digital_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

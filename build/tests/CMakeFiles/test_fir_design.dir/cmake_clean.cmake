@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fir_design.dir/test_fir_design.cpp.o"
+  "CMakeFiles/test_fir_design.dir/test_fir_design.cpp.o.d"
+  "test_fir_design"
+  "test_fir_design.pdb"
+  "test_fir_design[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fir_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

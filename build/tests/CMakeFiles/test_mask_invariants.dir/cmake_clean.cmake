@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mask_invariants.dir/test_mask_invariants.cpp.o"
+  "CMakeFiles/test_mask_invariants.dir/test_mask_invariants.cpp.o.d"
+  "test_mask_invariants"
+  "test_mask_invariants.pdb"
+  "test_mask_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mask_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

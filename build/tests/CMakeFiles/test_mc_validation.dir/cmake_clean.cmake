@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mc_validation.dir/test_mc_validation.cpp.o"
+  "CMakeFiles/test_mc_validation.dir/test_mc_validation.cpp.o.d"
+  "test_mc_validation"
+  "test_mc_validation.pdb"
+  "test_mc_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mc_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receiver_path.dir/test_receiver_path.cpp.o"
+  "CMakeFiles/test_receiver_path.dir/test_receiver_path.cpp.o.d"
+  "test_receiver_path"
+  "test_receiver_path.pdb"
+  "test_receiver_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receiver_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signal_attr.dir/test_signal_attr.cpp.o"
+  "CMakeFiles/test_signal_attr.dir/test_signal_attr.cpp.o.d"
+  "test_signal_attr"
+  "test_signal_attr.pdb"
+  "test_signal_attr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signal_attr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec_backprop.dir/test_spec_backprop.cpp.o"
+  "CMakeFiles/test_spec_backprop.dir/test_spec_backprop.cpp.o.d"
+  "test_spec_backprop"
+  "test_spec_backprop.pdb"
+  "test_spec_backprop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec_backprop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

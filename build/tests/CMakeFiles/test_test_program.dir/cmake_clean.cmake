@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_test_program.dir/test_test_program.cpp.o"
+  "CMakeFiles/test_test_program.dir/test_test_program.cpp.o.d"
+  "test_test_program"
+  "test_test_program.pdb"
+  "test_test_program[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_test_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

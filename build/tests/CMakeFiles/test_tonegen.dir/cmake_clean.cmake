@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tonegen.dir/test_tonegen.cpp.o"
+  "CMakeFiles/test_tonegen.dir/test_tonegen.cpp.o.d"
+  "test_tonegen"
+  "test_tonegen.pdb"
+  "test_tonegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tonegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translation.dir/test_translation.cpp.o"
+  "CMakeFiles/test_translation.dir/test_translation.cpp.o.d"
+  "test_translation"
+  "test_translation.pdb"
+  "test_translation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uncertain.dir/test_uncertain.cpp.o"
+  "CMakeFiles/test_uncertain.dir/test_uncertain.cpp.o.d"
+  "test_uncertain"
+  "test_uncertain.pdb"
+  "test_uncertain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uncertain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_welch.dir/test_welch.cpp.o"
+  "CMakeFiles/test_welch.dir/test_welch.cpp.o.d"
+  "test_welch"
+  "test_welch.pdb"
+  "test_welch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_welch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
