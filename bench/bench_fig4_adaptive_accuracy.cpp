@@ -37,8 +37,8 @@ int main() {
     e_ad.push_back(tr.measure_mixer_iip3_dbm(dev, n1, true, opts) - actual);
     e_no.push_back(tr.measure_mixer_iip3_dbm(dev, n2, false, opts) - actual);
   }
-  const auto sa = stats::summarize(e_ad);
-  const auto sn = stats::summarize(e_no);
+  const auto sa = stats::summarize(std::move(e_ad));
+  const auto sn = stats::summarize(std::move(e_no));
 
   std::printf("observed estimate error over %d paths (dB):\n", kTrials);
   std::printf("%-10s %8s %8s %8s %8s %8s\n", "method", "mean", "stddev", "p05", "p95",

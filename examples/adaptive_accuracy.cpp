@@ -39,8 +39,8 @@ int main() {
     err_nominal.push_back(std::abs(nominal - actual));
   }
 
-  const auto sa = stats::summarize(err_adaptive);
-  const auto sn = stats::summarize(err_nominal);
+  const auto sa = stats::summarize(std::move(err_adaptive));
+  const auto sn = stats::summarize(std::move(err_nominal));
   std::printf("\n|error| mean: adaptive %.3f dB vs nominal %.3f dB (max %.3f vs %.3f)\n",
               sa.mean, sn.mean, sa.max, sn.max);
   std::printf("Adaptive wins when the post-mixer gains sit away from nominal — the\n"

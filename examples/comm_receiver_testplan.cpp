@@ -56,17 +56,16 @@ int main() {
     fc_err.push_back((f_est - f_act) / 1e3);
   }
 
-  auto report = [](const char* name, const std::vector<double>& errs,
-                   const char* unit) {
-    const auto s = stats::summarize(errs);
+  auto report = [](const char* name, std::vector<double> errs, const char* unit) {
+    const auto s = stats::summarize(std::move(errs));
     std::printf("  %-10s mean err %+7.3f %s, spread (p05..p95) [%+.3f, %+.3f]\n",
                 name, s.mean, unit, s.p05, s.p95);
   };
   std::printf("\nTranslated-measurement error summary:\n");
-  report("path gain", gain_err, "dB");
-  report("IIP3", iip3_err, "dB");
-  report("P1dB", p1db_err, "dB");
-  report("f_c", fc_err, "kHz");
+  report("path gain", std::move(gain_err), "dB");
+  report("IIP3", std::move(iip3_err), "dB");
+  report("P1dB", std::move(p1db_err), "dB");
+  report("f_c", std::move(fc_err), "kHz");
 
   std::printf("\nStatic error budgets (worst case):\n");
   std::printf("  IIP3 adaptive  ±%.2f dB | IIP3 nominal ±%.2f dB | P1dB ±%.2f dB | "

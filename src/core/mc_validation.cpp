@@ -1,16 +1,18 @@
 #include "core/mc_validation.h"
 
 #include <cmath>
+#include <vector>
 
 #include "base/require.h"
 #include "core/translation.h"
+#include "stats/parallel.h"
 
 namespace msts::core {
 
 McValidation validate_iip3_study_mc(const path::PathConfig& config,
                                     const ParameterStudy& study, int trials,
                                     stats::Rng& rng, bool adaptive,
-                                    const path::MeasureOptions& opts) {
+                                    const path::MeasureOptions& opts, int threads) {
   MSTS_REQUIRE(trials >= 10, "need at least 10 trials");
 
   // The test program is synthesized once from the *nominal* description —
@@ -27,30 +29,49 @@ McValidation validate_iip3_study_mc(const path::PathConfig& config,
   const double lo = study.population.mean - 4.0 * study.population.sigma;
   const double hi = study.population.mean + 4.0 * study.population.sigma;
 
-  double w_good_reject = 0.0;
-  double w_faulty_accept = 0.0;
-  double abs_err_sum = 0.0;
+  // Each trial manufactures and measures a whole device on its own RNG
+  // stream; the records land in trial order and are reduced serially below,
+  // so the sums are bit-identical for every thread count.
+  struct TrialRecord {
+    double weight = 0.0;
+    double abs_err = 0.0;
+    bool is_good = false;
+    bool accepted = false;
+  };
+  std::vector<TrialRecord> records(static_cast<std::size_t>(trials));
+  const std::vector<stats::Rng> streams =
+      stats::make_streams(rng.split(), static_cast<std::size_t>(trials));
 
-  for (int t = 0; t < trials; ++t) {
-    const double true_iip3 = rng.uniform(lo, hi);
-    const double weight = study.population.pdf(true_iip3);
+  stats::parallel_for_index(static_cast<std::size_t>(trials), threads, [&](std::size_t t) {
+    stats::Rng trial_rng = streams[t];
+    const double true_iip3 = trial_rng.uniform(lo, hi);
 
     path::PathConfig instance_cfg = config;
     instance_cfg.mixer.iip3_dbm = stats::Uncertain::exact(true_iip3);
-    const auto device = path::ReceiverPath::sampled(instance_cfg, rng);
+    const auto device = path::ReceiverPath::sampled(instance_cfg, trial_rng);
 
     const double measured =
-        translator.measure_mixer_iip3_dbm(device, rng, adaptive, opts);
-    abs_err_sum += std::abs(measured - true_iip3);
+        translator.measure_mixer_iip3_dbm(device, trial_rng, adaptive, opts);
 
-    const bool is_good = study.spec.passes(true_iip3);
-    const bool accepted = threshold.passes(measured);
-    if (is_good) {
-      v.weight_good += weight;
-      if (!accepted) w_good_reject += weight;
+    TrialRecord r;
+    r.weight = study.population.pdf(true_iip3);
+    r.abs_err = std::abs(measured - true_iip3);
+    r.is_good = study.spec.passes(true_iip3);
+    r.accepted = threshold.passes(measured);
+    records[t] = r;
+  });
+
+  double w_good_reject = 0.0;
+  double w_faulty_accept = 0.0;
+  double abs_err_sum = 0.0;
+  for (const TrialRecord& r : records) {
+    abs_err_sum += r.abs_err;
+    if (r.is_good) {
+      v.weight_good += r.weight;
+      if (!r.accepted) w_good_reject += r.weight;
     } else {
-      v.weight_faulty += weight;
-      if (accepted) w_faulty_accept += weight;
+      v.weight_faulty += r.weight;
+      if (r.accepted) w_faulty_accept += r.weight;
     }
   }
 

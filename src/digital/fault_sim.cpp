@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/require.h"
+#include "stats/parallel.h"
 
 namespace msts::digital {
 
@@ -26,13 +27,31 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
     result.waveforms.assign(faults.size(), {});
   }
 
-  ParallelSimulator sim(nl);
+  // Dedicated good-machine pass: the reference waveform no longer piggybacks
+  // on batch 0, so every faulty batch is independent of the others and may
+  // run concurrently (and end early under stop_at_first_detection).
+  {
+    ParallelSimulator sim(nl);
+    result.good_waveform.reserve(stimulus.size());
+    for (std::int64_t x : stimulus) {
+      sim.set_bus(input, x);
+      sim.eval();
+      result.good_waveform.push_back(sim.bus_value(output, 0));
+      sim.clock();
+    }
+  }
+  if (faults.empty()) return result;
 
-  for (std::size_t base = 0; base < faults.size() || base == 0; base += 63) {
-    const std::size_t batch =
-        std::min<std::size_t>(63, faults.size() > base ? faults.size() - base : 0);
-    sim.clear_faults();
-    sim.reset_state();
+  const std::size_t nbatches = (faults.size() + 62) / 63;
+  // vector<bool> packs adjacent flags into shared words, so batches record
+  // their verdicts in per-batch masks and the flags are unpacked serially.
+  std::vector<std::uint64_t> batch_masks(nbatches, 0);
+
+  stats::parallel_for_index(nbatches, options.threads, [&](std::size_t bi) {
+    const std::size_t base = bi * 63;
+    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+
+    ParallelSimulator sim(nl);
     for (std::size_t i = 0; i < batch; ++i) {
       sim.inject(faults[base + i], static_cast<int>(i + 1));
     }
@@ -43,7 +62,6 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
     }
 
     std::uint64_t detected_mask = 0;
-    const bool first_batch = (base == 0);
     for (std::int64_t x : stimulus) {
       sim.set_bus(input, x);
       sim.eval();
@@ -57,9 +75,6 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
       }
       detected_mask |= mismatch;
 
-      if (first_batch) {
-        result.good_waveform.push_back(sim.bus_value(output, 0));
-      }
       if (options.capture_waveforms) {
         for (std::size_t i = 0; i < batch; ++i) {
           result.waveforms[base + i].push_back(
@@ -69,18 +84,21 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
 
       sim.clock();
 
-      if (options.stop_at_first_detection && !options.capture_waveforms &&
-          batch > 0) {
+      if (options.stop_at_first_detection && !options.capture_waveforms) {
         // All faults in this batch already detected: nothing more to learn.
         const std::uint64_t all = ((batch == 63) ? ~0ull : ((1ull << (batch + 1)) - 1)) & ~1ull;
-        if ((detected_mask & all) == all && !first_batch) break;
+        if ((detected_mask & all) == all) break;
       }
     }
+    batch_masks[bi] = detected_mask;
+  });
 
+  for (std::size_t bi = 0; bi < nbatches; ++bi) {
+    const std::size_t base = bi * 63;
+    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
     for (std::size_t i = 0; i < batch; ++i) {
-      result.detected[base + i] = ((detected_mask >> (i + 1)) & 1ull) != 0;
+      result.detected[base + i] = ((batch_masks[bi] >> (i + 1)) & 1ull) != 0;
     }
-    if (faults.empty()) break;  // single pass just for the good waveform
   }
 
   return result;

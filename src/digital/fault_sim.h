@@ -25,6 +25,11 @@ namespace msts::digital {
 struct FaultSimOptions {
   bool capture_waveforms = false;  ///< Keep per-fault output streams.
   bool stop_at_first_detection = false;  ///< Exact compare may end a batch early.
+  /// Batches run concurrently, each on its own simulator instance; the
+  /// result is identical for every thread count (the batch partition is
+  /// fixed and there is no randomness). > 0 forces a count; 0 defers to
+  /// MSTS_THREADS / hardware concurrency; 1 is the serial path.
+  int threads = 0;
 };
 
 /// Result of a fault-simulation campaign.

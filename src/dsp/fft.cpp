@@ -75,7 +75,11 @@ std::complex<double> single_bin_dft(std::span<const double> x, double freq, doub
     const double ph = w * static_cast<double>(n);
     acc += x[n] * std::complex<double>(std::cos(ph), -std::sin(ph));
   }
-  return acc * (2.0 / static_cast<double>(x.size()));
+  // The 2/N single-sided correction folds the conjugate-mirror bin into this
+  // one; DC and Nyquist are their own mirrors and carry their full amplitude
+  // in a single bin, so they scale by 1/N.
+  const bool self_mirrored = (freq == 0.0) || (freq == 0.5 * fs);
+  return acc * ((self_mirrored ? 1.0 : 2.0) / static_cast<double>(x.size()));
 }
 
 }  // namespace msts::dsp

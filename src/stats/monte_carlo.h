@@ -42,7 +42,9 @@ struct Summary {
   double p95 = 0.0;  ///< 95th percentile.
 };
 
-/// Computes summary statistics of `values` (copies for the percentile sort).
+/// Computes summary statistics of `values`. The sample is a sink parameter
+/// (it is sorted in place for the percentiles): std::move it in at call
+/// sites on the hot Monte-Carlo path to avoid copying the whole sample.
 Summary summarize(std::vector<double> values);
 
 /// Runs `trials` evaluations of `fn(rng)` and returns the sample.

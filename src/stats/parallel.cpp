@@ -1,0 +1,165 @@
+#include "stats/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "base/require.h"
+
+namespace msts::stats {
+
+int max_threads() {
+  if (const char* env = std::getenv("MSTS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int resolve_threads(int requested) { return requested > 0 ? requested : max_threads(); }
+
+ThreadPool::ThreadPool(int workers) {
+  MSTS_REQUIRE(workers >= 1, "thread pool needs at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+// True on threads that are executing a parallel_for_index task: nested
+// parallel regions degrade to serial loops instead of deadlocking on the
+// shared pool.
+thread_local bool t_in_parallel_region = false;
+
+// One process-wide pool, serialized by `pool_mu` (concurrent top-level
+// parallel_for_index calls take turns; the fan-out inside each call is what
+// exploits the cores). Grown on demand so an explicit request for more
+// threads than any earlier call is honoured exactly.
+std::mutex& pool_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+ThreadPool& shared_pool(int min_workers) {
+  // Callers hold pool_mutex(), so the lazy (re)construction is race-free.
+  static std::unique_ptr<ThreadPool> pool;
+  if (!pool || pool->workers() < min_workers) {
+    pool.reset();  // join the old workers before spawning the new set
+    pool = std::make_unique<ThreadPool>(min_workers);
+  }
+  return *pool;
+}
+
+}  // namespace
+
+void parallel_for_index(std::size_t n, int threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const int resolved = resolve_threads(threads);
+  if (resolved <= 1 || n <= 1 || t_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> pool_lock(pool_mutex());
+  const int runners =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
+  ThreadPool& pool = shared_pool(runners);
+
+  struct RunState {
+    std::atomic<std::size_t> next{0};
+    std::atomic<int> active{0};
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<RunState>();
+  state->active.store(runners, std::memory_order_relaxed);
+
+  auto run_indices = [state, n, &fn] {
+    t_in_parallel_region = true;
+    try {
+      for (;;) {
+        const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->error) state->error = std::current_exception();
+    }
+    t_in_parallel_region = false;
+    if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done.notify_all();
+    }
+  };
+
+  for (int r = 0; r < runners - 1; ++r) pool.submit(run_indices);
+  run_indices();  // the calling thread is runner 0
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] { return state->active.load(std::memory_order_acquire) == 0; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+std::vector<Rng> make_streams(const Rng& base, std::size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  Rng cursor = base;
+  for (std::size_t k = 0; k < count; ++k) {
+    streams.push_back(cursor);
+    if (k + 1 < count) cursor.long_jump();
+  }
+  return streams;
+}
+
+}  // namespace msts::stats

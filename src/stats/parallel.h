@@ -1,0 +1,86 @@
+// Deterministic parallel execution for Monte-Carlo workloads.
+//
+// The contract that makes the whole toolkit reproducible under threading:
+// work is partitioned into blocks whose boundaries depend only on the
+// problem size (never on the thread count), each block draws from its own
+// xoshiro256++ stream derived from a common base via long_jump() (2^192
+// steps apart, so streams can never overlap), every block writes to its own
+// output slots, and any floating-point reduction happens serially in block
+// order afterwards. Results are therefore bit-identical whether the blocks
+// run on 1 thread, 8 threads, or anything in between.
+//
+// Thread count resolution: an explicit `threads` argument wins; 0 defers to
+// the MSTS_THREADS environment variable; when that is unset or invalid the
+// hardware concurrency is used. A resolved count of 1 takes a serial path
+// that touches no threading machinery at all (the serial fallback).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace msts::stats {
+
+/// Thread count from the MSTS_THREADS environment variable, falling back to
+/// std::thread::hardware_concurrency(). Always >= 1.
+int max_threads();
+
+/// Resolves a caller-supplied thread request: `requested` > 0 is honoured as
+/// given; 0 (the library-wide default) resolves to max_threads().
+int resolve_threads(int requested);
+
+/// Small fixed-size thread-pool executor. Workers are parked on a condition
+/// variable between jobs; submitted tasks run in FIFO order on whichever
+/// worker frees up first. Used through parallel_for_index() below; exposed
+/// for callers that need raw task submission.
+class ThreadPool {
+ public:
+  /// Spawns `workers` worker threads (>= 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task for execution on a worker thread.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n) using up to `threads` threads (resolved
+/// via resolve_threads) drawn from a shared process-wide pool. With one
+/// thread (or n <= 1, or when called from inside a pool worker) the loop
+/// runs serially in index order on the calling thread. fn must confine its
+/// writes to per-index state; the function returns once every index has run
+/// and rethrows the first exception any index threw.
+void parallel_for_index(std::size_t n, int threads,
+                        const std::function<void(std::size_t)>& fn);
+
+/// Derives `count` independent generators for deterministic parallel trial
+/// blocks: stream k is `base` advanced by k long_jump()s, i.e. streams sit
+/// 2^192 draws apart. Stream 0 is `base` itself. The result depends only on
+/// `base` and `count` — never on the thread count that will consume it.
+std::vector<Rng> make_streams(const Rng& base, std::size_t count);
+
+}  // namespace msts::stats

@@ -70,6 +70,50 @@ std::uint64_t Rng::uniform_int(std::uint64_t bound) {
   }
 }
 
-Rng Rng::split() { return Rng(next_u64()); }
+namespace {
+
+// Jump polynomials from the reference xoshiro256plusplus.c (Blackman &
+// Vigna). They depend only on the linear engine, so they are shared by the
+// whole xoshiro256 family.
+constexpr std::uint64_t kJump[4] = {0x180ec6d33cfd0abaull, 0xd5a61266f0c9392cull,
+                                    0xa9582618e03fc9aaull, 0x39abdc4529b1661cull};
+constexpr std::uint64_t kLongJump[4] = {0x76e15d3efefdcbbfull, 0xc5004e441c522fb3ull,
+                                        0x77710069854ee241ull, 0x39109bb02acbe635ull};
+
+}  // namespace
+
+void Rng::apply_jump_poly(const std::uint64_t (&poly)[4]) {
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (const std::uint64_t word : poly) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ull << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      next_u64();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+  // A cached Box-Muller deviate belongs to the pre-jump position.
+  has_cached_normal_ = false;
+  cached_normal_ = 0.0;
+}
+
+void Rng::jump() { apply_jump_poly(kJump); }
+
+void Rng::long_jump() { apply_jump_poly(kLongJump); }
+
+Rng Rng::split() {
+  Rng child = *this;
+  child.has_cached_normal_ = false;
+  child.cached_normal_ = 0.0;
+  jump();  // parent leaps past the segment the child now owns
+  return child;
+}
 
 }  // namespace msts::stats

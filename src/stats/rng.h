@@ -35,10 +35,25 @@ class Rng {
   /// Uniform integer in [0, bound) without modulo bias.
   std::uint64_t uniform_int(std::uint64_t bound);
 
-  /// Derives an independent generator (for parallel or per-module streams).
+  /// Advances the state by 2^128 steps (canonical xoshiro256++ jump
+  /// polynomial): equivalent to 2^128 calls of next_u64(). Used to carve the
+  /// period into non-overlapping sub-sequences. Drops any cached normal.
+  void jump();
+
+  /// Advances the state by 2^192 steps (canonical long-jump polynomial).
+  /// Each long_jump() starts a new stream with 2^192 draws of headroom —
+  /// the basis of the deterministic parallel trial streams (see parallel.h).
+  void long_jump();
+
+  /// Derives an independent generator: the child owns the current position
+  /// of the sequence and this generator jumps 2^128 steps past it, so parent
+  /// and child never overlap (for < 2^128 draws each). Unlike reseeding from
+  /// a single 64-bit draw, distinct splits can never collide or correlate.
   Rng split();
 
  private:
+  void apply_jump_poly(const std::uint64_t (&poly)[4]);
+
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/require.h"
+#include "stats/parallel.h"
 
 namespace msts::stats {
 
@@ -157,30 +158,58 @@ TestOutcome evaluate_test(const Normal& param, const SpecLimits& spec,
 
 TestOutcome evaluate_test_mc(const Normal& param, const SpecLimits& spec,
                              const SpecLimits& threshold, const ErrorModel& error,
-                             Rng& rng, int trials) {
+                             Rng& rng, int trials, int threads) {
   MSTS_REQUIRE(trials >= 1000, "too few Monte-Carlo trials");
+
+  // Block partition and per-block RNG streams depend only on `trials`, so
+  // the counts below are the same for every thread count.
+  constexpr int kBlock = 8192;
+  const int nblocks = (trials + kBlock - 1) / kBlock;
+  struct Counts {
+    long good = 0;
+    long accepted = 0;
+    long good_rejected = 0;
+    long faulty_accepted = 0;
+  };
+  std::vector<Counts> per_block(static_cast<std::size_t>(nblocks));
+  const std::vector<Rng> streams = make_streams(rng.split(), static_cast<std::size_t>(nblocks));
+
+  parallel_for_index(static_cast<std::size_t>(nblocks), threads, [&](std::size_t b) {
+    Rng block_rng = streams[b];
+    Counts c;
+    const int begin = static_cast<int>(b) * kBlock;
+    const int end = std::min(trials, begin + kBlock);
+    for (int t = begin; t < end; ++t) {
+      const double x = block_rng.normal(param.mean, param.sigma);
+      double e = 0.0;
+      switch (error.kind) {
+        case ErrorModel::Kind::kNone: break;
+        case ErrorModel::Kind::kUniform:
+          e = block_rng.uniform(-error.magnitude, error.magnitude);
+          break;
+        case ErrorModel::Kind::kGaussian:
+          e = block_rng.normal(0.0, error.magnitude);
+          break;
+      }
+      const bool is_good = spec.passes(x);
+      const bool accepts = threshold.passes(x + e);
+      c.good += is_good ? 1 : 0;
+      c.accepted += accepts ? 1 : 0;
+      if (is_good && !accepts) ++c.good_rejected;
+      if (!is_good && accepts) ++c.faulty_accepted;
+    }
+    per_block[b] = c;
+  });
+
   long good = 0;
   long accepted = 0;
   long good_rejected = 0;
   long faulty_accepted = 0;
-  for (int t = 0; t < trials; ++t) {
-    const double x = rng.normal(param.mean, param.sigma);
-    double e = 0.0;
-    switch (error.kind) {
-      case ErrorModel::Kind::kNone: break;
-      case ErrorModel::Kind::kUniform:
-        e = rng.uniform(-error.magnitude, error.magnitude);
-        break;
-      case ErrorModel::Kind::kGaussian:
-        e = rng.normal(0.0, error.magnitude);
-        break;
-    }
-    const bool is_good = spec.passes(x);
-    const bool accepts = threshold.passes(x + e);
-    good += is_good ? 1 : 0;
-    accepted += accepts ? 1 : 0;
-    if (is_good && !accepts) ++good_rejected;
-    if (!is_good && accepts) ++faulty_accepted;
+  for (const Counts& c : per_block) {
+    good += c.good;
+    accepted += c.accepted;
+    good_rejected += c.good_rejected;
+    faulty_accepted += c.faulty_accepted;
   }
   TestOutcome out;
   out.yield = static_cast<double>(good) / trials;

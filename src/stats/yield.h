@@ -73,8 +73,14 @@ TestOutcome evaluate_test(const Normal& param, const SpecLimits& spec,
                           int grid = 4001);
 
 /// Monte-Carlo evaluation; converges to evaluate_test as trials grows.
+///
+/// Trials run in fixed-size blocks, each on its own long_jump-derived RNG
+/// stream (see stats/parallel.h), so the outcome is bit-identical for every
+/// thread count. `threads` > 0 forces a count; 0 defers to MSTS_THREADS /
+/// hardware concurrency. `rng` is advanced by one jump() regardless of
+/// trials or threads.
 TestOutcome evaluate_test_mc(const Normal& param, const SpecLimits& spec,
                              const SpecLimits& threshold, const ErrorModel& error,
-                             Rng& rng, int trials = 200000);
+                             Rng& rng, int trials = 200000, int threads = 0);
 
 }  // namespace msts::stats

@@ -139,6 +139,40 @@ TEST(FaultSim, RejectsEmptyStimulus) {
   EXPECT_THROW(simulate_faults(c.nl, c.in, c.out, {}, {}), std::invalid_argument);
 }
 
+TEST(FaultSim, ResultIdenticalAcrossThreadCounts) {
+  // The batch partition is fixed and batches are independent, so verdicts,
+  // the good waveform, and captured waveforms must be identical for every
+  // thread count.
+  const auto h = dsp::design_lowpass(5, 0.2);
+  const auto q = dsp::quantize_coefficients(h, 6);
+  const FirCircuit fir = build_fir(q, 6, 6);
+  const Netlist nl = fir.netlist.with_explicit_branches();
+  Bus in, out;
+  for (std::size_t i = 0; i < fir.input.width(); ++i) in.bits.push_back(nl.inputs()[i]);
+  for (std::size_t i = 0; i < fir.output.width(); ++i) out.bits.push_back(nl.outputs()[i]);
+
+  stats::Rng rng(6);
+  std::vector<std::int64_t> stim;
+  for (int i = 0; i < 48; ++i) {
+    stim.push_back(static_cast<std::int64_t>(rng.uniform_int(64)) - 32);
+  }
+  auto faults = collapsed_faults(nl);
+  ASSERT_GT(faults.size(), 126u);  // at least three batches
+
+  FaultSimOptions serial;
+  serial.capture_waveforms = true;
+  serial.threads = 1;
+  const auto r1 = simulate_faults(nl, in, out, stim, faults, serial);
+  for (const int threads : {2, 8}) {
+    FaultSimOptions opts = serial;
+    opts.threads = threads;
+    const auto rt = simulate_faults(nl, in, out, stim, faults, opts);
+    EXPECT_EQ(rt.detected, r1.detected) << threads << " threads";
+    EXPECT_EQ(rt.good_waveform, r1.good_waveform) << threads << " threads";
+    EXPECT_EQ(rt.waveforms, r1.waveforms) << threads << " threads";
+  }
+}
+
 TEST(FaultSim, CoverageOfEmptyFaultListIsZero) {
   SmallCircuit c = make_small();
   const std::vector<std::int64_t> stim = {1, 2};

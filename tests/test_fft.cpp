@@ -140,6 +140,44 @@ TEST(SingleBinDft, OrthogonalToneReadsZero) {
   EXPECT_NEAR(std::abs(single_bin_dft(x, 60.0, fs)), 0.0, 1e-9);
 }
 
+TEST(SingleBinDft, DcBinIsNotDoubleCounted) {
+  // DC is its own conjugate mirror: the single-sided 2/N correction must not
+  // apply, or a pure-DC input reads at twice its level.
+  const double fs = 1000.0;
+  std::vector<double> x(500, 3.5);
+  const auto c = single_bin_dft(x, 0.0, fs);
+  EXPECT_NEAR(c.real(), 3.5, 1e-12);
+  EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+}
+
+TEST(SingleBinDft, NyquistBinIsNotDoubleCounted) {
+  // A Nyquist-rate tone cos(pi n) alternates +A/-A; like DC it lives in a
+  // single self-mirrored bin and must scale by 1/N.
+  const double fs = 1000.0;
+  const double amp = 1.25;
+  std::vector<double> x(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = (i % 2 == 0) ? amp : -amp;
+  }
+  const auto c = single_bin_dft(x, 0.5 * fs, fs);
+  EXPECT_NEAR(c.real(), amp, 1e-9);
+  EXPECT_NEAR(c.imag(), 0.0, 1e-9);
+}
+
+TEST(SingleBinDft, DcOffsetDoesNotDisturbInBandTone) {
+  // The fix must leave ordinary bins untouched: a tone riding on a DC offset
+  // still reads its full amplitude at its own frequency.
+  const double fs = 1000.0;
+  const std::size_t n = 500;
+  const double amp = 1.7;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 0.8 + amp * std::cos(kTwoPi * 40.0 * static_cast<double>(i) / fs);
+  }
+  EXPECT_NEAR(std::abs(single_bin_dft(x, 40.0, fs)), amp, 1e-9);
+  EXPECT_NEAR(single_bin_dft(x, 0.0, fs).real(), 0.8, 1e-9);
+}
+
 TEST(SingleBinDft, RejectsEmptyAndBadRate) {
   std::vector<double> empty;
   EXPECT_THROW(single_bin_dft(empty, 10.0, 100.0), std::invalid_argument);

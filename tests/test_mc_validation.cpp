@@ -43,6 +43,31 @@ TEST(McValidation, MeasurementErrorWithinBudget) {
   EXPECT_GT(v.mean_abs_meas_error, 0.0);
 }
 
+TEST(McValidation, BitIdenticalAcrossThreadCounts) {
+  // One RNG stream per trial plus a serial trial-order reduction: every
+  // field must match exactly whatever the thread count.
+  const auto config = path::reference_path_config();
+  const TestSynthesizer synth(config, /*adaptive=*/true);
+  const auto study = synth.study_mixer_iip3();
+  path::MeasureOptions opts;
+  opts.digital_record = 1024;
+
+  auto run = [&](int threads) {
+    stats::Rng rng(80);
+    return validate_iip3_study_mc(config, study, 30, rng, true, opts, threads);
+  };
+  const auto serial = run(1);
+  for (const int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    EXPECT_EQ(parallel.weight_good, serial.weight_good) << threads << " threads";
+    EXPECT_EQ(parallel.weight_faulty, serial.weight_faulty) << threads << " threads";
+    EXPECT_EQ(parallel.fcl_measured, serial.fcl_measured) << threads << " threads";
+    EXPECT_EQ(parallel.yl_measured, serial.yl_measured) << threads << " threads";
+    EXPECT_EQ(parallel.mean_abs_meas_error, serial.mean_abs_meas_error)
+        << threads << " threads";
+  }
+}
+
 TEST(McValidation, RejectsTooFewTrials) {
   const auto config = path::reference_path_config();
   const TestSynthesizer synth(config);

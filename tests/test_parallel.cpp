@@ -1,0 +1,196 @@
+// Tests for the deterministic parallel Monte-Carlo engine (stats/parallel.h)
+// and its threading contract: bit-identical results for every thread count.
+#include "stats/parallel.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/coverage.h"
+#include "stats/yield.h"
+
+namespace msts::stats {
+namespace {
+
+// Restores MSTS_THREADS after env-override tests so the rest of the suite
+// keeps the ambient configuration.
+class EnvGuard {
+ public:
+  EnvGuard() {
+    const char* v = std::getenv("MSTS_THREADS");
+    had_ = (v != nullptr);
+    if (had_) saved_ = v;
+  }
+  ~EnvGuard() {
+    if (had_) {
+      ::setenv("MSTS_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("MSTS_THREADS");
+    }
+  }
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+TEST(Threads, EnvOverrideAndResolution) {
+  EnvGuard guard;
+  ::setenv("MSTS_THREADS", "3", 1);
+  EXPECT_EQ(max_threads(), 3);
+  EXPECT_EQ(resolve_threads(0), 3);
+  EXPECT_EQ(resolve_threads(5), 5);  // explicit request wins
+  ::setenv("MSTS_THREADS", "garbage", 1);
+  EXPECT_GE(max_threads(), 1);  // invalid override falls back to hardware
+  ::setenv("MSTS_THREADS", "0", 1);
+  EXPECT_GE(max_threads(), 1);
+  ::unsetenv("MSTS_THREADS");
+  EXPECT_GE(max_threads(), 1);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.workers(), 3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (const int threads : {1, 2, 4, 8}) {
+    const std::size_t n = 257;  // deliberately not a multiple of anything
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    parallel_for_index(n, threads, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      parallel_for_index(64, 4,
+                         [](std::size_t i) {
+                           if (i == 17) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, NestedRegionsFallBackToSerial) {
+  std::atomic<int> count{0};
+  parallel_for_index(4, 4, [&](std::size_t) {
+    parallel_for_index(8, 4,
+                       [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(MakeStreams, DeterministicAndPairwiseDistinct) {
+  const Rng base(1234);
+  const auto a = make_streams(base, 6);
+  auto b = make_streams(base, 6);
+  ASSERT_EQ(a.size(), 6u);
+  // Same base -> identical streams.
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    Rng x = a[k], y = b[k];
+    for (int i = 0; i < 32; ++i) ASSERT_EQ(x.next_u64(), y.next_u64());
+  }
+  // Distinct streams never agree on early draws.
+  auto c = make_streams(base, 6);
+  std::vector<std::vector<std::uint64_t>> draws;
+  for (auto& s : c) {
+    std::vector<std::uint64_t> seq;
+    for (int i = 0; i < 32; ++i) seq.push_back(s.next_u64());
+    draws.push_back(seq);
+  }
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    for (std::size_t j = i + 1; j < draws.size(); ++j) {
+      int same = 0;
+      for (int k = 0; k < 32; ++k) {
+        if (draws[i][k] == draws[j][k]) ++same;
+      }
+      EXPECT_EQ(same, 0) << "streams " << i << " and " << j;
+    }
+  }
+}
+
+// The headline property: the parallel MC evaluator returns bit-identical
+// outcomes for 1, 2, and 8 threads.
+TEST(EvaluateTestMcParallel, BitIdenticalAcrossThreadCounts) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  const auto model = ErrorModel::uniform(0.4);
+
+  std::vector<TestOutcome> outcomes;
+  for (const int threads : {1, 2, 8}) {
+    Rng rng(424242);
+    outcomes.push_back(evaluate_test_mc(param, spec, spec, model, rng, 100000, threads));
+  }
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[0].yield, outcomes[i].yield);
+    EXPECT_EQ(outcomes[0].defect_rate, outcomes[i].defect_rate);
+    EXPECT_EQ(outcomes[0].accept_rate, outcomes[i].accept_rate);
+    EXPECT_EQ(outcomes[0].yield_loss, outcomes[i].yield_loss);
+    EXPECT_EQ(outcomes[0].fault_coverage_loss, outcomes[i].fault_coverage_loss);
+  }
+}
+
+TEST(EvaluateTestMcParallel, CallerRngAdvancesIndependentlyOfThreadCount) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  Rng a(7), b(7);
+  (void)evaluate_test_mc(param, spec, spec, ErrorModel::none(), a, 2000, 1);
+  (void)evaluate_test_mc(param, spec, spec, ErrorModel::none(), b, 2000, 4);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// Cross-check: for all three threshold rows of a threshold_study, the MC
+// losses agree with the analytic integrals within 3 sigma of the binomial
+// counting error of the relevant subpopulation.
+TEST(EvaluateTestMcParallel, MatchesAnalyticWithin3SigmaForAllThresholdRows) {
+  const Normal population{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  const auto error = Uncertain::from_tolerance(0.0, 0.4);
+  const auto study = core::threshold_study("mixer.IIP3", "dBm", population, spec, error);
+  ASSERT_EQ(study.rows.size(), 3u);
+
+  const auto model = ErrorModel::uniform(error.wc);
+  const int trials = 200000;
+  // 3-sigma binomial bound around rate p estimated from n_eff samples, with
+  // a floor so zero-loss rows (p == 0) keep a meaningful tolerance.
+  const auto bound3 = [](double p, double n_eff) {
+    return 3.0 * std::sqrt(std::max(p * (1.0 - p), 1e-6) / n_eff) + 1e-9;
+  };
+
+  for (const auto& row : study.rows) {
+    Rng rng(909090);
+    const auto mc =
+        evaluate_test_mc(population, spec, row.threshold, model, rng, trials);
+    const auto& an = row.outcome;
+
+    const double n_faulty = trials * an.defect_rate;
+    const double n_good = trials * an.yield;
+    EXPECT_NEAR(mc.accept_rate, an.accept_rate, bound3(an.accept_rate, trials))
+        << row.label;
+    EXPECT_NEAR(mc.yield, an.yield, bound3(an.yield, trials)) << row.label;
+    EXPECT_NEAR(mc.yield_loss, an.yield_loss, bound3(an.yield_loss, n_good))
+        << row.label;
+    EXPECT_NEAR(mc.fault_coverage_loss, an.fault_coverage_loss,
+                bound3(an.fault_coverage_loss, n_faulty))
+        << row.label;
+  }
+}
+
+}  // namespace
+}  // namespace msts::stats
