@@ -6,32 +6,40 @@
 #include <vector>
 
 #include "core/diagnosis.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 
 using namespace msts;
 
 int main() {
   std::printf("== Ablation: spectral fault diagnosis accuracy ==\n\n");
+  obs::BenchReport report("ablation_diagnosis");
   const auto config = path::reference_path_config();
   const core::DigitalTester tester(config);
 
   core::DigitalTestOptions opt;
-  opt.record = 512;
+  opt.record = obs::scaled_record(512, 128);
   const auto plan = tester.plan(opt);
 
   // Dictionary characterised in the same translated-test setup the probes
   // use — but under an independent noise realisation, as a real
-  // characterisation run would be.
+  // characterisation run would be. 1 in 20 faults at full scale;
+  // MSTS_BENCH_SCALE widens the stride.
+  report.phase_start("dictionary");
   const path::ReceiverPath device(config);
   stats::Rng dict_rng(778);
   const auto dict_codes = tester.path_codes(plan, device, dict_rng);
   std::vector<digital::Fault> dict_faults;
-  for (std::size_t i = 0; i < tester.faults().size(); i += 20) {
+  const std::size_t stride = obs::scaled_stride(20);
+  for (std::size_t i = 0; i < tester.faults().size(); i += stride) {
     dict_faults.push_back(tester.faults()[i]);
   }
   const core::FaultDictionary dict(tester, plan, dict_codes, dict_faults);
+  report.phase_end();
   std::printf("dictionary: %zu faults, record %zu\n", dict.size(), plan.record);
+  report.add_scalar("dictionary_faults", static_cast<std::int64_t>(dict.size()));
 
+  report.phase_start("probes");
   stats::Rng rng(777);
   const auto noisy = tester.path_codes(plan, device, rng);
 
@@ -55,10 +63,16 @@ int main() {
     }
   }
 
+  report.phase_end();
+
+  const double denom = probes > 0 ? static_cast<double>(probes) : 1.0;
   std::printf("probes: %zu faulty devices (noisy stimulus, clean-dictionary match)\n",
               probes);
-  std::printf("top-1 identification: %5.1f %%\n", 100.0 * top1 / probes);
-  std::printf("top-5 identification: %5.1f %%\n", 100.0 * top5 / probes);
+  std::printf("top-1 identification: %5.1f %%\n", 100.0 * top1 / denom);
+  std::printf("top-5 identification: %5.1f %%\n", 100.0 * top5 / denom);
+  report.add_scalar("probes", static_cast<std::int64_t>(probes));
+  report.add_scalar("top1_pct", 100.0 * top1 / denom);
+  report.add_scalar("top5_pct", 100.0 * top5 / denom);
   std::printf("\nReading: against %zu candidates (chance = %.2f %%), single-record\n"
               "signatures localise about half the faults exactly and two thirds to\n"
               "a 5-candidate shortlist — diagnosis comes nearly free with the\n"

@@ -2,19 +2,24 @@
 // simulation runtime as the digital filter grows (the paper evaluates 13-
 // and 16-tap filters; this sweeps further to show the methodology's cost
 // envelope).
-#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/digital_test.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 
 using namespace msts;
 
 int main() {
   std::printf("== Ablation: digital-filter size vs test cost and coverage ==\n\n");
+  obs::BenchReport report("ablation_filter_size");
   std::printf("%6s %6s %9s %9s %12s %10s\n", "taps", "bits", "gates", "faults",
               "coverage %", "sim time s");
 
+  // Every fault at full scale; MSTS_BENCH_SCALE thins each cell's universe.
+  const std::size_t stride = obs::scaled_stride(1);
   for (const std::size_t taps : {8u, 13u, 16u, 21u}) {
     for (const int bits : {8, 12}) {
       auto config = path::reference_path_config();
@@ -26,17 +31,22 @@ int main() {
       opt.record = 256;
       const auto plan = tester.plan(opt);
       const auto codes = tester.ideal_codes(plan);
+      std::vector<digital::Fault> faults;
+      for (std::size_t i = 0; i < tester.faults().size(); i += stride) {
+        faults.push_back(tester.faults()[i]);
+      }
 
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto r = tester.exact_campaign(
-          codes, std::span(tester.faults().data(), tester.faults().size()));
-      const double secs =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+      const std::string cell =
+          "taps" + std::to_string(taps) + "_bits" + std::to_string(bits);
+      report.phase_start(cell);
+      const auto r =
+          tester.exact_campaign(codes, std::span(faults.data(), faults.size()));
+      report.phase_end();
 
       std::printf("%6zu %6d %9zu %9zu %12.2f %10.2f\n", taps, bits,
-                  tester.netlist().combinational_gate_count(),
-                  tester.faults().size(), 100.0 * r.coverage(), secs);
+                  tester.netlist().combinational_gate_count(), faults.size(),
+                  100.0 * r.coverage(), report.last_phase_wall_s());
+      report.add_scalar(cell + ".coverage_pct", 100.0 * r.coverage());
     }
   }
 

@@ -7,23 +7,32 @@
 #include <vector>
 
 #include "core/digital_test.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 
 using namespace msts;
 
 int main() {
   std::printf("== Ablation: spectral-mask margin vs coverage and yield ==\n\n");
+  obs::BenchReport report("ablation_noise_mask");
   const auto config = path::reference_path_config();
   const core::DigitalTester tester(config);
   const path::ReceiverPath device(config);
 
-  // Subsample the universe (1 in 4) to keep the sweep quick but stable.
+  // Subsample the universe (1 in 4 at full scale; MSTS_BENCH_SCALE widens
+  // the stride) to keep the sweep quick but stable.
+  const std::size_t stride = obs::scaled_stride(4);
   std::vector<digital::Fault> faults;
-  for (std::size_t i = 0; i < tester.faults().size(); i += 4) {
+  for (std::size_t i = 0; i < tester.faults().size(); i += stride) {
     faults.push_back(tester.faults()[i]);
   }
+  const int good_runs = static_cast<int>(obs::scaled_trials(5, 2));
+  report.add_scalar("faults_simulated", static_cast<std::int64_t>(faults.size()));
+  report.add_scalar("good_runs_per_margin", std::int64_t{good_runs});
 
-  std::printf("%12s %12s %22s\n", "margin (dB)", "coverage %", "good flagged (of 5 runs)");
+  report.phase_start("margin_sweep");
+  std::printf("%12s %12s %22s\n", "margin (dB)", "coverage %",
+              "good flagged (of N runs)");
   for (double margin : {3.0, 6.0, 9.0, 12.0, 18.0, 25.0}) {
     core::DigitalTestOptions opt;
     opt.mask_margin_db = margin;
@@ -38,7 +47,7 @@ int main() {
     // Digital-test yield loss: how often does a *fault-free* filter fail the
     // mask under fresh noise realisations?
     int flagged = 0;
-    for (int seed = 0; seed < 5; ++seed) {
+    for (int seed = 0; seed < good_runs; ++seed) {
       stats::Rng r(4000 + seed);
       const auto codes = tester.path_codes(plan, device, r);
       digital::FirModel fir(tester.fir().coeffs, config.adc.bits);
@@ -49,9 +58,14 @@ int main() {
       (void)good_out;
     }
 
-    std::printf("%12.1f %12.2f %18d/5\n", margin, 100.0 * out.result.coverage(),
-                flagged);
+    std::printf("%12.1f %12.2f %18d/%d\n", margin, 100.0 * out.result.coverage(),
+                flagged, good_runs);
+    if (margin == 12.0) {
+      report.add_scalar("coverage_pct_at_12db", 100.0 * out.result.coverage());
+      report.add_scalar("good_flagged_at_12db", std::int64_t{flagged});
+    }
   }
+  report.phase_end();
 
   std::printf("\nReading: small margins flag the good circuit (yield loss) because\n"
               "single-record noise bins poke above the estimate; large margins let\n"

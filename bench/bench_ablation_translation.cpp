@@ -7,15 +7,18 @@
 #include <cstdio>
 
 #include "core/synthesizer.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 
 using namespace msts;
 
 int main() {
   std::printf("== Ablation: translation strategy choices ==\n\n");
+  obs::BenchReport report("ablation_translation");
   const auto config = path::reference_path_config();
 
   // ---- (1) adaptive vs nominal -----------------------------------------
+  report.phase_start("adaptive_vs_nominal");
   const core::TestSynthesizer adaptive(config, true);
   const core::TestSynthesizer nominal(config, false);
 
@@ -26,10 +29,15 @@ int main() {
 
   const auto fa = adaptive.study_mixer_iip3().row("Tol").outcome;
   const auto fn = nominal.study_mixer_iip3().row("Tol").outcome;
+  report.phase_end();
   std::printf("at Thr=Tol: adaptive FCL %.2f %% / YL %.2f %%  vs  nominal FCL %.2f %% "
               "/ YL %.2f %%\n\n",
               100.0 * fa.fault_coverage_loss, 100.0 * fa.yield_loss,
               100.0 * fn.fault_coverage_loss, 100.0 * fn.yield_loss);
+  report.add_scalar("adaptive.fcl_pct_at_tol", 100.0 * fa.fault_coverage_loss);
+  report.add_scalar("adaptive.yl_pct_at_tol", 100.0 * fa.yield_loss);
+  report.add_scalar("nominal.fcl_pct_at_tol", 100.0 * fn.fault_coverage_loss);
+  report.add_scalar("nominal.yl_pct_at_tol", 100.0 * fn.yield_loss);
 
   // ---- (2) composition vs per-block test counts --------------------------
   // Per-block gain testing of the 4 gain-bearing blocks needs one stimulus /
@@ -51,6 +59,7 @@ int main() {
   // The tolerance-interval (uniform worst-case) model is conservative: gain
   // corners rarely align. The RSS/Gaussian treatment (the follow-on
   // statistical tolerance analysis) shrinks the predicted losses.
+  report.phase_start("error_treatment");
   {
     const auto a = adaptive.translator().analyze_mixer_iip3(true);
     const auto& p = config.mixer.iip3_dbm;
@@ -70,6 +79,7 @@ int main() {
                 100.0 * st.row("Tol").outcome.fault_coverage_loss,
                 100.0 * st.row("Tol").outcome.yield_loss);
   }
+  report.phase_end();
 
   // ---- summary of all propagated parameters under both strategies -------
   std::printf("%-14s %16s %16s\n", "parameter", "adaptive err(wc)", "nominal err(wc)");

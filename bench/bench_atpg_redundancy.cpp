@@ -4,13 +4,13 @@
 // and (c) undecided (backtrack limit). The redundant fraction is the real
 // ceiling of any functional test, which reframes sec. 5's coverage numbers.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdint>
 #include <vector>
 
 #include "core/digital_test.h"
 #include "digital/atpg.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 #include "stats/parallel.h"
 
@@ -18,21 +18,33 @@ using namespace msts;
 
 int main() {
   std::printf("== ATPG classification of functional-test escapes ==\n\n");
+  obs::BenchReport report("atpg_redundancy");
   const auto config = path::reference_path_config();
   const core::DigitalTester tester(config);
 
+  // Every collapsed fault at full scale; MSTS_BENCH_SCALE thins by a stride.
+  const std::size_t stride = obs::scaled_stride(1);
+  std::vector<digital::Fault> faults;
+  for (std::size_t i = 0; i < tester.faults().size(); i += stride) {
+    faults.push_back(tester.faults()[i]);
+  }
+  report.add_scalar("faults_simulated", static_cast<std::int64_t>(faults.size()));
+
+  report.phase_start("exact_campaign");
   core::DigitalTestOptions opt;
   const auto plan = tester.plan(opt);
   const auto codes = tester.ideal_codes(plan);
-  const auto exact = tester.exact_campaign(
-      codes, std::span(tester.faults().data(), tester.faults().size()));
+  const auto exact =
+      tester.exact_campaign(codes, std::span(faults.data(), faults.size()));
+  report.phase_end();
 
   std::vector<digital::Fault> escapes;
-  for (std::size_t i = 0; i < tester.faults().size(); ++i) {
-    if (!exact.detected_flags[i]) escapes.push_back(tester.faults()[i]);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (!exact.detected_flags[i]) escapes.push_back(faults[i]);
   }
   std::printf("exact-inputs campaign: %.2f %% coverage, %zu escapes of %zu faults\n",
-              100.0 * exact.coverage(), escapes.size(), tester.faults().size());
+              100.0 * exact.coverage(), escapes.size(), faults.size());
+  report.add_scalar("escapes", static_cast<std::int64_t>(escapes.size()));
 
   // PODEM is deterministic per fault, so the escapes can be classified in
   // parallel chunks (one engine per chunk) without changing any verdict.
@@ -40,7 +52,7 @@ int main() {
   const std::size_t chunk = 16;
   const std::size_t nchunks = (escapes.size() + chunk - 1) / chunk;
   std::vector<std::uint8_t> verdicts(escapes.size(), 0);
-  const auto t0 = std::chrono::steady_clock::now();
+  report.phase_start("podem");
   stats::parallel_for_index(nchunks, threads, [&](std::size_t c) {
     digital::Atpg atpg(tester.netlist(), /*backtrack_limit=*/200);
     const std::size_t begin = c * chunk;
@@ -49,8 +61,7 @@ int main() {
       verdicts[i] = static_cast<std::uint8_t>(atpg.generate(escapes[i]).status);
     }
   });
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  report.phase_end();
 
   std::size_t testable = 0, redundant = 0, aborted = 0;
   for (const std::uint8_t v : verdicts) {
@@ -61,20 +72,24 @@ int main() {
     }
   }
 
-  std::printf("\nPODEM verdicts on the escapes (%.1f s, %d thread%s):\n", secs,
-              threads, threads == 1 ? "" : "s");
+  std::printf("\nPODEM verdicts on the escapes (%.1f s, %d thread%s):\n",
+              report.last_phase_wall_s(), threads, threads == 1 ? "" : "s");
   std::printf("  testable but missed by the stimulus: %6zu (%.1f %%)\n", testable,
               100.0 * testable / escapes.size());
   std::printf("  provably redundant:                  %6zu (%.1f %%)\n", redundant,
               100.0 * redundant / escapes.size());
   std::printf("  undecided (backtrack limit):         %6zu (%.1f %%)\n", aborted,
               100.0 * aborted / escapes.size());
+  report.add_scalar("testable", static_cast<std::int64_t>(testable));
+  report.add_scalar("redundant", static_cast<std::int64_t>(redundant));
+  report.add_scalar("aborted", static_cast<std::int64_t>(aborted));
 
-  const double testable_universe =
-      static_cast<double>(tester.faults().size() - redundant);
+  const double testable_universe = static_cast<double>(faults.size() - redundant);
   std::printf("\ncoverage over the *testable* universe: %.2f %% "
               "(raw %.2f %% over all collapsed faults)\n",
               100.0 * exact.detected / testable_universe, 100.0 * exact.coverage());
+  report.add_scalar("coverage_testable_pct",
+                    100.0 * exact.detected / testable_universe);
   std::printf("\nReading: a large share of the functional escapes cannot be tested\n"
               "by any stimulus at all (sign-extension replicas, unreachable\n"
               "carries); counting them against the multi-tone test understates it.\n");

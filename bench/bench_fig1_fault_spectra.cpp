@@ -14,6 +14,7 @@
 #include "dsp/metrics.h"
 #include "dsp/spectrum.h"
 #include "dsp/tonegen.h"
+#include "obs/bench_report.h"
 
 using namespace msts;
 
@@ -40,7 +41,9 @@ digital::Fault pick_fault(const digital::Netlist& nl,
 
 int main() {
   std::printf("== Fig. 1: output spectra of the 16-tap filter, pure sine input ==\n");
+  obs::BenchReport report("fig1_fault_spectra");
 
+  report.phase_start("build_fir");
   const std::size_t kTaps = 16;
   const int kBits = 12;
   const int kFrac = 10;
@@ -51,18 +54,23 @@ int main() {
   digital::Bus in, out;
   for (std::size_t i = 0; i < fir.input.width(); ++i) in.bits.push_back(nl.inputs()[i]);
   for (std::size_t i = 0; i < fir.output.width(); ++i) out.bits.push_back(nl.outputs()[i]);
+  report.phase_end();
 
   // Pure sine, bin-centred, ~60 % of full scale.
   const double fs = 4.0e6;
-  const std::size_t n = 1024;
+  const std::size_t n = obs::scaled_record(1024, 256);
   const double f0 = dsp::coherent_frequency(fs, n, 300e3);
   const dsp::Tone tone{f0, 0.6 * 2048.0, 0.0};
   const auto wave = dsp::generate_tones(std::span(&tone, 1), 0.0, fs, n);
   std::vector<std::int64_t> codes;
   for (double v : wave) codes.push_back(digital::clamp_to_width(std::llround(v), kBits));
+  report.add_scalar("record", static_cast<std::int64_t>(n));
 
+  report.phase_start("fault_presim");
   const auto all = digital::collapsed_faults(nl);
   const auto pre = digital::simulate_faults(nl, in, out, codes, all);
+  report.phase_end();
+  report.add_scalar("collapsed_faults", static_cast<std::int64_t>(all.size()));
 
   const digital::Fault faults[] = {
       pick_fault(nl, all, pre.detected, "tap2"),
@@ -72,10 +80,13 @@ int main() {
   const char* labels[] = {"fault in tap2 multiplier", "fault in tap5-area adder",
                           "fault at tap7 delay output"};
 
+  report.phase_start("faulty_waveforms");
   digital::FaultSimOptions opts;
   opts.capture_waveforms = true;
   const auto sim = digital::simulate_faults(nl, in, out, codes, faults, opts);
+  report.phase_end();
 
+  report.phase_start("spectra");
   auto spectrum_of = [&](std::span<const std::int64_t> w) {
     std::vector<double> v(w.begin(), w.end());
     return dsp::Spectrum(v, fs, dsp::WindowType::kBlackmanHarris4);
@@ -83,6 +94,7 @@ int main() {
   const auto s_good = spectrum_of(sim.good_waveform);
   std::vector<dsp::Spectrum> s_bad;
   for (int i = 0; i < 3; ++i) s_bad.push_back(spectrum_of(sim.waveforms[i]));
+  report.phase_end();
 
   std::printf("# stimulus: pure sine at %.0f kHz, %zu samples\n", f0 / 1e3, n);
   for (int i = 0; i < 3; ++i) {
@@ -108,9 +120,12 @@ int main() {
   const auto rep_good = dsp::analyze_spectrum(s_good, ao);
   std::printf("\n%-28s %10s %10s\n", "circuit", "SFDR dB", "THD dB");
   std::printf("%-28s %10.1f %10.1f\n", "fault-free", rep_good.sfdr_db, rep_good.thd_db);
+  report.add_scalar("sfdr_good_db", rep_good.sfdr_db);
+  report.add_scalar("thd_good_db", rep_good.thd_db);
   for (int i = 0; i < 3; ++i) {
     const auto rep = dsp::analyze_spectrum(s_bad[i], ao);
     std::printf("%-28s %10.1f %10.1f\n", labels[i], rep.sfdr_db, rep.thd_db);
+    report.add_scalar("sfdr_series" + std::to_string(i + 1) + "_db", rep.sfdr_db);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/translation.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 #include "stats/monte_carlo.h"
 
@@ -15,19 +16,26 @@ using namespace msts;
 
 int main() {
   std::printf("== Fig. 4: IIP3 translation accuracy, nominal vs adaptive ==\n\n");
+  obs::BenchReport report("fig4_adaptive_accuracy");
 
   const auto config = path::reference_path_config();
   const core::Translator tr(config);
   path::MeasureOptions opts;
-  opts.digital_record = 2048;
+  opts.digital_record = obs::scaled_record(2048, 512);
 
+  report.phase_start("static_budgets");
   const auto a_ad = tr.analyze_mixer_iip3(true);
   const auto a_no = tr.analyze_mixer_iip3(false);
+  report.phase_end();
   std::printf("static worst-case budgets:\n");
   std::printf("  (b) adaptive:     ±%.2f dB   [%s]\n", a_ad.error.wc, a_ad.formula.c_str());
   std::printf("  (a) nominal gains:±%.2f dB   [%s]\n\n", a_no.error.wc, a_no.formula.c_str());
+  report.add_scalar("wc_budget_adaptive_db", a_ad.error.wc);
+  report.add_scalar("wc_budget_nominal_db", a_no.error.wc);
 
-  constexpr int kTrials = 40;
+  const int kTrials = static_cast<int>(obs::scaled_trials(40, 6));
+  report.add_scalar("mc_paths", std::int64_t{kTrials});
+  report.phase_start("mc_paths");
   stats::Rng mc(101);
   stats::Rng n1(102), n2(103);
   std::vector<double> e_ad, e_no;
@@ -39,6 +47,9 @@ int main() {
   }
   const auto sa = stats::summarize(std::move(e_ad));
   const auto sn = stats::summarize(std::move(e_no));
+  report.phase_end();
+  report.add_scalar("err_stddev_adaptive_db", sa.stddev);
+  report.add_scalar("err_stddev_nominal_db", sn.stddev);
 
   std::printf("observed estimate error over %d paths (dB):\n", kTrials);
   std::printf("%-10s %8s %8s %8s %8s %8s\n", "method", "mean", "stddev", "p05", "p95",

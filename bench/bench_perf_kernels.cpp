@@ -4,6 +4,10 @@
 // synthesis + evaluation run takes.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/attr_models.h"
 #include "core/digital_test.h"
 #include "core/synthesizer.h"
@@ -11,6 +15,7 @@
 #include "dsp/metrics.h"
 #include "dsp/spectrum.h"
 #include "dsp/tonegen.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 #include "stats/rng.h"
 
@@ -104,4 +109,56 @@ static void BM_TestPlanSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_TestPlanSynthesis);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Chains to the standard console output while mirroring each run into the
+// BenchReport, so BENCH_perf_kernels.json carries the per-kernel timings.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(obs::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string key = run.benchmark_name();
+      for (char& c : key) {
+        if (c == '/' || c == ':' || c == ' ') c = '_';
+      }
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_->add_scalar(key + ".real_s_per_iter", run.real_accumulated_time / iters);
+    }
+  }
+
+ private:
+  obs::BenchReport* report_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchReport report("perf_kernels");
+
+  std::vector<char*> args(argv, argv + argc);
+  // Under MSTS_BENCH_SCALE < 1 (the bench_smoke profile) cut the per-kernel
+  // measurement window, unless the caller already picked one explicitly.
+  std::string min_time = "--benchmark_min_time=0.01";
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) has_min_time = true;
+  }
+  if (obs::bench_scale() < 1.0 && !has_min_time) args.push_back(min_time.data());
+
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+
+  ReportingReporter reporter(&report);
+  report.phase_start("benchmarks");
+  const std::size_t ran = benchmark::RunSpecifiedBenchmarks(&reporter);
+  report.phase_end();
+  report.add_scalar("benchmarks_run", static_cast<std::int64_t>(ran));
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,11 +7,11 @@
 // re-running the escapes with 8192 patterns detects 7.1 % of them, ending at
 // 81.4 %. The periodic stimulus makes fault activation periodic, so longer
 // records concentrate the effect into sharper spectral lines.
-#include <chrono>
 #include <cstdio>
 #include <vector>
 
 #include "core/digital_test.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 #include "stats/parallel.h"
 
@@ -19,21 +19,30 @@ using namespace msts;
 
 int main() {
   std::printf("== Sec. 5: digital filter fault coverage through the analog path ==\n\n");
-  const auto t_start = std::chrono::steady_clock::now();
+  obs::BenchReport report("sec5_fault_coverage");
   const int threads = stats::resolve_threads(0);
   std::printf("fault-simulation batches on %d thread%s (MSTS_THREADS overrides; "
               "coverage is thread-count invariant)\n\n",
               threads, threads == 1 ? "" : "s");
   const auto config = path::reference_path_config();
   const core::DigitalTester tester(config);
-  const auto& faults = tester.faults();
-  std::printf("DUT: %zu-tap FIR (%d-bit input), %zu nets, %zu collapsed faults\n\n",
+
+  // At reduced MSTS_BENCH_SCALE the universe is thinned by a stride (1 at
+  // full scale, i.e. every collapsed fault).
+  const std::size_t stride = obs::scaled_stride(1);
+  std::vector<digital::Fault> faults;
+  for (std::size_t i = 0; i < tester.faults().size(); i += stride) {
+    faults.push_back(tester.faults()[i]);
+  }
+  std::printf("DUT: %zu-tap FIR (%d-bit input), %zu nets, %zu collapsed faults "
+              "(%zu simulated)\n\n",
               config.fir_taps, config.adc.bits, tester.netlist().num_nets(),
-              faults.size());
+              tester.faults().size(), faults.size());
+  report.add_scalar("faults_simulated", static_cast<std::int64_t>(faults.size()));
 
   // ---- Stage 0: exact-inputs regime -------------------------------------
   core::DigitalTestOptions opt;
-  opt.record = 512;
+  opt.record = obs::scaled_record(512, 128);
   const auto plan = tester.plan(opt);
   std::printf("stimulus: two tones at %.0f / %.0f kHz IF, %.2f V per tone at ADC\n",
               plan.if_freqs[0] / 1e3, plan.if_freqs[1] / 1e3, plan.per_tone_adc_vpeak);
@@ -41,22 +50,28 @@ int main() {
               "(paper: SNR 7x dB, SFDR 6x dB)\n\n",
               plan.expected_filter_in_snr_db, plan.expected_filter_in_sfdr_db);
 
+  report.phase_start("exact_campaign");
   const auto ideal = tester.ideal_codes(plan);
   const auto exact =
       tester.exact_campaign(ideal, std::span(faults.data(), faults.size()));
+  report.phase_end();
   std::printf("[exact inputs, %4zu patterns] coverage %.2f %%   (paper: 95.5 %%)\n",
               plan.record, 100.0 * exact.coverage());
+  report.add_scalar("coverage_exact_pct", 100.0 * exact.coverage());
 
   // ---- Stage 1: translated test, short record ----------------------------
+  report.phase_start("translated_short");
   const path::ReceiverPath device(config);
   stats::Rng noise(2000);
   const auto noisy = tester.path_codes(plan, device, noise);
   const auto stage1 = tester.spectral_campaign(plan, ideal, noisy,
                                                std::span(faults.data(), faults.size()));
+  report.phase_end();
   std::printf("[translated,   %4zu patterns] coverage %.2f %%   (paper: ~80 %%), "
               "good circuit flagged: %s\n",
               plan.record, 100.0 * stage1.result.coverage(),
               stage1.good_circuit_flagged ? "YES" : "no");
+  report.add_scalar("coverage_translated_short_pct", 100.0 * stage1.result.coverage());
 
   // ---- Stage 2: rerun the escapes with a longer pattern set --------------
   std::vector<digital::Fault> remaining;
@@ -67,8 +82,9 @@ int main() {
               "longer record...\n",
               remaining.size());
 
+  report.phase_start("translated_long");
   core::DigitalTestOptions opt2 = opt;
-  opt2.record = 8192;
+  opt2.record = obs::scaled_record(8192, 1024);
   const auto plan2 = tester.plan(opt2);
   stats::Rng noise2(2001);
   const auto noisy2 = tester.path_codes(plan2, device, noise2);
@@ -76,16 +92,19 @@ int main() {
   const auto stage2 = tester.spectral_campaign(plan2, ideal2, noisy2,
                                                std::span(remaining.data(),
                                                          remaining.size()));
+  report.phase_end();
 
   const double pct_of_remaining =
       remaining.empty() ? 0.0 : 100.0 * stage2.result.coverage();
   const std::size_t total_detected = stage1.result.detected + stage2.result.detected;
+  const double final_coverage = 100.0 * static_cast<double>(total_detected) /
+                                static_cast<double>(faults.size());
   std::printf("[translated,   %4zu patterns] detects %.1f %% of the escapes "
               "(paper: 7.1 %%)\n",
               plan2.record, pct_of_remaining);
   std::printf("\nfinal translated coverage: %.2f %%   (paper: 81.4 %%)\n",
-              100.0 * static_cast<double>(total_detected) /
-                  static_cast<double>(faults.size()));
+              final_coverage);
+  report.add_scalar("coverage_translated_final_pct", final_coverage);
 
   // ---- Escape analysis (paper: escapes cluster in the low-order bits) ----
   std::size_t low_bit_escapes = 0, escapes = 0;
@@ -106,9 +125,6 @@ int main() {
                 "significant bits\")\n",
                 low_bit_escapes, escapes);
   }
-  std::printf("\nwall clock: %.2f s at %d thread%s\n",
-              std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-                  .count(),
-              threads, threads == 1 ? "" : "s");
+  report.add_scalar("final_escapes", static_cast<std::int64_t>(escapes));
   return 0;
 }

@@ -12,20 +12,24 @@
 #include <cstdio>
 
 #include "core/synthesizer.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 
 using namespace msts;
 
 int main() {
   std::printf("== Table 2: fault-coverage and yield losses per threshold ==\n\n");
+  obs::BenchReport report("table2_fcl_yl");
   const auto config = path::reference_path_config();
   const core::TestSynthesizer synth(config, /*adaptive=*/true);
 
+  report.phase_start("studies");
   const core::ParameterStudy studies[] = {
       synth.study_mixer_p1db(),
       synth.study_mixer_iip3(),
       synth.study_lpf_cutoff(),
   };
+  report.phase_end();
 
   std::printf("%-12s | %-19s | %-19s | %-19s\n", "", "Thr = Tol", "Thr = Tol-Err",
               "Thr = Tol+Err");
@@ -41,6 +45,8 @@ int main() {
                 100.0 * a.yield_loss, 100.0 * b.fault_coverage_loss,
                 100.0 * b.yield_loss, 100.0 * c.fault_coverage_loss,
                 100.0 * c.yield_loss);
+    report.add_scalar(s.parameter + ".fcl_pct_at_tol", 100.0 * a.fault_coverage_loss);
+    report.add_scalar(s.parameter + ".yl_pct_at_tol", 100.0 * a.yield_loss);
   }
 
   std::printf("\nerror budgets: P1dB ±%.2f dB, IIP3 ±%.2f dB (adaptive), f_c ±%.1f kHz\n",

@@ -6,11 +6,12 @@
 // actual IIP3 measurement through the primary ports, applies the pass
 // threshold, and counts empirical losses — validating both the error budget
 // and the loss integrals at once.
-#include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "core/mc_validation.h"
 #include "core/synthesizer.h"
+#include "obs/bench_report.h"
 #include "path/receiver_path.h"
 #include "stats/parallel.h"
 
@@ -18,29 +19,31 @@ using namespace msts;
 
 int main() {
   std::printf("== Table 2 cross-check: analytic losses vs executed-test MC ==\n\n");
+  obs::BenchReport report("table2_mc_crosscheck");
   const auto config = path::reference_path_config();
   path::MeasureOptions opts;
-  opts.digital_record = 1024;
+  opts.digital_record = obs::scaled_record(1024, 256);
 
   const int threads = stats::resolve_threads(0);
   std::printf("MC engine: %d thread%s (override with MSTS_THREADS; results are\n"
               "bit-identical for every thread count)\n\n",
               threads, threads == 1 ? "" : "s");
 
-  double total_secs = 0.0;
+  // validate_iip3_study_mc requires at least 10 trials for its loss counts.
+  const auto trials = obs::scaled_trials(600, 20);
+  report.add_scalar("trials_per_strategy", static_cast<std::int64_t>(trials));
   for (const bool adaptive : {true, false}) {
     const core::TestSynthesizer synth(config, adaptive);
     const auto study = synth.study_mixer_iip3();
     stats::Rng rng(adaptive ? 555u : 556u);
-    const auto t0 = std::chrono::steady_clock::now();
+    report.phase_start(adaptive ? "mc_adaptive" : "mc_nominal");
     const auto v =
-        core::validate_iip3_study_mc(config, study, 600, rng, adaptive, opts);
-    const double secs =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-    total_secs += secs;
+        core::validate_iip3_study_mc(config, study, trials, rng, adaptive, opts);
+    report.phase_end();
 
     std::printf("mixer IIP3, %s computation (err budget ±%.2f dB wc, %.2f s):\n",
-                adaptive ? "adaptive" : "nominal-gain", study.error_wc, secs);
+                adaptive ? "adaptive" : "nominal-gain", study.error_wc,
+                report.last_phase_wall_s());
     std::printf("  mean |measurement error| over devices: %.3f dB\n",
                 v.mean_abs_meas_error);
     std::printf("  %-24s %10s %10s\n", "", "FCL %", "YL %");
@@ -48,10 +51,12 @@ int main() {
                 100.0 * v.fcl_predicted, 100.0 * v.yl_predicted);
     std::printf("  %-24s %10.2f %10.2f\n\n", "executed-test MC",
                 100.0 * v.fcl_measured, 100.0 * v.yl_measured);
+    const char* tag = adaptive ? "adaptive" : "nominal";
+    report.add_scalar(std::string(tag) + ".mean_abs_meas_error_db",
+                      v.mean_abs_meas_error);
+    report.add_scalar(std::string(tag) + ".fcl_pct_measured", 100.0 * v.fcl_measured);
+    report.add_scalar(std::string(tag) + ".yl_pct_measured", 100.0 * v.yl_measured);
   }
-
-  std::printf("MC wall clock: %.2f s total at %d thread%s\n\n", total_secs, threads,
-              threads == 1 ? "" : "s");
   std::printf("Reading: the executed-test losses land at or below the analytic\n"
               "worst-case prediction (the uniform error model is conservative —\n"
               "real gain skews rarely sit at their corners simultaneously), and\n"

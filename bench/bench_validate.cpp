@@ -1,0 +1,96 @@
+// Schema validator for the BENCH_*.json files emitted by obs::BenchReport.
+// The bench_smoke CTest label runs every bench at reduced scale and then
+// this tool over the emitted file; a malformed or incomplete report fails
+// the test. Usage: bench_validate BENCH_<name>.json...
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using msts::obs::json::Value;
+
+bool fail(const char* path, const std::string& why) {
+  std::fprintf(stderr, "bench_validate: %s: %s\n", path, why.c_str());
+  return false;
+}
+
+bool is_number(const Value* v) { return v != nullptr && v->is_number(); }
+
+bool validate(const char* path) {
+  std::ifstream in(path);
+  if (!in) return fail(path, "cannot open");
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const auto doc = msts::obs::json::parse(buf.str(), &err);
+  if (!doc) return fail(path, "invalid JSON: " + err);
+  if (!doc->is_object()) return fail(path, "root is not an object");
+
+  const Value* bench = doc->find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string.empty()) {
+    return fail(path, "missing or invalid 'bench'");
+  }
+  const Value* version = doc->find("schema_version");
+  if (!is_number(version) || version->number != 1.0) {
+    return fail(path, "missing or invalid 'schema_version' (want 1)");
+  }
+  const Value* threads = doc->find("threads");
+  if (!is_number(threads) || threads->number < 1.0) {
+    return fail(path, "missing or invalid 'threads'");
+  }
+  const Value* scale = doc->find("scale");
+  if (!is_number(scale) || scale->number <= 0.0 || scale->number > 1.0) {
+    return fail(path, "missing or invalid 'scale'");
+  }
+  const Value* total = doc->find("total_wall_s");
+  if (!is_number(total) || total->number < 0.0) {
+    return fail(path, "missing or invalid 'total_wall_s'");
+  }
+
+  const Value* phases = doc->find("phases");
+  if (phases == nullptr || !phases->is_array()) {
+    return fail(path, "missing or invalid 'phases'");
+  }
+  for (const Value& p : phases->array) {
+    if (!p.is_object()) return fail(path, "phase entry is not an object");
+    const Value* name = p.find("name");
+    const Value* wall = p.find("wall_s");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
+      return fail(path, "phase entry missing 'name'");
+    }
+    if (!is_number(wall) || wall->number < 0.0) {
+      return fail(path, "phase '" + name->string + "' missing 'wall_s'");
+    }
+  }
+
+  const Value* scalars = doc->find("scalars");
+  if (scalars == nullptr || !scalars->is_object()) {
+    return fail(path, "missing or invalid 'scalars'");
+  }
+  for (const auto& [key, v] : scalars->object) {
+    if (key.empty() || !v.is_number()) {
+      return fail(path, "scalar '" + key + "' is not a finite number");
+    }
+  }
+
+  std::printf("bench_validate: %s OK (%zu phases, %zu scalars)\n", path,
+              phases->array.size(), scalars->object.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_validate BENCH_<name>.json...\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = validate(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

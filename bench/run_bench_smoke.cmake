@@ -1,0 +1,34 @@
+# Runs one bench at reduced scale and validates the BENCH_<name>.json it
+# emits. Invoked by the bench_smoke CTest tests as
+#   cmake -DBENCH_EXE=... -DVALIDATOR=... -DJSON_NAME=... -DOUT_DIR=...
+#         -P run_bench_smoke.cmake
+# Ambient MSTS_BENCH_SCALE / MSTS_THREADS are honoured; otherwise the smoke
+# defaults below apply.
+foreach(var BENCH_EXE VALIDATOR JSON_NAME OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_bench_smoke.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+if(NOT DEFINED ENV{MSTS_BENCH_SCALE})
+  set(ENV{MSTS_BENCH_SCALE} "0.04")
+endif()
+if(NOT DEFINED ENV{MSTS_THREADS})
+  set(ENV{MSTS_THREADS} "2")
+endif()
+
+# Each test writes into its own directory so parallel ctest runs never race
+# on the JSON files.
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(ENV{MSTS_BENCH_JSON_DIR} "${OUT_DIR}")
+
+execute_process(COMMAND "${BENCH_EXE}" RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with status ${bench_rc}")
+endif()
+
+execute_process(COMMAND "${VALIDATOR}" "${OUT_DIR}/${JSON_NAME}"
+                RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "bench report validation failed (status ${validate_rc})")
+endif()

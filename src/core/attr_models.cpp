@@ -1,6 +1,7 @@
 #include "core/attr_models.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include "analog/amp.h"
 #include "analog/lpf.h"
@@ -9,6 +10,7 @@
 #include "base/units.h"
 #include "dsp/fir_design.h"
 #include "dsp/metrics.h"
+#include "obs/trace.h"
 #include "stats/uncertain.h"
 
 namespace msts::core {
@@ -40,7 +42,6 @@ SignalAttributes AmpAttrModel::forward(const SignalAttributes& in) const {
   out.fs = in.fs;
 
   const Uncertain g = lin_gain(p_.gain_db);
-  const double a1 = g.nominal;
   const double c3 = analog::c3_from_iip3(vpeak_from_dbm(p_.iip3_dbm.nominal));
   const double c2 = analog::c2_from_iip2(vpeak_from_dbm(p_.iip2_dbm.nominal));
 
@@ -347,9 +348,34 @@ PathAttrModel::PathAttrModel(const path::PathConfig& config) : config_(config) {
 SignalAttributes PathAttrModel::forward_upto(const SignalAttributes& rf,
                                              std::size_t nblocks) const {
   MSTS_REQUIRE(nblocks <= kNumBlocks, "block index out of range");
+  // With tracing on, every propagation step records what the SignalAttributes
+  // look like after each block (tone/spur census, strongest tone, DC, noise),
+  // keyed by block index so a drained trace reads in cascade order.
+  const bool traced = obs::trace_enabled();
   SignalAttributes sig = rf;
   for (std::size_t i = 0; i < nblocks; ++i) {
     sig = blocks_[i]->forward(sig);
+    if (traced) {
+      double a_max = 0.0;
+      double f_at_max = 0.0;
+      for (const ToneAttr& t : sig.tones) {
+        if (t.amplitude.nominal > a_max) {
+          a_max = t.amplitude.nominal;
+          f_at_max = t.freq.nominal;
+        }
+      }
+      obs::trace_emit({obs::TraceKind::kAttrStep,
+                       blocks_[i]->name(),
+                       i,
+                       {{"block", static_cast<std::int64_t>(i)},
+                        {"fs", sig.fs},
+                        {"tones", static_cast<std::int64_t>(sig.tones.size())},
+                        {"spurs", static_cast<std::int64_t>(sig.spurs.size())},
+                        {"max_tone_v", a_max},
+                        {"max_tone_hz", f_at_max},
+                        {"dc_v", sig.dc.nominal},
+                        {"noise_power_v2", sig.noise_power.nominal}}});
+    }
   }
   return sig;
 }

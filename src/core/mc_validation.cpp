@@ -1,10 +1,15 @@
 #include "core/mc_validation.h"
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "base/require.h"
 #include "core/translation.h"
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "stats/parallel.h"
 
 namespace msts::core {
@@ -14,6 +19,9 @@ McValidation validate_iip3_study_mc(const path::PathConfig& config,
                                     stats::Rng& rng, bool adaptive,
                                     const path::MeasureOptions& opts, int threads) {
   MSTS_REQUIRE(trials >= 10, "need at least 10 trials");
+  obs::ScopedTimer timer("core.validate_iip3_study_mc");
+  obs::counter_add("core.validate_iip3_study_mc.trials",
+                   static_cast<std::uint64_t>(trials));
 
   // The test program is synthesized once from the *nominal* description —
   // the device under test never informs its own test.
@@ -42,7 +50,13 @@ McValidation validate_iip3_study_mc(const path::PathConfig& config,
   const std::vector<stats::Rng> streams =
       stats::make_streams(rng.split(), static_cast<std::size_t>(trials));
 
+  // Tracing observes each trial without touching its RNG draws or the serial
+  // reduction below: traced runs stay bit-identical to untraced ones.
+  const bool traced = obs::trace_enabled();
+
   stats::parallel_for_index(static_cast<std::size_t>(trials), threads, [&](std::size_t t) {
+    const auto t0 = traced ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
     stats::Rng trial_rng = streams[t];
     const double true_iip3 = trial_rng.uniform(lo, hi);
 
@@ -59,12 +73,27 @@ McValidation validate_iip3_study_mc(const path::PathConfig& config,
     r.is_good = study.spec.passes(true_iip3);
     r.accepted = threshold.passes(measured);
     records[t] = r;
+    if (traced) {
+      const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+      obs::trace_emit({obs::TraceKind::kMcBlock,
+                       "core.validate_iip3_study_mc",
+                       t,
+                       {{"stream", static_cast<std::int64_t>(t)},
+                        {"trial_begin", static_cast<std::int64_t>(t)},
+                        {"trial_end", static_cast<std::int64_t>(t + 1)},
+                        {"wall_ns", static_cast<std::int64_t>(wall_ns)}}});
+    }
   });
 
   double w_good_reject = 0.0;
   double w_faulty_accept = 0.0;
   double abs_err_sum = 0.0;
   for (const TrialRecord& r : records) {
+    // Recorded in the serial reduction, so the histogram bins fill in trial
+    // order regardless of how many threads ran the loop above.
+    obs::histogram_record("core.validate_iip3_study_mc.abs_err", r.abs_err);
     abs_err_sum += r.abs_err;
     if (r.is_good) {
       v.weight_good += r.weight;

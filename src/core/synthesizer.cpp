@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "base/require.h"
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
 
 namespace msts::core {
 
@@ -27,6 +29,7 @@ stats::Normal population_of(const stats::Uncertain& param) {
 }  // namespace
 
 ParameterStudy TestSynthesizer::study_mixer_p1db() const {
+  obs::ScopedTimer timer("core.study_mixer_p1db");
   const auto analysis = translator_.analyze_mixer_p1db();
   const auto& p = config_.mixer.p1db_in_dbm;
   return threshold_study(
@@ -36,6 +39,7 @@ ParameterStudy TestSynthesizer::study_mixer_p1db() const {
 }
 
 ParameterStudy TestSynthesizer::study_mixer_iip3() const {
+  obs::ScopedTimer timer("core.study_mixer_iip3");
   const auto analysis = translator_.analyze_mixer_iip3(adaptive_);
   const auto& p = config_.mixer.iip3_dbm;
   return threshold_study(
@@ -45,6 +49,7 @@ ParameterStudy TestSynthesizer::study_mixer_iip3() const {
 }
 
 ParameterStudy TestSynthesizer::study_lpf_cutoff() const {
+  obs::ScopedTimer timer("core.study_lpf_cutoff");
   const auto analysis = translator_.analyze_lpf_cutoff();
   const auto& p = config_.lpf.cutoff_hz;
   const double half = spec_sigmas_ * population_of(p).sigma;
@@ -54,6 +59,8 @@ ParameterStudy TestSynthesizer::study_lpf_cutoff() const {
 }
 
 std::vector<PlannedTest> TestSynthesizer::synthesize() const {
+  obs::ScopedTimer timer("core.synthesize");
+  obs::counter_add("core.synthesize.calls");
   std::vector<PlannedTest> plan;
 
   auto add = [&](const std::string& module, const std::string& parameter,

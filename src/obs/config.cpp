@@ -1,0 +1,108 @@
+#include "obs/config.h"
+
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace msts::obs {
+
+namespace {
+
+std::atomic<bool> g_metrics{false};
+std::atomic<bool> g_trace{false};
+std::once_flag g_env_init;
+
+void ensure_env_init() {
+  std::call_once(g_env_init, [] {
+    const Config c = Config::from_env();
+    g_metrics.store(c.metrics, std::memory_order_relaxed);
+    g_trace.store(c.trace, std::memory_order_relaxed);
+  });
+}
+
+[[noreturn]] void bad_env(const char* name, const char* value,
+                          const std::string& expected) {
+  throw std::invalid_argument(std::string("invalid ") + name + "='" + value +
+                              "': expected " + expected);
+}
+
+}  // namespace
+
+Config Config::from_env() {
+  Config c;
+  c.metrics = env_flag("MSTS_METRICS");
+  c.trace = env_flag("MSTS_TRACE");
+  return c;
+}
+
+void configure(const Config& config) {
+  // Make sure a later first call to metrics_enabled() cannot clobber an
+  // explicit configuration with the environment defaults.
+  ensure_env_init();
+  g_metrics.store(config.metrics, std::memory_order_relaxed);
+  g_trace.store(config.trace, std::memory_order_relaxed);
+}
+
+Config current_config() {
+  ensure_env_init();
+  Config c;
+  c.metrics = g_metrics.load(std::memory_order_relaxed);
+  c.trace = g_trace.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool metrics_enabled() {
+  ensure_env_init();
+  return g_metrics.load(std::memory_order_relaxed);
+}
+
+bool trace_enabled() {
+  ensure_env_init();
+  return g_trace.load(std::memory_order_relaxed);
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return false;
+  std::string v;
+  for (const char* p = raw; *p != '\0'; ++p) {
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (v == "0" || v == "false" || v == "off" || v == "no") return false;
+  if (v == "1" || v == "true" || v == "on" || v == "yes") return true;
+  bad_env(name, raw, "one of 0/1/true/false/on/off/yes/no");
+}
+
+std::optional<long> env_int(const char* name, long min, long max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || errno == ERANGE || v < min || v > max) {
+    bad_env(name, raw,
+            "an integer in [" + std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return v;
+}
+
+std::optional<double> env_double(const char* name, double min, double max) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(raw, &end);
+  if (end == raw || *end != '\0' || errno == ERANGE || !std::isfinite(v) || v < min ||
+      v > max) {
+    bad_env(name, raw,
+            "a number in [" + std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return v;
+}
+
+}  // namespace msts::obs

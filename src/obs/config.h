@@ -1,0 +1,64 @@
+// Runtime configuration of the observability layer.
+//
+// Two independent switches control what msts::obs collects:
+//  * metrics — scoped timers, counters and histograms (obs/registry.h);
+//  * trace   — structured trace events (obs/trace.h).
+// Both default to off and are near-zero-cost while off: every instrumented
+// call site performs one relaxed atomic load and nothing else (no clock
+// read, no allocation, no lock).
+//
+// The switches come from the environment on first use (MSTS_METRICS and
+// MSTS_TRACE) and can be overridden programmatically with configure() —
+// tests and long-lived services flip collection on and off that way.
+// Environment parsing is strict: a set-but-malformed variable throws
+// std::invalid_argument naming the variable, instead of silently running
+// with a misparsed configuration.
+#pragma once
+
+#include <optional>
+
+namespace msts::obs {
+
+/// The observability switches.
+struct Config {
+  bool metrics = false;  ///< Timers / counters / histograms collect.
+  bool trace = false;    ///< Structured trace events collect.
+
+  /// Reads MSTS_METRICS and MSTS_TRACE (see env_flag for accepted values).
+  static Config from_env();
+};
+
+/// Installs `config`, replacing whatever was active (including the
+/// environment-derived defaults). Thread-safe.
+void configure(const Config& config);
+
+/// The currently active configuration.
+Config current_config();
+
+/// True when metric collection is on. One relaxed atomic load.
+bool metrics_enabled();
+
+/// True when trace collection is on. One relaxed atomic load.
+bool trace_enabled();
+
+// ---------------------------------------------------------------------------
+// Strict environment parsing (shared by the rest of the toolkit; notably
+// stats::max_threads uses env_int for MSTS_THREADS).
+// ---------------------------------------------------------------------------
+
+/// Boolean environment variable: unset / "" / "0" / "false" / "off" / "no"
+/// are false; "1" / "true" / "on" / "yes" are true (case-insensitive).
+/// Anything else throws std::invalid_argument.
+bool env_flag(const char* name);
+
+/// Integer environment variable constrained to [min, max]. Returns nullopt
+/// when unset or empty; throws std::invalid_argument (with the variable
+/// name, the offending value and the accepted range in the message) on
+/// non-numeric text, trailing junk, or out-of-range / overflowing values.
+std::optional<long> env_int(const char* name, long min, long max);
+
+/// Floating-point environment variable constrained to [min, max]. Same
+/// strictness contract as env_int.
+std::optional<double> env_double(const char* name, double min, double max);
+
+}  // namespace msts::obs

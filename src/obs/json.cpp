@@ -1,0 +1,376 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace msts::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto u = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) out_ += ',';
+    stack_.back().has_value = true;
+  }
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back({'o'});
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  stack_.pop_back();
+  out_ += '}';
+  if (!stack_.empty()) stack_.back().has_value = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back({'a'});
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  stack_.pop_back();
+  out_ += ']';
+  if (!stack_.empty()) stack_.back().has_value = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (!stack_.empty()) {
+    if (stack_.back().has_value) out_ += ',';
+    stack_.back().has_value = true;
+  }
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  before_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  if (!std::isfinite(v)) return null();
+  before_value();
+  char buf[40];
+  // %.17g round-trips every double; trim to the shortest representation
+  // that still parses back exactly.
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+const Value* Value::find(std::string_view k) const {
+  for (const auto& [name, v] : object) {
+    if (name == k) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string_view with offset-carrying errors.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    skip_ws();
+    Value v;
+    if (!parse_value(v)) {
+      if (error != nullptr) *error = message_ + " at offset " + std::to_string(pos_);
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (message_.empty()) message_ = msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (depth_ > 128) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.string);
+      case 't':
+      case 'f': return parse_literal(out);
+      case 'n': return parse_literal(out);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(Value& out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (rest.rfind("true", 0) == 0) {
+      out.type = Value::Type::kBool;
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (rest.rfind("false", 0) == 0) {
+      out.type = Value::Type::kBool;
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    if (rest.rfind("null", 0) == 0) {
+      out.type = Value::Type::kNull;
+      pos_ += 4;
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_number(Value& out) {
+    // Validate against the JSON number grammar first: strtod alone would
+    // also accept non-JSON spellings ("01", "+1", ".5", "0x1", "inf").
+    std::size_t p = pos_;
+    const auto digits = [&] {
+      const std::size_t start = p;
+      while (p < text_.size() && text_[p] >= '0' && text_[p] <= '9') ++p;
+      return p > start;
+    };
+    if (p < text_.size() && text_[p] == '-') ++p;
+    if (p < text_.size() && text_[p] == '0') {
+      ++p;  // a leading zero must stand alone
+    } else if (!digits()) {
+      return fail("invalid number");
+    }
+    if (p < text_.size() && text_[p] == '.') {
+      ++p;
+      if (!digits()) return fail("invalid number");
+    }
+    if (p < text_.size() && (text_[p] == 'e' || text_[p] == 'E')) {
+      ++p;
+      if (p < text_.size() && (text_[p] == '+' || text_[p] == '-')) ++p;
+      if (!digits()) return fail("invalid number");
+    }
+
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end != begin + (p - pos_)) return fail("invalid number");
+    if (!std::isfinite(v)) return fail("non-finite number");
+    out.type = Value::Type::kNumber;
+    out.number = v;
+    pos_ = p;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected '\"'");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid \\u escape");
+          }
+          // The toolkit only emits \u00xx; decode the BMP as UTF-8 so any
+          // valid input round-trips.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_object(Value& out) {
+    ++depth_;
+    eat('{');
+    out.type = Value::Type::kObject;
+    skip_ws();
+    if (eat('}')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return fail("expected object key");
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) {
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    ++depth_;
+    eat('[');
+    out.type = Value::Type::kArray;
+    skip_ws();
+    if (eat(']')) {
+      --depth_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) {
+        --depth_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string message_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace msts::obs::json

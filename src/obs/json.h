@@ -1,0 +1,93 @@
+// Minimal JSON support for the observability layer: a streaming writer for
+// BENCH_*.json / trace output, and a small recursive-descent parser used by
+// the round-trip tests and the bench_smoke validator. No third-party
+// dependencies; covers the JSON subset the toolkit emits (finite numbers,
+// strings with standard escapes, bools, null, arrays, objects).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msts::obs::json {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string escape(std::string_view s);
+
+/// Streaming JSON writer. Commas and colons are inserted automatically;
+/// nesting is tracked so str() on an unbalanced document asserts via the
+/// writer's own bookkeeping (callers always balance begin/end in practice).
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits an object key; must be followed by a value or container.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(double v);  ///< Non-finite values are emitted as null.
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  /// Convenience: key + value in one call.
+  template <typename T>
+  Writer& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document so far. Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+
+  std::string out_;
+  // One entry per open container: 'o' / 'a', plus whether a value was
+  // already written at this level (for comma placement).
+  struct Level {
+    char type;
+    bool has_value = false;
+  };
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value. Object member order is preserved.
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, Value>> object;
+  std::vector<Value> array;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// First member named `k`, or nullptr (objects only).
+  const Value* find(std::string_view k) const;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace). Returns
+/// nullopt on malformed input and, when `error` is non-null, stores a
+/// message with the byte offset of the failure.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace msts::obs::json

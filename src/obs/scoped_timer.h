@@ -1,0 +1,42 @@
+// RAII wall-clock timer feeding the metric registry.
+//
+// Construct with a string-literal name at the top of the scope to measure.
+// When metrics are disabled the constructor is one relaxed atomic load and
+// the destructor one branch — no clock read, no allocation — so timers may
+// sit on hot paths unconditionally.
+#pragma once
+
+#include <chrono>
+
+#include "obs/registry.h"
+
+namespace msts::obs {
+
+class ScopedTimer {
+ public:
+  /// `name` must outlive the timer (pass a string literal).
+  explicit ScopedTimer(const char* name)
+      : name_(name), armed_(metrics_enabled()) {
+    if (armed_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (armed_) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      Registry::instance().timer_record_ns(name_,
+                                           ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool armed_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace msts::obs

@@ -1,0 +1,94 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "obs/json.h"
+
+namespace msts::obs {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kAttrStep: return "attr_step";
+    case TraceKind::kTranslation: return "translation";
+    case TraceKind::kMcBlock: return "mc_block";
+    case TraceKind::kPhase: return "phase";
+  }
+  return "?";
+}
+
+namespace {
+
+// Bounded in-memory buffer. A mutex is fine here: tracing is an opt-in
+// diagnostic mode, and emission frequency is one event per block / step,
+// not per sample.
+constexpr std::size_t kMaxBufferedEvents = 1u << 20;
+
+std::mutex& buffer_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<TraceEvent>& buffer() {
+  static std::vector<TraceEvent>* events = new std::vector<TraceEvent>;
+  return *events;
+}
+
+std::atomic<std::uint64_t> g_dropped{0};
+
+}  // namespace
+
+void trace_emit(TraceEvent event) {
+  if (!trace_enabled()) return;
+  std::lock_guard<std::mutex> lock(buffer_mutex());
+  if (buffer().size() >= kMaxBufferedEvents) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer().push_back(std::move(event));
+}
+
+std::vector<TraceEvent> trace_take() {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mutex());
+    out.swap(buffer());
+    g_dropped.store(0, std::memory_order_relaxed);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     if (a.label != b.label) return a.label < b.label;
+                     return a.order < b.order;
+                   });
+  return out;
+}
+
+std::size_t trace_pending() {
+  std::lock_guard<std::mutex> lock(buffer_mutex());
+  return buffer().size();
+}
+
+std::uint64_t trace_dropped() { return g_dropped.load(std::memory_order_relaxed); }
+
+std::string trace_to_jsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& e : events) {
+    json::Writer w;
+    w.begin_object();
+    w.kv("kind", to_string(e.kind));
+    w.kv("label", std::string_view(e.label));
+    w.kv("order", static_cast<std::uint64_t>(e.order));
+    for (const auto& [key, v] : e.fields) {
+      w.key(key);
+      std::visit([&w](const auto& x) { w.value(x); }, v);
+    }
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace msts::obs

@@ -5,6 +5,8 @@
 #include "base/require.h"
 #include "base/units.h"
 #include "dsp/tonegen.h"
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
 
 namespace msts::path {
 
@@ -40,6 +42,8 @@ double coherent_if_freq(const PathConfig& config, const MeasureOptions& opts,
 dsp::Spectrum run_two_port(const ReceiverPath& path, std::span<const double> if_freqs,
                            std::span<const double> amplitudes_vpeak,
                            stats::Rng& noise_rng, const MeasureOptions& opts) {
+  obs::counter_add("path.run_two_port.calls");
+  obs::counter_add("path.run_two_port.digital_samples", opts.digital_record);
   const analog::Signal rf = make_rf(path, if_freqs, amplitudes_vpeak, opts);
   const auto trace = path.run(rf, noise_rng);
   const auto volts = path.filter_output_volts(trace);
@@ -49,6 +53,7 @@ dsp::Spectrum run_two_port(const ReceiverPath& path, std::span<const double> if_
 double measure_path_gain_db(const ReceiverPath& path, double if_freq, double amp_vpeak,
                             stats::Rng& noise_rng, const MeasureOptions& opts) {
   MSTS_REQUIRE(amp_vpeak > 0.0, "stimulus amplitude must be positive");
+  obs::ScopedTimer timer("path.measure_path_gain_db");
   const double freqs[] = {if_freq};
   const double amps[] = {amp_vpeak};
   const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
@@ -62,6 +67,7 @@ TwoToneResponse measure_two_tone(const ReceiverPath& path, double f1_if, double 
                                  double amp_vpeak, stats::Rng& noise_rng,
                                  const MeasureOptions& opts) {
   MSTS_REQUIRE(f1_if != f2_if, "two-tone test needs distinct tones");
+  obs::ScopedTimer timer("path.measure_two_tone");
   const double freqs[] = {f1_if, f2_if};
   const double amps[] = {amp_vpeak, amp_vpeak};
   const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
@@ -81,6 +87,7 @@ TwoToneResponse measure_two_tone(const ReceiverPath& path, double f1_if, double 
 
 double measure_path_p1db_dbm(const ReceiverPath& path, double if_freq,
                              stats::Rng& noise_rng, const MeasureOptions& opts) {
+  obs::ScopedTimer timer("path.measure_path_p1db_dbm");
   // Establish the small-signal gain, then raise the drive until it has
   // dropped by 1 dB; log-domain bisection between the last two points.
   const double small_dbm = -45.0;
@@ -113,6 +120,7 @@ double measure_path_p1db_dbm(const ReceiverPath& path, double if_freq,
 
 double measure_path_cutoff_hz(const ReceiverPath& path, double amp_vpeak,
                               stats::Rng& noise_rng, const MeasureOptions& opts) {
+  obs::ScopedTimer timer("path.measure_path_cutoff_hz");
   const PathConfig& c = path.config();
   // Reference gain deep in the pass-band.
   const double f_ref = coherent_if_freq(c, opts, 100e3);
@@ -136,6 +144,7 @@ double measure_path_cutoff_hz(const ReceiverPath& path, double amp_vpeak,
 
 double measure_output_dc_v(const ReceiverPath& path, stats::Rng& noise_rng,
                            const MeasureOptions& opts) {
+  obs::ScopedTimer timer("path.measure_output_dc_v");
   analog::Signal rf;
   rf.fs = path.config().analog_fs;
   rf.samples.assign(analog_record(path.config(), opts), 0.0);
@@ -152,6 +161,7 @@ double measure_output_dc_v(const ReceiverPath& path, stats::Rng& noise_rng,
 dsp::SpectralReport measure_spectrum_report(const ReceiverPath& path, double if_freq,
                                             double amp_vpeak, stats::Rng& noise_rng,
                                             const MeasureOptions& opts) {
+  obs::ScopedTimer timer("path.measure_spectrum_report");
   const double freqs[] = {if_freq};
   const double amps[] = {amp_vpeak};
   const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
@@ -163,6 +173,7 @@ dsp::SpectralReport measure_spectrum_report(const ReceiverPath& path, double if_
 double measure_group_delay_s(const ReceiverPath& path, double if_freq,
                              double amp_vpeak, stats::Rng& noise_rng,
                              const MeasureOptions& opts) {
+  obs::ScopedTimer timer("path.measure_group_delay_s");
   const PathConfig& c = path.config();
   const double bin_w = c.digital_fs() / static_cast<double>(opts.digital_record);
   // Two coherent tones straddling if_freq, 8 bins apart.
@@ -185,6 +196,7 @@ double measure_group_delay_s(const ReceiverPath& path, double if_freq,
 double measure_lo_freq_error_ppm(const ReceiverPath& path, double if_freq,
                                  double amp_vpeak, stats::Rng& noise_rng,
                                  const MeasureOptions& opts) {
+  obs::ScopedTimer timer("path.measure_lo_freq_error_ppm");
   const double freqs[] = {if_freq};
   const double amps[] = {amp_vpeak};
   const analog::Signal rf = make_rf(path, freqs, amps, opts);

@@ -2,19 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
 #include <exception>
 #include <memory>
 
 #include "base/require.h"
+#include "obs/config.h"
+#include "obs/registry.h"
 
 namespace msts::stats {
 
 int max_threads() {
-  if (const char* env = std::getenv("MSTS_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1 && v <= 4096) return static_cast<int>(v);
+  // Strict parse: a set-but-malformed MSTS_THREADS (non-numeric, negative,
+  // zero, overflow, trailing junk) throws std::invalid_argument instead of
+  // silently falling back to hardware concurrency.
+  if (const auto v = obs::env_int("MSTS_THREADS", 1, 4096)) {
+    return static_cast<int>(*v);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(hw) : 1;
@@ -105,9 +107,12 @@ void parallel_for_index(std::size_t n, int threads,
   if (n == 0) return;
   const int resolved = resolve_threads(threads);
   if (resolved <= 1 || n <= 1 || t_in_parallel_region) {
+    obs::counter_add("stats.parallel_for.serial_runs");
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  obs::counter_add("stats.parallel_for.parallel_runs");
+  obs::counter_add("stats.parallel_for.indices", n);
 
   std::lock_guard<std::mutex> pool_lock(pool_mutex());
   const int runners =

@@ -10,9 +10,11 @@
 // run on 1 thread, 8 threads, or anything in between.
 //
 // Thread count resolution: an explicit `threads` argument wins; 0 defers to
-// the MSTS_THREADS environment variable; when that is unset or invalid the
-// hardware concurrency is used. A resolved count of 1 takes a serial path
-// that touches no threading machinery at all (the serial fallback).
+// the MSTS_THREADS environment variable; when that is unset the hardware
+// concurrency is used, and when it is set but malformed (non-numeric,
+// negative, zero, overflow) resolution throws std::invalid_argument rather
+// than silently misparsing. A resolved count of 1 takes a serial path that
+// touches no threading machinery at all (the serial fallback).
 #pragma once
 
 #include <condition_variable>
@@ -28,7 +30,9 @@
 namespace msts::stats {
 
 /// Thread count from the MSTS_THREADS environment variable, falling back to
-/// std::thread::hardware_concurrency(). Always >= 1.
+/// std::thread::hardware_concurrency() when unset. Always >= 1. Throws
+/// std::invalid_argument when MSTS_THREADS is set to anything but an
+/// integer in [1, 4096].
 int max_threads();
 
 /// Resolves a caller-supplied thread request: `requested` > 0 is honoured as

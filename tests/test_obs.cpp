@@ -1,0 +1,587 @@
+// Tests for the observability layer (src/obs): config / strict env parsing,
+// the metric registry's deterministic merge, the trace buffer's deterministic
+// drain order, JSON write + parse round-trips, bench report emission, and the
+// disabled-mode contract (true no-op: no allocations on the hot path).
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/bench_report.h"
+#include "obs/config.h"
+#include "obs/json.h"
+#include "obs/registry.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "stats/parallel.h"
+#include "stats/yield.h"
+
+// Global operator new instrumentation for the no-allocation test. Counting
+// is process-wide, so the test below single-threads itself and tolerates
+// nothing: any allocation between the markers fails it.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace msts::obs {
+namespace {
+
+// Saves and restores the active obs configuration around a test.
+class ConfigGuard {
+ public:
+  ConfigGuard() : saved_(current_config()) {}
+  ~ConfigGuard() {
+    configure(saved_);
+    (void)trace_take();
+  }
+
+ private:
+  Config saved_;
+};
+
+class EnvVarGuard {
+ public:
+  explicit EnvVarGuard(const char* name) : name_(name) {
+    const char* v = std::getenv(name_);
+    had_ = (v != nullptr);
+    if (had_) saved_ = v;
+  }
+  ~EnvVarGuard() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string saved_;
+};
+
+Config make_config(bool metrics, bool trace) {
+  Config c;
+  c.metrics = metrics;
+  c.trace = trace;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Config and strict env parsing
+// ---------------------------------------------------------------------------
+
+TEST(ObsConfig, ConfigureRoundTrip) {
+  ConfigGuard guard;
+  configure(make_config(true, false));
+  EXPECT_TRUE(metrics_enabled());
+  EXPECT_FALSE(trace_enabled());
+  configure(make_config(false, true));
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_TRUE(trace_enabled());
+  configure(make_config(false, false));
+  EXPECT_FALSE(metrics_enabled());
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST(ObsConfig, EnvFlagAcceptsBooleanSpellingsOnly) {
+  EnvVarGuard guard("MSTS_TEST_FLAG");
+  ::unsetenv("MSTS_TEST_FLAG");
+  EXPECT_FALSE(env_flag("MSTS_TEST_FLAG"));
+  for (const char* t : {"1", "true", "TRUE", "on", "Yes"}) {
+    ::setenv("MSTS_TEST_FLAG", t, 1);
+    EXPECT_TRUE(env_flag("MSTS_TEST_FLAG")) << t;
+  }
+  for (const char* f : {"0", "false", "off", "NO", ""}) {
+    ::setenv("MSTS_TEST_FLAG", f, 1);
+    EXPECT_FALSE(env_flag("MSTS_TEST_FLAG")) << "'" << f << "'";
+  }
+  for (const char* bad : {"2", "maybe", "tru", "yes!"}) {
+    ::setenv("MSTS_TEST_FLAG", bad, 1);
+    EXPECT_THROW(env_flag("MSTS_TEST_FLAG"), std::invalid_argument) << bad;
+  }
+}
+
+TEST(ObsConfig, EnvIntStrictness) {
+  EnvVarGuard guard("MSTS_TEST_INT");
+  ::unsetenv("MSTS_TEST_INT");
+  EXPECT_FALSE(env_int("MSTS_TEST_INT", 1, 100).has_value());
+  ::setenv("MSTS_TEST_INT", "42", 1);
+  EXPECT_EQ(env_int("MSTS_TEST_INT", 1, 100).value(), 42);
+  for (const char* bad :
+       {"0", "101", "-5", "4.2", "42x", "x", " ", "99999999999999999999"}) {
+    ::setenv("MSTS_TEST_INT", bad, 1);
+    EXPECT_THROW(env_int("MSTS_TEST_INT", 1, 100), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+  // The message names the variable, the value and the range.
+  ::setenv("MSTS_TEST_INT", "banana", 1);
+  try {
+    (void)env_int("MSTS_TEST_INT", 1, 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("MSTS_TEST_INT"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("banana"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("100"), std::string::npos) << msg;
+  }
+}
+
+TEST(ObsConfig, EnvDoubleStrictness) {
+  EnvVarGuard guard("MSTS_TEST_DBL");
+  ::unsetenv("MSTS_TEST_DBL");
+  EXPECT_FALSE(env_double("MSTS_TEST_DBL", 0.0, 1.0).has_value());
+  ::setenv("MSTS_TEST_DBL", "0.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("MSTS_TEST_DBL", 0.0, 1.0).value(), 0.25);
+  for (const char* bad : {"-0.1", "1.5", "nan", "inf", "0.2x", "x"}) {
+    ::setenv("MSTS_TEST_DBL", bad, 1);
+    EXPECT_THROW(env_double("MSTS_TEST_DBL", 0.0, 1.0), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, CountersTimersHistogramsCollectWhenEnabled) {
+  ConfigGuard guard;
+  configure(make_config(true, false));
+  Registry::instance().reset();
+
+  counter_add("t.counter", 2);
+  counter_add("t.counter");
+  timer_record_ns("t.timer", 100);
+  timer_record_ns("t.timer", 300);
+  histogram_record("t.hist", 0.5);
+  histogram_record("t.hist", 2.0);
+  histogram_record("t.hist", -1.0);
+
+  const auto metrics = Registry::instance().snapshot();
+  ASSERT_EQ(metrics.size(), 3u);  // sorted by name: counter, hist, timer
+  EXPECT_EQ(metrics[0].name, "t.counter");
+  EXPECT_EQ(metrics[0].kind, Metric::Kind::kCounter);
+  EXPECT_EQ(metrics[0].count, 3u);
+
+  EXPECT_EQ(metrics[1].name, "t.hist");
+  EXPECT_EQ(metrics[1].kind, Metric::Kind::kHistogram);
+  EXPECT_EQ(metrics[1].count, 3u);
+  EXPECT_EQ(metrics[1].bins[histogram_bin_of(0.5)], 1u);
+  EXPECT_EQ(metrics[1].bins[histogram_bin_of(2.0)], 1u);
+  EXPECT_EQ(metrics[1].bins[0], 1u);  // non-positive sample
+
+  EXPECT_EQ(metrics[2].name, "t.timer");
+  EXPECT_EQ(metrics[2].kind, Metric::Kind::kTimer);
+  EXPECT_EQ(metrics[2].count, 2u);
+  EXPECT_EQ(metrics[2].total_ns, 400u);
+  EXPECT_EQ(metrics[2].min_ns, 100u);
+  EXPECT_EQ(metrics[2].max_ns, 300u);
+
+  Registry::instance().reset();
+  EXPECT_TRUE(Registry::instance().snapshot().empty());
+}
+
+TEST(ObsRegistry, NothingCollectsWhenDisabled) {
+  ConfigGuard guard;
+  configure(make_config(false, false));
+  Registry::instance().reset();
+  counter_add("t.off", 5);
+  timer_record_ns("t.off.timer", 100);
+  histogram_record("t.off.hist", 1.0);
+  { ScopedTimer timer("t.off.scoped"); }
+  EXPECT_TRUE(Registry::instance().snapshot().empty());
+}
+
+TEST(ObsRegistry, HistogramBinEdges) {
+  // Bin 0: non-positive and non-finite.
+  EXPECT_EQ(histogram_bin_of(0.0), 0u);
+  EXPECT_EQ(histogram_bin_of(-3.0), 0u);
+  // Powers of two land in consecutive bins; 1.0 = 2^0 -> bin 33.
+  EXPECT_EQ(histogram_bin_of(1.0), 33u);
+  EXPECT_EQ(histogram_bin_of(2.0), 34u);
+  EXPECT_EQ(histogram_bin_of(0.5), 32u);
+  EXPECT_EQ(histogram_bin_of(1.5), 33u);  // same bin as 1.0
+  // Clamped at both ends.
+  EXPECT_EQ(histogram_bin_of(1e-300), 1u);
+  EXPECT_EQ(histogram_bin_of(1e300), 63u);
+}
+
+// The deterministic-merge half of the obs contract: identical per-index
+// updates produce identical snapshots no matter how many threads made them.
+TEST(ObsRegistry, MergedTotalsIndependentOfThreadCount) {
+  ConfigGuard guard;
+  configure(make_config(true, false));
+
+  std::vector<Metric> snapshots[3];
+  const int counts[] = {1, 2, 8};
+  for (int k = 0; k < 3; ++k) {
+    Registry::instance().reset();
+    // Dedicated std::threads (not the shared pool): thread exit also
+    // exercises the sink-retirement path.
+    const int nthreads = counts[k];
+    std::vector<std::thread> workers;
+    for (int w = 0; w < nthreads; ++w) {
+      workers.emplace_back([w, nthreads] {
+        for (int i = w; i < 1024; i += nthreads) {
+          counter_add("m.count", static_cast<std::uint64_t>(i));
+          histogram_record("m.hist", static_cast<double>(i % 37) * 0.25);
+          timer_record_ns("m.timer", static_cast<std::uint64_t>(100 + i % 7));
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    snapshots[k] = Registry::instance().snapshot();
+  }
+
+  for (int k = 1; k < 3; ++k) {
+    ASSERT_EQ(snapshots[0].size(), snapshots[k].size());
+    for (std::size_t i = 0; i < snapshots[0].size(); ++i) {
+      const Metric& a = snapshots[0][i];
+      const Metric& b = snapshots[k][i];
+      EXPECT_EQ(a.name, b.name);
+      EXPECT_EQ(a.kind, b.kind);
+      EXPECT_EQ(a.count, b.count) << a.name << " at " << counts[k] << " threads";
+      EXPECT_EQ(a.bins, b.bins) << a.name;
+      if (a.kind == Metric::Kind::kTimer) {
+        // Durations are wall clock; only the deterministic fields compare.
+        EXPECT_GT(b.total_ns, 0u);
+      } else {
+        EXPECT_EQ(a.total_ns, b.total_ns) << a.name;
+      }
+    }
+  }
+  Registry::instance().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Disabled mode is a true no-op: no allocations on the instrumented path.
+// ---------------------------------------------------------------------------
+
+TEST(ObsDisabled, InstrumentationDoesNotAllocate) {
+  ConfigGuard guard;
+  configure(make_config(false, false));
+
+  // Warm up: first calls may lazily initialise env parsing state.
+  counter_add("warmup");
+  timer_record_ns("warmup", 1);
+  histogram_record("warmup", 1.0);
+  { ScopedTimer timer("warmup"); }
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    counter_add("hot.counter", 3);
+    timer_record_ns("hot.timer", 17);
+    histogram_record("hot.hist", 0.125);
+    ScopedTimer timer("hot.scoped");
+    if (trace_enabled()) {
+      ADD_FAILURE() << "trace must be off here";
+    }
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "disabled-mode instrumentation allocated";
+}
+
+// ---------------------------------------------------------------------------
+// Trace buffer
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, DisabledEmitIsDropped) {
+  ConfigGuard guard;
+  configure(make_config(false, false));
+  (void)trace_take();
+  trace_emit({TraceKind::kPhase, "ignored", 0, {}});
+  EXPECT_EQ(trace_pending(), 0u);
+  EXPECT_TRUE(trace_take().empty());
+}
+
+TEST(ObsTrace, DrainSortsByKindLabelOrder) {
+  ConfigGuard guard;
+  configure(make_config(false, true));
+  (void)trace_take();
+
+  // Emit deliberately shuffled.
+  trace_emit({TraceKind::kMcBlock, "b", 2, {}});
+  trace_emit({TraceKind::kAttrStep, "z", 0, {{"v", std::int64_t{7}}}});
+  trace_emit({TraceKind::kMcBlock, "a", 1, {}});
+  trace_emit({TraceKind::kMcBlock, "a", 0, {}});
+  trace_emit({TraceKind::kTranslation, "t", 0, {}});
+
+  EXPECT_EQ(trace_pending(), 5u);
+  const auto events = trace_take();
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0].kind, TraceKind::kAttrStep);
+  EXPECT_EQ(events[0].label, "z");
+  EXPECT_EQ(events[1].kind, TraceKind::kTranslation);
+  EXPECT_EQ(events[2].label, "a");
+  EXPECT_EQ(events[2].order, 0u);
+  EXPECT_EQ(events[3].label, "a");
+  EXPECT_EQ(events[3].order, 1u);
+  EXPECT_EQ(events[4].label, "b");
+  EXPECT_EQ(trace_pending(), 0u);
+}
+
+TEST(ObsTrace, JsonlRendersOneValidObjectPerLine) {
+  std::vector<TraceEvent> events;
+  events.push_back({TraceKind::kAttrStep,
+                    "mixer",
+                    1,
+                    {{"tones", std::int64_t{2}},
+                     {"gain", 6.5},
+                     {"ok", true},
+                     {"origin", std::string("amp \"HD3\"")}}});
+  events.push_back({TraceKind::kMcBlock, "mc", 0, {}});
+  const std::string jsonl = trace_to_jsonl(events);
+
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < jsonl.size()) {
+    const auto nl = jsonl.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);  // every line newline-terminated
+    lines.push_back(jsonl.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_EQ(lines.size(), 2u);
+
+  std::string err;
+  const auto first = json::parse(lines[0], &err);
+  ASSERT_TRUE(first.has_value()) << err;
+  EXPECT_EQ(first->find("kind")->string, "attr_step");
+  EXPECT_EQ(first->find("label")->string, "mixer");
+  EXPECT_EQ(first->find("order")->number, 1.0);
+  EXPECT_EQ(first->find("tones")->number, 2.0);
+  EXPECT_EQ(first->find("gain")->number, 6.5);
+  EXPECT_TRUE(first->find("ok")->boolean);
+  EXPECT_EQ(first->find("origin")->string, "amp \"HD3\"");
+
+  const auto second = json::parse(lines[1], &err);
+  ASSERT_TRUE(second.has_value()) << err;
+  EXPECT_EQ(second->find("kind")->string, "mc_block");
+}
+
+// Multi-threaded traced MC: exercised under TSan by the sanitizer build, and
+// checks the per-block events cover the trial range exactly once.
+TEST(ObsTrace, TracedParallelMcEmitsOneEventPerBlock) {
+  ConfigGuard guard;
+  configure(make_config(true, true));
+  (void)trace_take();
+
+  const stats::Normal param{0.0, 1.0};
+  const auto spec = stats::SpecLimits::at_least(-1.0);
+  stats::Rng rng(77);
+  const int trials = 50000;
+  (void)stats::evaluate_test_mc(param, spec, spec, stats::ErrorModel::gaussian(0.1),
+                                rng, trials, 4);
+
+  const auto events = trace_take();
+  const std::size_t nblocks = (trials + 8191) / 8192;
+  ASSERT_EQ(events.size(), nblocks);
+  std::int64_t expected_begin = 0;
+  for (std::size_t b = 0; b < events.size(); ++b) {
+    EXPECT_EQ(events[b].kind, TraceKind::kMcBlock);
+    EXPECT_EQ(events[b].order, b);
+    std::int64_t begin = -1, end = -1;
+    for (const auto& [k, v] : events[b].fields) {
+      if (k == "trial_begin") begin = std::get<std::int64_t>(v);
+      if (k == "trial_end") end = std::get<std::int64_t>(v);
+    }
+    EXPECT_EQ(begin, expected_begin);
+    EXPECT_GT(end, begin);
+    expected_begin = end;
+  }
+  EXPECT_EQ(expected_begin, trials);
+  Registry::instance().reset();
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+TEST(ObsJson, WriterParserRoundTrip) {
+  json::Writer w;
+  w.begin_object();
+  w.kv("name", "bench \"x\"\n");
+  w.kv("count", std::int64_t{-42});
+  w.kv("ratio", 0.1);
+  w.kv("big", 1.2345678901234567e100);
+  w.kv("flag", true);
+  w.key("missing").null();
+  w.key("list").begin_array();
+  w.value(std::int64_t{1}).value(2.5).value("three").value(false).null();
+  w.end_array();
+  w.key("nested").begin_object();
+  w.kv("inner", std::uint64_t{18446744073709551615ull});
+  w.end_object();
+  w.end_object();
+
+  std::string err;
+  const auto v = json::parse(w.str(), &err);
+  ASSERT_TRUE(v.has_value()) << err << "\n" << w.str();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->find("name")->string, "bench \"x\"\n");
+  EXPECT_EQ(v->find("count")->number, -42.0);
+  EXPECT_DOUBLE_EQ(v->find("ratio")->number, 0.1);
+  EXPECT_DOUBLE_EQ(v->find("big")->number, 1.2345678901234567e100);
+  EXPECT_TRUE(v->find("flag")->boolean);
+  EXPECT_TRUE(v->find("missing")->is_null());
+  const auto* list = v->find("list");
+  ASSERT_TRUE(list != nullptr && list->is_array());
+  ASSERT_EQ(list->array.size(), 5u);
+  EXPECT_EQ(list->array[0].number, 1.0);
+  EXPECT_EQ(list->array[2].string, "three");
+  EXPECT_TRUE(list->array[4].is_null());
+  const auto* nested = v->find("nested");
+  ASSERT_TRUE(nested != nullptr && nested->is_object());
+  EXPECT_DOUBLE_EQ(nested->find("inner")->number, 18446744073709551615.0);
+}
+
+TEST(ObsJson, DoublesSurviveRoundTripExactly) {
+  for (const double x : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324, -1.7976931348623157e308}) {
+    json::Writer w;
+    w.begin_object();
+    w.kv("x", x);
+    w.end_object();
+    const auto v = json::parse(w.str());
+    ASSERT_TRUE(v.has_value()) << w.str();
+    EXPECT_EQ(v->find("x")->number, x) << w.str();
+  }
+}
+
+TEST(ObsJson, NonFiniteWritesNull) {
+  json::Writer w;
+  w.begin_object();
+  w.kv("nan", std::nan(""));
+  w.kv("inf", std::numeric_limits<double>::infinity());
+  w.end_object();
+  const auto v = json::parse(w.str());
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->find("nan")->is_null());
+  EXPECT_TRUE(v->find("inf")->is_null());
+}
+
+TEST(ObsJson, ParserRejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "}", "{\"a\":}", "[1,]", "{\"a\" 1}", "01",
+                          "\"unterminated", "truex", "[1] trailing", "{\"a\":1,}",
+                          "\"bad \\x escape\"", "nul"}) {
+    std::string err;
+    EXPECT_FALSE(json::parse(bad, &err).has_value()) << "'" << bad << "'";
+    EXPECT_FALSE(err.empty()) << "'" << bad << "'";
+  }
+}
+
+TEST(ObsJson, ParserHandlesUnicodeEscapes) {
+  const auto v = json::parse("\"a\\u00e9\\u4e2d\\n\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->string, "a\xc3\xa9\xe4\xb8\xad\n");
+}
+
+TEST(ObsJson, ParserRejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(json::parse(deep).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport
+// ---------------------------------------------------------------------------
+
+TEST(ObsBenchReport, WritesValidatableJson) {
+  ConfigGuard guard;
+  configure(make_config(false, false));
+  EnvVarGuard dir_guard("MSTS_BENCH_JSON_DIR");
+  EnvVarGuard scale_guard("MSTS_BENCH_SCALE");
+  ::setenv("MSTS_BENCH_JSON_DIR", ::testing::TempDir().c_str(), 1);
+  ::unsetenv("MSTS_BENCH_SCALE");
+
+  std::string path;
+  {
+    BenchReport report("obs_selftest");
+    path = report.json_path();
+    std::remove(path.c_str());
+    {
+      auto p = report.phase("setup");
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+    }
+    {
+      auto p = report.phase("run");
+    }
+    report.add_scalar("yield", 0.875);
+    report.add_scalar("trials", std::int64_t{1000});
+    report.add_label("mode", "selftest");
+    EXPECT_TRUE(report.write());
+    EXPECT_GE(report.threads(), 1);
+  }
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path;
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  std::string err;
+  const auto v = json::parse(text, &err);
+  ASSERT_TRUE(v.has_value()) << err << "\n" << text;
+  EXPECT_EQ(v->find("bench")->string, "obs_selftest");
+  EXPECT_EQ(v->find("schema_version")->number, 1.0);
+  EXPECT_GE(v->find("threads")->number, 1.0);
+  EXPECT_EQ(v->find("scale")->number, 1.0);
+  const auto* phases = v->find("phases");
+  ASSERT_TRUE(phases != nullptr && phases->is_array());
+  ASSERT_EQ(phases->array.size(), 2u);
+  EXPECT_EQ(phases->array[0].find("name")->string, "setup");
+  EXPECT_GE(phases->array[0].find("wall_s")->number, 0.0);
+  EXPECT_EQ(phases->array[1].find("name")->string, "run");
+  EXPECT_GE(v->find("total_wall_s")->number, 0.0);
+  EXPECT_EQ(v->find("scalars")->find("yield")->number, 0.875);
+  EXPECT_EQ(v->find("scalars")->find("trials")->number, 1000.0);
+  EXPECT_EQ(v->find("labels")->find("mode")->string, "selftest");
+}
+
+TEST(ObsBenchReport, ScaledHelpers) {
+  EnvVarGuard scale_guard("MSTS_BENCH_SCALE");
+  ::unsetenv("MSTS_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  EXPECT_EQ(scaled_trials(1000, 10), 1000u);
+  EXPECT_EQ(scaled_record(8192, 256), 8192u);
+  EXPECT_EQ(scaled_stride(3), 3u);
+
+  ::setenv("MSTS_BENCH_SCALE", "0.1", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 0.1);
+  EXPECT_EQ(scaled_trials(1000, 10), 100u);
+  EXPECT_EQ(scaled_trials(50, 10), 10u);  // floored at min
+  EXPECT_EQ(scaled_record(8192, 256), 512u);  // power of two preserved
+  EXPECT_EQ(scaled_record(512, 256), 256u);
+  EXPECT_EQ(scaled_stride(3), 30u);
+
+  for (const char* bad : {"0", "-1", "1.5", "x"}) {
+    ::setenv("MSTS_BENCH_SCALE", bad, 1);
+    EXPECT_THROW(bench_scale(), std::invalid_argument) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace msts::obs

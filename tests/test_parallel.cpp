@@ -12,29 +12,32 @@
 #include <gtest/gtest.h>
 
 #include "core/coverage.h"
+#include "obs/config.h"
+#include "obs/trace.h"
 #include "stats/yield.h"
 
 namespace msts::stats {
 namespace {
 
-// Restores MSTS_THREADS after env-override tests so the rest of the suite
-// keeps the ambient configuration.
+// Restores an environment variable after env-override tests so the rest of
+// the suite keeps the ambient configuration.
 class EnvGuard {
  public:
-  EnvGuard() {
-    const char* v = std::getenv("MSTS_THREADS");
+  explicit EnvGuard(const char* name = "MSTS_THREADS") : name_(name) {
+    const char* v = std::getenv(name_);
     had_ = (v != nullptr);
     if (had_) saved_ = v;
   }
   ~EnvGuard() {
     if (had_) {
-      ::setenv("MSTS_THREADS", saved_.c_str(), 1);
+      ::setenv(name_, saved_.c_str(), 1);
     } else {
-      ::unsetenv("MSTS_THREADS");
+      ::unsetenv(name_);
     }
   }
 
  private:
+  const char* name_;
   bool had_ = false;
   std::string saved_;
 };
@@ -45,12 +48,32 @@ TEST(Threads, EnvOverrideAndResolution) {
   EXPECT_EQ(max_threads(), 3);
   EXPECT_EQ(resolve_threads(0), 3);
   EXPECT_EQ(resolve_threads(5), 5);  // explicit request wins
-  ::setenv("MSTS_THREADS", "garbage", 1);
-  EXPECT_GE(max_threads(), 1);  // invalid override falls back to hardware
-  ::setenv("MSTS_THREADS", "0", 1);
-  EXPECT_GE(max_threads(), 1);
   ::unsetenv("MSTS_THREADS");
   EXPECT_GE(max_threads(), 1);
+}
+
+// A malformed MSTS_THREADS is a loud error, not a silent fallback: every
+// shape of bad input (non-numeric, trailing junk, zero, negative, overflow,
+// out of range, empty) throws std::invalid_argument naming the variable.
+TEST(Threads, MalformedEnvOverrideThrows) {
+  EnvGuard guard;
+  // Note: an *empty* MSTS_THREADS counts as unset, not malformed.
+  for (const char* bad : {"garbage", "3x", "0", "-2", "4097",
+                          "99999999999999999999", " ", "1.5"}) {
+    ::setenv("MSTS_THREADS", bad, 1);
+    EXPECT_THROW(max_threads(), std::invalid_argument) << "value '" << bad << "'";
+    EXPECT_THROW(resolve_threads(0), std::invalid_argument) << "value '" << bad << "'";
+    // An explicit request never consults the environment.
+    EXPECT_EQ(resolve_threads(2), 2) << "value '" << bad << "'";
+  }
+  ::setenv("MSTS_THREADS", "garbage", 1);
+  try {
+    (void)max_threads();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("MSTS_THREADS"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("garbage"), std::string::npos);
+  }
 }
 
 TEST(ThreadPool, RunsEverySubmittedTask) {
@@ -144,6 +167,54 @@ TEST(EvaluateTestMcParallel, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(outcomes[0].yield_loss, outcomes[i].yield_loss);
     EXPECT_EQ(outcomes[0].fault_coverage_loss, outcomes[i].fault_coverage_loss);
   }
+}
+
+// Determinism under instrumentation: enabling trace collection must not
+// perturb a single bit of the MC results at any thread count. Tracing reads
+// clocks and buffers events but never touches RNG streams or the reduction.
+TEST(EvaluateTestMcParallel, BitIdenticalWithTracingEnabled) {
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  const auto model = ErrorModel::uniform(0.4);
+  const int trials = 100000;
+
+  EnvGuard trace_guard("MSTS_TRACE");
+  const obs::Config saved = obs::current_config();
+
+  // Baseline: tracing off (MSTS_TRACE unset).
+  ::unsetenv("MSTS_TRACE");
+  obs::configure(obs::Config::from_env());
+  (void)obs::trace_take();
+  Rng base_rng(424242);
+  const auto baseline = evaluate_test_mc(param, spec, spec, model, base_rng, trials, 1);
+
+  // Same computation with MSTS_TRACE=1.
+  ::setenv("MSTS_TRACE", "1", 1);
+  obs::configure(obs::Config::from_env());
+  for (const int threads : {1, 2, 8}) {
+    Rng rng(424242);
+    const auto traced = evaluate_test_mc(param, spec, spec, model, rng, trials, threads);
+    EXPECT_EQ(baseline.yield, traced.yield) << threads << " threads";
+    EXPECT_EQ(baseline.defect_rate, traced.defect_rate) << threads << " threads";
+    EXPECT_EQ(baseline.accept_rate, traced.accept_rate) << threads << " threads";
+    EXPECT_EQ(baseline.yield_loss, traced.yield_loss) << threads << " threads";
+    EXPECT_EQ(baseline.fault_coverage_loss, traced.fault_coverage_loss)
+        << threads << " threads";
+
+    // The traced run did emit one event per MC block, in deterministic order.
+    const auto events = obs::trace_take();
+    const std::size_t nblocks = (trials + 8191) / 8192;
+    ASSERT_EQ(events.size(), nblocks) << threads << " threads";
+    for (std::size_t b = 0; b < events.size(); ++b) {
+      EXPECT_EQ(events[b].kind, obs::TraceKind::kMcBlock);
+      EXPECT_EQ(events[b].label, "stats.evaluate_test_mc");
+      EXPECT_EQ(events[b].order, b);
+    }
+  }
+
+  ::unsetenv("MSTS_TRACE");
+  obs::configure(saved);
+  (void)obs::trace_take();
 }
 
 TEST(EvaluateTestMcParallel, CallerRngAdvancesIndependentlyOfThreadCount) {
