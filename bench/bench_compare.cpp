@@ -1,0 +1,189 @@
+// Regression diff for two schema-v1 BENCH_*.json reports.
+//
+// Compares a baseline report against a candidate from the same bench:
+//   * scalars present in both must agree within --threshold relative change
+//     (headline numbers are deterministic, so drift in either direction is
+//     suspicious);
+//   * per-phase and total wall times may only *increase* by the threshold
+//     (speed-ups never fail);
+//   * scalars that appear or disappear are reported but do not fail, since
+//     benches legitimately grow new outputs.
+// Exit status: 0 = comparable, 1 = regression(s) found, 2 = usage/IO error.
+// The bench_smoke CTest flow runs an identity self-compare on every emitted
+// report; see README.md ("Comparing bench runs") for CI usage.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using msts::obs::json::Value;
+
+struct Report {
+  std::string bench;
+  std::vector<std::pair<std::string, double>> scalars;
+  std::vector<std::pair<std::string, double>> phase_wall_s;
+  double total_wall_s = 0.0;
+};
+
+std::optional<Report> load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: %s: cannot open\n", path);
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = msts::obs::json::parse(buf.str(), &err);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "bench_compare: %s: invalid JSON: %s\n", path, err.c_str());
+    return std::nullopt;
+  }
+  const Value* version = doc->find("schema_version");
+  if (version == nullptr || !version->is_number() || version->number != 1.0) {
+    std::fprintf(stderr, "bench_compare: %s: not a schema-v1 bench report\n", path);
+    return std::nullopt;
+  }
+
+  Report r;
+  if (const Value* bench = doc->find("bench"); bench != nullptr && bench->is_string()) {
+    r.bench = bench->string;
+  }
+  if (const Value* total = doc->find("total_wall_s");
+      total != nullptr && total->is_number()) {
+    r.total_wall_s = total->number;
+  }
+  if (const Value* scalars = doc->find("scalars");
+      scalars != nullptr && scalars->is_object()) {
+    for (const auto& [key, v] : scalars->object) {
+      if (v.is_number()) r.scalars.emplace_back(key, v.number);
+    }
+  }
+  if (const Value* phases = doc->find("phases"); phases != nullptr && phases->is_array()) {
+    for (const Value& p : phases->array) {
+      if (!p.is_object()) continue;
+      const Value* name = p.find("name");
+      const Value* wall = p.find("wall_s");
+      if (name != nullptr && name->is_string() && wall != nullptr && wall->is_number()) {
+        r.phase_wall_s.emplace_back(name->string, wall->number);
+      }
+    }
+  }
+  return r;
+}
+
+const double* find(const std::vector<std::pair<std::string, double>>& kv,
+                   const std::string& key) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+/// Relative change of `now` vs `base`, guarded against tiny baselines.
+double rel_change(double base, double now) {
+  const double denom = std::max(std::abs(base), 1e-12);
+  return (now - base) / denom;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.25;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --threshold needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      threshold = std::strtod(argv[++i], &end);
+      if (end == nullptr || *end != '\0' || !(threshold > 0.0)) {
+        std::fprintf(stderr, "bench_compare: bad --threshold '%s'\n", argv[i]);
+        return 2;
+      }
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare [--threshold R] BASELINE.json CANDIDATE.json\n");
+    return 2;
+  }
+
+  const auto base = load(files[0]);
+  const auto cand = load(files[1]);
+  if (!base || !cand) return 2;
+  if (!base->bench.empty() && !cand->bench.empty() && base->bench != cand->bench) {
+    std::fprintf(stderr, "bench_compare: reports come from different benches ('%s' vs '%s')\n",
+                 base->bench.c_str(), cand->bench.c_str());
+    return 2;
+  }
+
+  int regressions = 0;
+  int compared = 0;
+
+  for (const auto& [key, old_v] : base->scalars) {
+    const double* new_v = find(cand->scalars, key);
+    if (new_v == nullptr) {
+      std::printf("  note: scalar '%s' missing from candidate\n", key.c_str());
+      continue;
+    }
+    ++compared;
+    const double change = rel_change(old_v, *new_v);
+    if (std::abs(change) > threshold) {
+      std::printf("  REGRESSION scalar '%s': %.6g -> %.6g (%+.1f%%)\n", key.c_str(),
+                  old_v, *new_v, 100.0 * change);
+      ++regressions;
+    }
+  }
+  for (const auto& [key, v] : cand->scalars) {
+    if (find(base->scalars, key) == nullptr) {
+      std::printf("  note: new scalar '%s' = %.6g (no baseline)\n", key.c_str(), v);
+    }
+  }
+
+  for (const auto& [name, old_w] : base->phase_wall_s) {
+    const double* new_w = find(cand->phase_wall_s, name);
+    if (new_w == nullptr) {
+      std::printf("  note: phase '%s' missing from candidate\n", name.c_str());
+      continue;
+    }
+    ++compared;
+    const double change = rel_change(old_w, *new_w);
+    if (change > threshold) {
+      std::printf("  REGRESSION phase '%s': %.4fs -> %.4fs (%+.1f%% slower)\n",
+                  name.c_str(), old_w, *new_w, 100.0 * change);
+      ++regressions;
+    }
+  }
+  {
+    ++compared;
+    const double change = rel_change(base->total_wall_s, cand->total_wall_s);
+    if (change > threshold) {
+      std::printf("  REGRESSION total wall: %.4fs -> %.4fs (%+.1f%% slower)\n",
+                  base->total_wall_s, cand->total_wall_s, 100.0 * change);
+      ++regressions;
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("bench_compare: %s vs %s: %d regression(s) in %d comparison(s)\n",
+                files[0], files[1], regressions, compared);
+    return 1;
+  }
+  std::printf("bench_compare: %s vs %s OK (%d comparison(s), threshold %.0f%%)\n",
+              files[0], files[1], compared, 100.0 * threshold);
+  return 0;
+}

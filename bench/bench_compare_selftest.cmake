@@ -1,0 +1,63 @@
+# End-to-end check of the bench_compare exit-code contract on synthetic
+# schema-v1 reports. Invoked by the bench_compare_selftest CTest as
+#   cmake -DCOMPARER=... -DOUT_DIR=... -P bench_compare_selftest.cmake
+# Three cases: identity must pass (0), a known regression pair must fail (1),
+# and mismatched bench names must be a usage error (2).
+foreach(var COMPARER OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_compare_selftest.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+set(baseline "${OUT_DIR}/baseline.json")
+file(WRITE "${baseline}" [=[
+{"bench": "selftest", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [{"name": "setup", "wall_s": 0.5}, {"name": "run", "wall_s": 2.0}],
+ "total_wall_s": 2.5,
+ "scalars": {"gain_db": 25.0, "coverage": 0.95}}
+]=])
+
+# Candidate with a scalar drifted far beyond 25% and a 2x-slower phase.
+set(regressed "${OUT_DIR}/regressed.json")
+file(WRITE "${regressed}" [=[
+{"bench": "selftest", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [{"name": "setup", "wall_s": 0.5}, {"name": "run", "wall_s": 4.0}],
+ "total_wall_s": 4.5,
+ "scalars": {"gain_db": 12.0, "coverage": 0.95}}
+]=])
+
+set(other_bench "${OUT_DIR}/other_bench.json")
+file(WRITE "${other_bench}" [=[
+{"bench": "different", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [], "total_wall_s": 0.0, "scalars": {}}
+]=])
+
+execute_process(COMMAND "${COMPARER}" "${baseline}" "${baseline}"
+                RESULT_VARIABLE identity_rc)
+if(NOT identity_rc EQUAL 0)
+  message(FATAL_ERROR "identity compare should pass, got status ${identity_rc}")
+endif()
+
+execute_process(COMMAND "${COMPARER}" "${baseline}" "${regressed}"
+                RESULT_VARIABLE regress_rc)
+if(NOT regress_rc EQUAL 1)
+  message(FATAL_ERROR "regression pair should exit 1, got status ${regress_rc}")
+endif()
+
+# At a looser threshold the 52% scalar drift falls inside tolerance but the
+# 2x wall-time slowdowns must still be flagged.
+execute_process(COMMAND "${COMPARER}" --threshold 0.6 "${baseline}" "${regressed}"
+                RESULT_VARIABLE loose_rc)
+if(NOT loose_rc EQUAL 1)
+  message(FATAL_ERROR "2x wall-time slowdown should still exit 1 at threshold 0.6, got ${loose_rc}")
+endif()
+
+execute_process(COMMAND "${COMPARER}" "${baseline}" "${other_bench}"
+                RESULT_VARIABLE mismatch_rc)
+if(NOT mismatch_rc EQUAL 2)
+  message(FATAL_ERROR "bench-name mismatch should exit 2, got status ${mismatch_rc}")
+endif()
+
+message(STATUS "bench_compare selftest OK")

@@ -16,7 +16,9 @@
 #include "dsp/spectrum.h"
 #include "dsp/tonegen.h"
 #include "obs/bench_report.h"
+#include "path/measurements.h"
 #include "path/receiver_path.h"
+#include "path/workspace.h"
 #include "stats/rng.h"
 
 using namespace msts;
@@ -49,6 +51,50 @@ static void BM_SpectrumAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_SpectrumAnalysis);
 
+static void BM_SpectrumConstruct(benchmark::State& state) {
+  // Spectrum construction alone (window + rfft + calibration), the inner
+  // loop of every translated-test evaluation.
+  const double fs = 4e6;
+  const std::size_t n = 4096;
+  const dsp::Tone t{dsp::coherent_frequency(fs, n, 300e3), 0.5, 0.0};
+  const auto x = dsp::generate_tones(std::span(&t, 1), 0.0, fs, n);
+  for (auto _ : state) {
+    const dsp::Spectrum s(x, fs, dsp::WindowType::kBlackmanHarris4);
+    benchmark::DoNotOptimize(s.bin(1));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SpectrumConstruct);
+
+static void BM_ToneGen(benchmark::State& state) {
+  // Two-tone stimulus synthesis at the analog rate: the front half of every
+  // transient evaluation.
+  const double fs = 32e6;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const dsp::Tone tones[] = {{10.4e6, 1e-3, 0.0}, {10.6e6, 1e-3, 0.3}};
+  for (auto _ : state) {
+    auto x = dsp::generate_tones(tones, 0.0, fs, n);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ToneGen)->Arg(8192)->Arg(32768);
+
+static void BM_SingleBinDft(benchmark::State& state) {
+  // Arbitrary-frequency correlation used by tone measurement and frequency
+  // estimation (not restricted to power-of-two records).
+  const double fs = 4e6;
+  const std::size_t n = 12000;
+  const dsp::Tone t{311e3, 0.5, 0.2};
+  const auto x = dsp::generate_tones(std::span(&t, 1), 0.0, fs, n);
+  for (auto _ : state) {
+    auto c = dsp::single_bin_dft(x, t.freq, fs);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SingleBinDft);
+
 static void BM_FaultSimBatch(benchmark::State& state) {
   const auto config = path::reference_path_config();
   static const core::DigitalTester tester(config);
@@ -75,13 +121,35 @@ static void BM_PathTransient(benchmark::State& state) {
   rf.fs = config.analog_fs;
   rf.samples = dsp::generate_tones(std::span(&t, 1), 0.0, config.analog_fs, 8192);
   stats::Rng rng(1);
+  // Workspace reuse across iterations: the steady state of every measurement
+  // sweep and Monte-Carlo loop.
+  path::PathWorkspace ws;
   for (auto _ : state) {
-    auto trace = path.run(rf, rng);
-    benchmark::DoNotOptimize(trace.filter_out.data());
+    const auto& trace = path.run(rf, rng, ws);
+    benchmark::DoNotOptimize(const_cast<std::int64_t*>(trace.filter_out.data()));
   }
   state.SetItemsProcessed(state.iterations() * 8192);
 }
 BENCHMARK(BM_PathTransient);
+
+static void BM_PathGainMeasure(benchmark::State& state) {
+  // One full translated-test evaluation: stimulus synthesis, transient run
+  // and spectral read-back. measure_path_p1db_dbm calls this ~24 times and
+  // the Monte-Carlo analyses thousands of times.
+  const auto config = path::reference_path_config();
+  const path::ReceiverPath path(config);
+  path::MeasureOptions opts;
+  opts.digital_record = 1024;
+  const double if_freq = path::coherent_if_freq(config, opts, 400e3);
+  stats::Rng rng(7);
+  for (auto _ : state) {
+    const double g = path::measure_path_gain_db(path, if_freq, 10e-3, rng, opts);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(opts.digital_record));
+}
+BENCHMARK(BM_PathGainMeasure);
 
 static void BM_AttributePropagation(benchmark::State& state) {
   const auto config = path::reference_path_config();

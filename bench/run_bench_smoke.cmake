@@ -1,7 +1,9 @@
-# Runs one bench at reduced scale and validates the BENCH_<name>.json it
-# emits. Invoked by the bench_smoke CTest tests as
-#   cmake -DBENCH_EXE=... -DVALIDATOR=... -DJSON_NAME=... -DOUT_DIR=...
-#         -P run_bench_smoke.cmake
+# Runs one bench at reduced scale, validates the BENCH_<name>.json it emits,
+# and (when COMPARER is given) self-compares the report against itself so the
+# bench_compare tool is exercised on every real report shape. Invoked by the
+# bench_smoke CTest tests as
+#   cmake -DBENCH_EXE=... -DVALIDATOR=... -DCOMPARER=... -DJSON_NAME=...
+#         -DOUT_DIR=... -P run_bench_smoke.cmake
 # Ambient MSTS_BENCH_SCALE / MSTS_THREADS are honoured; otherwise the smoke
 # defaults below apply.
 foreach(var BENCH_EXE VALIDATOR JSON_NAME OUT_DIR)
@@ -31,4 +33,15 @@ execute_process(COMMAND "${VALIDATOR}" "${OUT_DIR}/${JSON_NAME}"
                 RESULT_VARIABLE validate_rc)
 if(NOT validate_rc EQUAL 0)
   message(FATAL_ERROR "bench report validation failed (status ${validate_rc})")
+endif()
+
+# Identity self-compare: the report diffed against itself must always be
+# clean. Catches parser/shape drift between BenchReport and bench_compare.
+if(DEFINED COMPARER)
+  execute_process(COMMAND "${COMPARER}" "${OUT_DIR}/${JSON_NAME}"
+                          "${OUT_DIR}/${JSON_NAME}"
+                  RESULT_VARIABLE compare_rc)
+  if(NOT compare_rc EQUAL 0)
+    message(FATAL_ERROR "bench report self-compare failed (status ${compare_rc})")
+  endif()
 endif()

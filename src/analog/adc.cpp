@@ -63,7 +63,8 @@ double Adc::inl_at(double u) const {
   return inl_table_[std::min(idx, inl_table_.size() - 1)];
 }
 
-std::vector<std::int64_t> Adc::digitize(const Signal& in, std::size_t decimation) const {
+void Adc::digitize_into(const Signal& in, std::size_t decimation,
+                        std::vector<std::int64_t>& out) const {
   MSTS_REQUIRE(decimation >= 1, "decimation must be >= 1");
   MSTS_REQUIRE(in.fs > 0.0, "input signal has no sample rate");
 
@@ -71,7 +72,7 @@ std::vector<std::int64_t> Adc::digitize(const Signal& in, std::size_t decimation
   const std::int64_t code_min = -(1ll << (bits_ - 1));
   const std::int64_t code_max = (1ll << (bits_ - 1)) - 1;
 
-  std::vector<std::int64_t> out;
+  out.clear();
   out.reserve(in.size() / decimation + 1);
   for (std::size_t i = 0; i < in.size(); i += decimation) {
     const double v = (in.samples[i] + offset_error_v_) * (1.0 + gain_error_);
@@ -80,6 +81,11 @@ std::vector<std::int64_t> Adc::digitize(const Signal& in, std::size_t decimation
     const auto code = static_cast<std::int64_t>(std::llround(code_f));
     out.push_back(std::clamp(code, code_min, code_max));
   }
+}
+
+std::vector<std::int64_t> Adc::digitize(const Signal& in, std::size_t decimation) const {
+  std::vector<std::int64_t> out;
+  digitize_into(in, decimation, out);
   return out;
 }
 

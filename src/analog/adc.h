@@ -36,6 +36,10 @@ class Adc {
   /// output code in [-2^(bits-1), 2^(bits-1) - 1].
   std::vector<std::int64_t> digitize(const Signal& in, std::size_t decimation) const;
 
+  /// digitize() into a caller-owned buffer (resized; capacity reused).
+  void digitize_into(const Signal& in, std::size_t decimation,
+                     std::vector<std::int64_t>& out) const;
+
   /// Converter LSB size in volts.
   double lsb() const;
   /// Digital rate after decimating an input at rate fs.

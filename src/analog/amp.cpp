@@ -25,11 +25,6 @@ double vsat_from_p1db(double a_p1db_in_vpeak, double a1) {
   return a_p1db_in_vpeak * a1 * amplitude_ratio_from_db(-1.0);
 }
 
-double apply_nonlinearity(double x, double a1, double c2, double c3, double vsat) {
-  const double y = a1 * (x + c2 * x * x + c3 * x * x * x);
-  return std::clamp(y, -vsat, vsat);
-}
-
 Amplifier::Amplifier(double gain_db, double iip3_dbm, double iip2_dbm,
                      double p1db_in_dbm, double nf_db, double dc_offset_v)
     : gain_db_(gain_db),
@@ -50,7 +45,8 @@ Amplifier Amplifier::sampled(const AmpParams& p, stats::Rng& rng) {
                    stats::sample(p.dc_offset_v, rng));
 }
 
-Signal Amplifier::process(const Signal& in, stats::Rng& noise_rng) const {
+void Amplifier::process_into(const Signal& in, stats::Rng& noise_rng,
+                             Signal& out) const {
   MSTS_REQUIRE(in.fs > 0.0, "input signal has no sample rate");
   const double a1 = amplitude_ratio_from_db(gain_db_);
   const double c3 = c3_from_iip3(vpeak_from_dbm(iip3_dbm_));
@@ -58,13 +54,19 @@ Signal Amplifier::process(const Signal& in, stats::Rng& noise_rng) const {
   const double vsat = vsat_from_p1db(vpeak_from_dbm(p1db_in_dbm_), a1);
   const double noise_sigma = noise_vrms_from_nf(nf_db_, in.fs);
 
-  Signal out;
   out.fs = in.fs;
-  out.samples.reserve(in.size());
-  for (double x : in.samples) {
-    const double xn = x + noise_sigma * noise_rng.normal();
-    out.samples.push_back(apply_nonlinearity(xn, a1, c2, c3, vsat) + dc_offset_v_);
+  out.samples.resize(in.size());
+  const double* src = in.samples.data();
+  double* dst = out.samples.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const double xn = src[i] + noise_sigma * noise_rng.normal();
+    dst[i] = apply_nonlinearity(xn, a1, c2, c3, vsat) + dc_offset_v_;
   }
+}
+
+Signal Amplifier::process(const Signal& in, stats::Rng& noise_rng) const {
+  Signal out;
+  process_into(in, noise_rng, out);
   return out;
 }
 

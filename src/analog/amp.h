@@ -7,6 +7,8 @@
 // datasheet nominals and Monte-Carlo instances sample the tolerances.
 #pragma once
 
+#include <algorithm>
+
 #include "analog/signal.h"
 #include "stats/rng.h"
 #include "stats/uncertain.h"
@@ -36,6 +38,9 @@ class Amplifier {
   /// Processes a waveform; `noise_rng` drives the thermal noise.
   Signal process(const Signal& in, stats::Rng& noise_rng) const;
 
+  /// process() into a caller-owned buffer (resized; capacity reused).
+  void process_into(const Signal& in, stats::Rng& noise_rng, Signal& out) const;
+
   double actual_gain_db() const { return gain_db_; }
   double actual_iip3_dbm() const { return iip3_dbm_; }
   double actual_p1db_in_dbm() const { return p1db_in_dbm_; }
@@ -57,7 +62,12 @@ class Amplifier {
 /// Memoryless nonlinearity shared by amplifier and mixer models:
 /// y = a1*(x + c2 x^2 + c3 x^3), then hard-limited at +/-vsat.
 /// c2/c3 derive from IIP2/IIP3 (volt peak), vsat from the output P1dB level.
-double apply_nonlinearity(double x, double a1, double c2, double c3, double vsat);
+/// Inline: evaluated once per transient sample in both stages.
+inline double apply_nonlinearity(double x, double a1, double c2, double c3,
+                                 double vsat) {
+  const double y = a1 * (x + c2 * x * x + c3 * x * x * x);
+  return std::clamp(y, -vsat, vsat);
+}
 
 /// Third-order coefficient for an input intercept amplitude (volts peak):
 /// c3 = -4 / (3 * a_iip3^2).

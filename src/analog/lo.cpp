@@ -1,9 +1,11 @@
 #include "analog/lo.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/require.h"
 #include "base/units.h"
+#include "dsp/oscillator.h"
 #include "stats/monte_carlo.h"
 
 namespace msts::analog {
@@ -32,17 +34,33 @@ double LocalOscillator::actual_freq_hz() const {
   return freq_hz_ * (1.0 + freq_error_ppm_ * 1e-6);
 }
 
-Signal LocalOscillator::generate(double fs, std::size_t n, stats::Rng& noise_rng) const {
+void LocalOscillator::generate_into(double fs, std::size_t n, stats::Rng& noise_rng,
+                                    Signal& out) const {
   MSTS_REQUIRE(fs > 2.0 * actual_freq_hz(), "LO frequency above Nyquist");
-  Signal out;
   out.fs = fs;
-  out.samples.reserve(n);
+  out.samples.resize(n);
   const double w = kTwoPi * actual_freq_hz() / fs;
-  double jitter = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    jitter += phase_noise_rad_ * noise_rng.normal();
-    out.samples.push_back(amplitude_ * std::cos(w * static_cast<double>(i) + jitter));
+  if (phase_noise_rad_ == 0.0) {
+    // Jitter-free carrier: the four-lane cosine kernel.
+    std::fill(out.samples.begin(), out.samples.end(), 0.0);
+    dsp::add_cosine(out.samples.data(), n, w, 0.0, amplitude_);
+    return;
   }
+  // The random-walk phase rides on the carrier as per-sample phasor nudges;
+  // the walk steps are sub-milliradian, so unit_phasor resolves them with a
+  // Taylor pair instead of sincos, the jitter and carrier rotations fuse
+  // into one multiply per sample, and the oscillator's periodic resync
+  // (dsp::kResyncPeriod) folds the accumulated walk back into exact trig.
+  dsp::PhasorOscillator osc(w, 0.0);
+  double* dst = out.samples.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = amplitude_ * osc.jitter_cos_next(phase_noise_rad_ * noise_rng.normal());
+  }
+}
+
+Signal LocalOscillator::generate(double fs, std::size_t n, stats::Rng& noise_rng) const {
+  Signal out;
+  generate_into(fs, n, noise_rng, out);
   return out;
 }
 

@@ -34,6 +34,10 @@ class LocalOscillator {
   /// by `noise_rng`.
   Signal generate(double fs, std::size_t n, stats::Rng& noise_rng) const;
 
+  /// generate() into a caller-owned buffer (resized; capacity reused).
+  void generate_into(double fs, std::size_t n, stats::Rng& noise_rng,
+                     Signal& out) const;
+
   /// Actual output frequency including the ppm error.
   double actual_freq_hz() const;
   double actual_freq_error_ppm() const { return freq_error_ppm_; }

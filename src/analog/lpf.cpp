@@ -1,11 +1,13 @@
 #include "analog/lpf.h"
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 
 #include "base/require.h"
 #include "base/units.h"
 #include "dsp/metrics.h"
+#include "dsp/oscillator.h"
 #include "stats/monte_carlo.h"
 
 namespace msts::analog {
@@ -57,36 +59,97 @@ LowPassFilter LowPassFilter::sampled(const LpfParams& p, stats::Rng& rng) {
                        std::abs(stats::sample(p.clock_spur_v, rng)));
 }
 
-Signal LowPassFilter::process(const Signal& in) const {
+void LowPassFilter::process_into(const Signal& in, Signal& out) const {
   MSTS_REQUIRE(in.fs > 0.0, "input signal has no sample rate");
   MSTS_REQUIRE(cutoff_hz_ < in.fs / 2.0, "cutoff above simulation Nyquist");
 
   const auto qs = butterworth_qs(order_);
   const double gain = amplitude_ratio_from_db(passband_gain_db_);
 
-  Signal out = in;
-  for (double q : qs) {
-    const Biquad bq = design_lowpass_biquad(cutoff_hz_, in.fs, q);
-    double x1 = 0.0, x2 = 0.0, y1 = 0.0, y2 = 0.0;
-    for (double& s : out.samples) {
-      const double x = s;
-      const double y = bq.b0 * x + bq.b1 * x1 + bq.b2 * x2 - bq.a1 * y1 - bq.a2 * y2;
-      x2 = x1;
-      x1 = x;
-      y2 = y1;
-      y1 = y;
-      s = y;
+  out.fs = in.fs;
+  out.samples.resize(in.size());
+
+  // All biquad sections and the pass-band gain are applied in one sweep:
+  // section k consumes section k-1's output for the same sample, which is
+  // the same value (bit for bit) the pass-per-section form would store and
+  // re-read, but the record crosses memory once instead of order_/2+2 times.
+  constexpr std::size_t kMaxSections = 8;
+  MSTS_REQUIRE(qs.size() <= kMaxSections, "filter order too high");
+  Biquad bq[kMaxSections];
+  double x1[kMaxSections] = {}, x2[kMaxSections] = {};
+  double y1[kMaxSections] = {}, y2[kMaxSections] = {};
+  for (std::size_t k = 0; k < qs.size(); ++k) {
+    bq[k] = design_lowpass_biquad(cutoff_hz_, in.fs, qs[k]);
+  }
+  const std::size_t sections = qs.size();
+  const double* src = in.samples.data();
+  double* dst = out.samples.data();
+  const std::size_t n_s = in.size();
+  if (sections == 2 && n_s > 0) {
+    // The common order-4 cascade, software-pipelined: section 1 runs one
+    // sample behind section 0, so the two recurrence chains — each
+    // latency-bound on its own y1/y2 feedback — overlap instead of
+    // serialising. Every value sees the same arithmetic as the nested loop
+    // below; only the schedule differs, so the output is bit-identical.
+    const Biquad b0 = bq[0], b1 = bq[1];
+    double ax1 = 0.0, ax2 = 0.0, ay1 = 0.0, ay2 = 0.0;  // section 0 state
+    double cx1 = 0.0, cx2 = 0.0, cy1 = 0.0, cy2 = 0.0;  // section 1 state
+    // Prologue: section 0 consumes sample 0; section 1 has no input yet.
+    // Full five-term form even at zero state: dropping the zero terms could
+    // flip a signed zero and break bit-identity with the generic loop.
+    double h = b0.b0 * src[0] + b0.b1 * ax1 + b0.b2 * ax2 - b0.a1 * ay1 -
+               b0.a2 * ay2;
+    ax2 = ax1;
+    ax1 = src[0];
+    ay2 = ay1;
+    ay1 = h;
+    for (std::size_t i = 1; i < n_s; ++i) {
+      // Section 1, sample i-1 (input h from the previous iteration)...
+      const double y = b1.b0 * h + b1.b1 * cx1 + b1.b2 * cx2 - b1.a1 * cy1 -
+                       b1.a2 * cy2;
+      cx2 = cx1;
+      cx1 = h;
+      cy2 = cy1;
+      cy1 = y;
+      dst[i - 1] = y * gain;
+      // ...and section 0, sample i, in the same iteration.
+      const double x = src[i];
+      h = b0.b0 * x + b0.b1 * ax1 + b0.b2 * ax2 - b0.a1 * ay1 - b0.a2 * ay2;
+      ax2 = ax1;
+      ax1 = x;
+      ay2 = ay1;
+      ay1 = h;
+    }
+    // Epilogue: section 1 consumes the last section-0 output.
+    const double y = b1.b0 * h + b1.b1 * cx1 + b1.b2 * cx2 - b1.a1 * cy1 -
+                     b1.a2 * cy2;
+    dst[n_s - 1] = y * gain;
+  } else {
+    for (std::size_t i = 0; i < n_s; ++i) {
+      double x = src[i];
+      for (std::size_t k = 0; k < sections; ++k) {
+        const double y = bq[k].b0 * x + bq[k].b1 * x1[k] + bq[k].b2 * x2[k] -
+                         bq[k].a1 * y1[k] - bq[k].a2 * y2[k];
+        x2[k] = x1[k];
+        x1[k] = x;
+        y2[k] = y1[k];
+        y1[k] = y;
+        x = y;
+      }
+      dst[i] = x * gain;
     }
   }
 
-  // Pass-band gain and the switched-cap clock spur (folded into the first
-  // Nyquist zone of the simulation rate if necessary).
+  // The switched-cap clock spur (folded into the first Nyquist zone of the
+  // simulation rate if necessary), added by the recurrence oscillator.
   const double spur_f = dsp::alias_frequency(clock_hz_, in.fs);
-  const double w = kTwoPi * spur_f / in.fs;
-  for (std::size_t i = 0; i < out.samples.size(); ++i) {
-    out.samples[i] = gain * out.samples[i] +
-                     clock_spur_v_ * std::cos(w * static_cast<double>(i));
-  }
+  dsp::add_cosine(out.samples.data(), out.samples.size(), kTwoPi * spur_f / in.fs,
+                  0.0, clock_spur_v_);
+}
+
+Signal LowPassFilter::process(const Signal& in) const {
+  Signal out;
+  process_into(in, out);
   return out;
 }
 

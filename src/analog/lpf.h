@@ -47,6 +47,9 @@ class LowPassFilter {
   /// clock exceeds Nyquist of the simulation rate).
   Signal process(const Signal& in) const;
 
+  /// process() into a caller-owned buffer (resized; capacity reused).
+  void process_into(const Signal& in, Signal& out) const;
+
   /// Small-signal magnitude response at frequency f for rate fs (includes
   /// the pass-band gain), used by tests and by the attribute model.
   double magnitude_at(double f, double fs) const;

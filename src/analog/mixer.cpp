@@ -29,7 +29,8 @@ Mixer Mixer::sampled(const MixerParams& p, stats::Rng& rng) {
                std::max(0.0, stats::sample(p.nf_db, rng)));
 }
 
-Signal Mixer::process(const Signal& rf, const Signal& lo, stats::Rng& noise_rng) const {
+void Mixer::process_into(const Signal& rf, const Signal& lo, stats::Rng& noise_rng,
+                         Signal& out) const {
   MSTS_REQUIRE(rf.fs > 0.0 && rf.fs == lo.fs, "RF and LO rates must match");
   MSTS_REQUIRE(rf.size() == lo.size(), "RF and LO lengths must match");
 
@@ -44,15 +45,22 @@ Signal Mixer::process(const Signal& rf, const Signal& lo, stats::Rng& noise_rng)
   const double leak = amplitude_ratio_from_db(-lo_isolation_db_);
   const double noise_sigma = noise_vrms_from_nf(nf_db_, rf.fs);
 
-  Signal out;
   out.fs = rf.fs;
-  out.samples.reserve(rf.size());
+  out.samples.resize(rf.size());
+  const double* rfp = rf.samples.data();
+  const double* lop = lo.samples.data();
+  double* dst = out.samples.data();
   for (std::size_t i = 0; i < rf.size(); ++i) {
-    const double x = rf.samples[i] + noise_sigma * noise_rng.normal();
+    const double x = rfp[i] + noise_sigma * noise_rng.normal();
     // RF-port nonlinearity, then multiplication, then LO feedthrough.
     const double distorted = apply_nonlinearity(x, a1, 0.0, c3, vsat);
-    out.samples.push_back(distorted * lo.samples[i] + leak * lo.samples[i]);
+    dst[i] = distorted * lop[i] + leak * lop[i];
   }
+}
+
+Signal Mixer::process(const Signal& rf, const Signal& lo, stats::Rng& noise_rng) const {
+  Signal out;
+  process_into(rf, lo, noise_rng, out);
   return out;
 }
 

@@ -33,6 +33,11 @@ class Mixer {
   /// feedthrough, compression and thermal noise.
   Signal process(const Signal& rf, const Signal& lo, stats::Rng& noise_rng) const;
 
+  /// process() into a caller-owned buffer (resized; capacity reused). `out`
+  /// must not alias either input.
+  void process_into(const Signal& rf, const Signal& lo, stats::Rng& noise_rng,
+                    Signal& out) const;
+
   double actual_conv_gain_db() const { return conv_gain_db_; }
   double actual_iip3_dbm() const { return iip3_dbm_; }
   double actual_p1db_in_dbm() const { return p1db_in_dbm_; }

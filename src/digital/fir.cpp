@@ -64,26 +64,58 @@ FirModel::FirModel(std::span<const std::int32_t> coeffs, int input_width)
 
 std::int64_t FirModel::step(std::int64_t x) {
   MSTS_REQUIRE(x == clamp_to_width(x, input_width_), "input exceeds bus width");
+  const std::size_t m = delay_.size();
   std::int64_t acc = coeffs_[0] * x;
+  // delay_[(pos_ + k) % m] holds x[n-1-k]; walk it without dividing.
+  std::size_t idx = pos_;
   for (std::size_t k = 1; k < coeffs_.size(); ++k) {
-    acc += coeffs_[k] * delay_[k - 1];
+    acc += coeffs_[k] * delay_[idx];
+    ++idx;
+    if (idx == m) idx = 0;
   }
-  // Shift the delay line: x becomes x[n-1] next cycle.
-  for (std::size_t k = delay_.size(); k > 1; --k) {
-    delay_[k - 1] = delay_[k - 2];
+  // Overwrite the oldest sample with x: it becomes x[n-1] next cycle.
+  if (m != 0) {
+    pos_ = (pos_ == 0) ? m - 1 : pos_ - 1;
+    delay_[pos_] = x;
   }
-  if (!delay_.empty()) delay_[0] = x;
   return acc;
 }
 
-void FirModel::reset() { std::fill(delay_.begin(), delay_.end(), 0); }
+void FirModel::reset() {
+  std::fill(delay_.begin(), delay_.end(), 0);
+  pos_ = 0;
+}
 
 std::vector<std::int64_t> FirModel::run(std::span<const std::int64_t> x) {
   reset();
   std::vector<std::int64_t> y;
-  y.reserve(x.size());
-  for (std::int64_t v : x) y.push_back(step(v));
+  fir_block_into(coeffs_, input_width_, x, y);
   return y;
+}
+
+void fir_block_into(std::span<const std::int32_t> coeffs, int input_width,
+                    std::span<const std::int64_t> x, std::vector<std::int64_t>& y) {
+  MSTS_REQUIRE(!coeffs.empty(), "FIR needs at least one tap");
+  for (std::int64_t v : x) {
+    MSTS_REQUIRE(v == clamp_to_width(v, input_width), "input exceeds bus width");
+  }
+  const std::size_t n = x.size();
+  const std::size_t taps = coeffs.size();
+  y.resize(n);
+  // Warm-up region: history shorter than the tap count (implicit zeros).
+  const std::size_t head = std::min(n, taps - 1);
+  for (std::size_t i = 0; i < head; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k <= i; ++k) acc += coeffs[k] * x[i - k];
+    y[i] = acc;
+  }
+  // Steady state: full-length dot product against the record itself.
+  for (std::size_t i = head; i < n; ++i) {
+    const std::int64_t* xp = x.data() + i;
+    std::int64_t acc = 0;
+    for (std::size_t k = 0; k < taps; ++k) acc += coeffs[k] * xp[-static_cast<std::ptrdiff_t>(k)];
+    y[i] = acc;
+  }
 }
 
 std::int64_t clamp_to_width(std::int64_t v, int width) {

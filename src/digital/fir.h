@@ -34,6 +34,11 @@ FirCircuit build_fir(std::span<const std::int32_t> coeffs, int input_width,
                      int coeff_frac_bits);
 
 /// Exact integer FIR: the behavioural twin of the generated netlist.
+///
+/// step() keeps its delay line in a circular buffer (a moving write index
+/// instead of an O(taps) shift per sample); whole records should go through
+/// run()/fir_block_into, which convolve directly against the input span with
+/// no delay-line traffic at all. Both produce bit-identical int64 sums.
 class FirModel {
  public:
   FirModel(std::span<const std::int32_t> coeffs, int input_width);
@@ -51,9 +56,17 @@ class FirModel {
 
  private:
   std::vector<std::int32_t> coeffs_;
-  std::vector<std::int64_t> delay_;
+  std::vector<std::int64_t> delay_;  ///< Circular: delay_[(pos_ + k) % m] == x[n-1-k].
+  std::size_t pos_ = 0;              ///< Slot holding the most recent past sample.
   int input_width_;
 };
+
+/// Block FIR: y[n] = sum_k coeffs[k] * x[n-k] with zero initial state,
+/// convolved directly against the record (no delay line). `y` is resized to
+/// x.size(); capacity is reused so steady-state calls allocate nothing.
+/// Every input must fit `input_width` bits (same contract as FirModel::step).
+void fir_block_into(std::span<const std::int32_t> coeffs, int input_width,
+                    std::span<const std::int64_t> x, std::vector<std::int64_t>& y);
 
 /// Clamps a value into the representable range of a signed `width`-bit bus.
 std::int64_t clamp_to_width(std::int64_t v, int width);

@@ -4,53 +4,21 @@
 
 #include "base/require.h"
 #include "base/units.h"
+#include "dsp/fft_plan.h"
 
 namespace msts::dsp {
 
 bool is_power_of_two(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
-namespace {
-
-// Permutes x into bit-reversed order, the input ordering required by the
-// iterative decimation-in-time butterflies.
-void bit_reverse_permute(std::vector<std::complex<double>>& x) {
-  const std::size_t n = x.size();
-  std::size_t j = 0;
-  for (std::size_t i = 1; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(x[i], x[j]);
-  }
-}
-
-}  // namespace
-
 void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
   const std::size_t n = x.size();
   MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
   if (n == 1) return;
-
-  bit_reverse_permute(x);
-
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
-      std::complex<double> w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = x[i + k];
-        const std::complex<double> v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-
+  const auto plan = get_fft_plan(n);
   if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (auto& v : x) v *= scale;
+    plan->inverse(x.data());
+  } else {
+    plan->forward(x.data());
   }
 }
 
@@ -61,25 +29,66 @@ std::vector<std::complex<double>> fft_real(std::span<const double> x) {
 }
 
 std::vector<std::complex<double>> rfft(std::span<const double> x) {
-  auto full = fft_real(x);
-  full.resize(x.size() / 2 + 1);
-  return full;
+  MSTS_REQUIRE(is_power_of_two(x.size()), "FFT size must be a power of two");
+  const auto plan = get_rfft_plan(x.size());
+  std::vector<std::complex<double>> out(plan->num_bins());
+  plan->forward(x.data(), out.data());
+  return out;
 }
 
 std::complex<double> single_bin_dft(std::span<const double> x, double freq, double fs) {
   MSTS_REQUIRE(!x.empty(), "signal must be non-empty");
   MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
-  const double w = kTwoPi * freq / fs;
+  const std::size_t n = x.size();
   std::complex<double> acc(0.0, 0.0);
-  for (std::size_t n = 0; n < x.size(); ++n) {
-    const double ph = w * static_cast<double>(n);
-    acc += x[n] * std::complex<double>(std::cos(ph), -std::sin(ph));
+
+  if (freq == 0.0) {
+    // DC correlates against a constant: a plain sum.
+    double s = 0.0;
+    for (double v : x) s += v;
+    acc = std::complex<double>(s, 0.0);
+  } else if (freq == 0.5 * fs) {
+    // Nyquist correlates against (-1)^n: an alternating sum.
+    double s = 0.0;
+    double sign = 1.0;
+    for (double v : x) {
+      s += sign * v;
+      sign = -sign;
+    }
+    acc = std::complex<double>(s, 0.0);
+  } else {
+    // Goertzel recurrence: one multiply-add per sample instead of a cos/sin
+    // pair. Processed in blocks so the state variables (whose rounding error
+    // grows with run length, quadratically near DC/Nyquist) stay short; each
+    // block's partial sum is rotated to the record's time origin with exact
+    // trig.
+    const double w = kTwoPi * freq / fs;
+    const double coeff = 2.0 * std::cos(w);
+    const std::complex<double> em(std::cos(w), -std::sin(w));  // exp(-j w)
+    constexpr std::size_t kBlock = 1024;
+    for (std::size_t start = 0; start < n; start += kBlock) {
+      const std::size_t len = std::min(kBlock, n - start);
+      const double* p = x.data() + start;
+      double s1 = 0.0;
+      double s2 = 0.0;
+      for (std::size_t m = 0; m < len; ++m) {
+        const double s0 = p[m] + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+      }
+      // s1 - exp(-j w) s2 = sum_m p[m] exp(+j w (len-1-m)); undo the
+      // end-of-block reference and shift to the block's absolute offset.
+      const std::complex<double> y = std::complex<double>(s1, 0.0) - em * s2;
+      const double back = -w * static_cast<double>(start + len - 1);
+      acc += y * std::complex<double>(std::cos(back), std::sin(back));
+    }
   }
+
   // The 2/N single-sided correction folds the conjugate-mirror bin into this
   // one; DC and Nyquist are their own mirrors and carry their full amplitude
   // in a single bin, so they scale by 1/N.
   const bool self_mirrored = (freq == 0.0) || (freq == 0.5 * fs);
-  return acc * ((self_mirrored ? 1.0 : 2.0) / static_cast<double>(x.size()));
+  return acc * ((self_mirrored ? 1.0 : 2.0) / static_cast<double>(n));
 }
 
 }  // namespace msts::dsp

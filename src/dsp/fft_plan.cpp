@@ -1,0 +1,240 @@
+#include "dsp/fft_plan.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "base/require.h"
+#include "base/units.h"
+#include "dsp/fft.h"
+#include "obs/registry.h"
+
+namespace msts::dsp {
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+
+  // Bit-reversal permutation, recorded as the swap pairs an in-place pass
+  // performs (each unordered pair once, fixed points dropped).
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      swap_lo_.push_back(static_cast<std::uint32_t>(i));
+      swap_hi_.push_back(static_cast<std::uint32_t>(j));
+    }
+  }
+
+  if (n >= 4) {
+    twiddles_.reserve(n - 2);
+    for (std::size_t len = 4; len <= n; len <<= 1) {
+      const double step = -kTwoPi / static_cast<double>(len);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const double a = step * static_cast<double>(k);
+        twiddles_.emplace_back(std::cos(a), std::sin(a));
+      }
+    }
+  }
+}
+
+void FftPlan::forward(std::complex<double>* x) const {
+  const std::size_t n = n_;
+  if (n < 2) return;
+
+  const std::uint32_t* lo = swap_lo_.data();
+  const std::uint32_t* hi = swap_hi_.data();
+  for (std::size_t s = 0; s < swap_lo_.size(); ++s) {
+    std::swap(x[lo[s]], x[hi[s]]);
+  }
+
+  // len = 2: all twiddles are 1, a pure add/sub sweep.
+  for (std::size_t i = 0; i + 1 < n; i += 2) {
+    const std::complex<double> u = x[i];
+    const std::complex<double> v = x[i + 1];
+    x[i] = u + v;
+    x[i + 1] = u - v;
+  }
+
+  // Remaining stages read their twiddles from the precomputed table. The
+  // butterflies are written on raw components so the compiler sees plain
+  // mul/add chains with no complex-multiply special-case branches.
+  double* d = reinterpret_cast<double*>(x);
+  const std::complex<double>* tw = twiddles_.data();
+  for (std::size_t len = 4; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n; i += len) {
+      {
+        const std::complex<double> u = x[i];
+        const std::complex<double> v = x[i + half];
+        x[i] = u + v;
+        x[i + half] = u - v;
+      }
+      for (std::size_t k = 1; k < half; ++k) {
+        const double wr = tw[k].real();
+        const double wi = tw[k].imag();
+        double* a = d + 2 * (i + k);
+        double* b = d + 2 * (i + k + half);
+        const double br = b[0];
+        const double bi = b[1];
+        const double vr = br * wr - bi * wi;
+        const double vi = br * wi + bi * wr;
+        const double ur = a[0];
+        const double ui = a[1];
+        a[0] = ur + vr;
+        a[1] = ui + vi;
+        b[0] = ur - vr;
+        b[1] = ui - vi;
+      }
+    }
+    tw += half;
+  }
+}
+
+void FftPlan::inverse(std::complex<double>* x) const {
+  // ifft(x) = conj(fft(conj(x))) / N reuses the forward twiddles.
+  for (std::size_t i = 0; i < n_; ++i) x[i] = std::conj(x[i]);
+  forward(x);
+  const double scale = 1.0 / static_cast<double>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    x[i] = std::complex<double>(x[i].real() * scale, -x[i].imag() * scale);
+  }
+}
+
+RfftPlan::RfftPlan(std::size_t n) : n_(n) {
+  MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  if (n >= 4) half_ = get_fft_plan(n / 2);
+  if (n >= 2) {
+    split_tw_.reserve(n / 2 + 1);
+    const double step = -kTwoPi / static_cast<double>(n);
+    for (std::size_t k = 0; k <= n / 2; ++k) {
+      const double a = step * static_cast<double>(k);
+      split_tw_.emplace_back(std::cos(a), std::sin(a));
+    }
+  }
+}
+
+void RfftPlan::forward(const double* x, std::complex<double>* out) const {
+  const std::size_t n = n_;
+  if (n == 1) {
+    out[0] = std::complex<double>(x[0], 0.0);
+    return;
+  }
+  const std::size_t m = n / 2;
+
+  // Pack even samples into the real lane and odd samples into the imaginary
+  // lane, transform at half size, then disentangle the two interleaved real
+  // spectra and recombine them with one extra twiddle rotation per bin.
+  thread_local std::vector<std::complex<double>> z;
+  z.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    z[i] = std::complex<double>(x[2 * i], x[2 * i + 1]);
+  }
+  if (half_ != nullptr) half_->forward(z.data());
+
+  out[0] = std::complex<double>(z[0].real() + z[0].imag(), 0.0);
+  out[m] = std::complex<double>(z[0].real() - z[0].imag(), 0.0);
+  for (std::size_t k = 1; k < m; ++k) {
+    const std::complex<double> a = z[k];
+    const std::complex<double> b = std::conj(z[m - k]);
+    const std::complex<double> even = 0.5 * (a + b);
+    const std::complex<double> odd = std::complex<double>(0.0, -0.5) * (a - b);
+    out[k] = even + split_tw_[k] * odd;
+  }
+}
+
+namespace {
+
+// Never destroyed: plans may be looked up from threads that outlive static
+// destruction order (same rationale as obs::Registry).
+struct PlanCaches {
+  std::mutex mu;
+  std::unordered_map<std::size_t, std::shared_ptr<const FftPlan>> fft;
+  std::unordered_map<std::size_t, std::shared_ptr<const RfftPlan>> rfft;
+  std::map<std::pair<std::size_t, int>, std::shared_ptr<const WindowPlan>> window;
+};
+
+PlanCaches& caches() {
+  static PlanCaches* c = new PlanCaches;
+  return *c;
+}
+
+}  // namespace
+
+std::shared_ptr<const FftPlan> get_fft_plan(std::size_t n) {
+  MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  PlanCaches& c = caches();
+  std::lock_guard<std::mutex> lk(c.mu);
+  auto it = c.fft.find(n);
+  if (it != c.fft.end()) {
+    obs::counter_add("dsp.plan_cache.fft.hit");
+    return it->second;
+  }
+  obs::counter_add("dsp.plan_cache.fft.miss");
+  auto plan = std::make_shared<const FftPlan>(n);
+  c.fft.emplace(n, plan);
+  return plan;
+}
+
+std::shared_ptr<const RfftPlan> get_rfft_plan(std::size_t n) {
+  MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  PlanCaches& c = caches();
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+    auto it = c.rfft.find(n);
+    if (it != c.rfft.end()) {
+      obs::counter_add("dsp.plan_cache.rfft.hit");
+      return it->second;
+    }
+    obs::counter_add("dsp.plan_cache.rfft.miss");
+  }
+  // Built outside the lock: the constructor re-enters the cache through
+  // get_fft_plan for its half-size plan, and the mutex is not recursive.
+  // Two threads may race to build the same size; the first insertion wins
+  // and the losers adopt it (the plans are identical).
+  auto plan = std::make_shared<const RfftPlan>(n);
+  std::lock_guard<std::mutex> lk(c.mu);
+  auto again = c.rfft.find(n);
+  if (again != c.rfft.end()) return again->second;
+  c.rfft.emplace(n, plan);
+  return plan;
+}
+
+std::shared_ptr<const WindowPlan> get_window_plan(std::size_t n, WindowType type) {
+  MSTS_REQUIRE(n >= 1, "window length must be >= 1");
+  const auto key = std::make_pair(n, static_cast<int>(type));
+  PlanCaches& c = caches();
+  {
+    std::lock_guard<std::mutex> lk(c.mu);
+    auto it = c.window.find(key);
+    if (it != c.window.end()) {
+      obs::counter_add("dsp.plan_cache.window.hit");
+      return it->second;
+    }
+    obs::counter_add("dsp.plan_cache.window.miss");
+  }
+  // Window synthesis is trig-heavy; build outside the lock so concurrent
+  // lookups of other sizes are not serialised behind it.
+  auto plan = std::make_shared<WindowPlan>();
+  plan->samples = make_window(n, type);
+  double s1 = 0.0;
+  double s2 = 0.0;
+  for (double v : plan->samples) {
+    s1 += v;
+    s2 += v * v;
+  }
+  plan->coherent_gain = s1 / static_cast<double>(n);
+  plan->enbw_bins = static_cast<double>(n) * s2 / (s1 * s1);
+
+  std::lock_guard<std::mutex> lk(c.mu);
+  auto again = c.window.find(key);
+  if (again != c.window.end()) return again->second;
+  std::shared_ptr<const WindowPlan> ready = std::move(plan);
+  c.window.emplace(key, ready);
+  return ready;
+}
+
+}  // namespace msts::dsp

@@ -6,6 +6,7 @@
 #include "base/require.h"
 #include "base/units.h"
 #include "dsp/fft.h"
+#include "dsp/fft_plan.h"
 
 namespace msts::dsp {
 
@@ -14,18 +15,19 @@ Spectrum::Spectrum(std::span<const double> x, double fs, WindowType window)
   MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
   MSTS_REQUIRE(is_power_of_two(n_) && n_ >= 2, "record length must be a power of two >= 2");
 
-  const auto w = make_window(n_, window);
-  double wsum = 0.0;
-  double wsq = 0.0;
-  std::vector<double> xw(n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    xw[i] = x[i] * w[i];
-    wsum += w[i];
-    wsq += w[i] * w[i];
-  }
-  coherent_gain_ = wsum / static_cast<double>(n_);
-  enbw_ = static_cast<double>(n_) * wsq / (wsum * wsum);
-  bins_ = rfft(xw);
+  // Window samples and their calibration sums come from the shared plan
+  // cache; only the windowed product and the transform run per record.
+  const auto wp = get_window_plan(n_, window);
+  const auto rp = get_rfft_plan(n_);
+  coherent_gain_ = wp->coherent_gain;
+  enbw_ = wp->enbw_bins;
+
+  thread_local std::vector<double> xw;  // per-thread scratch, fully rewritten
+  xw.resize(n_);
+  const double* w = wp->samples.data();
+  for (std::size_t i = 0; i < n_; ++i) xw[i] = x[i] * w[i];
+  bins_.resize(rp->num_bins());
+  rp->forward(xw.data(), bins_.data());
 }
 
 std::size_t Spectrum::nearest_bin(double freq) const {
@@ -44,9 +46,15 @@ double Spectrum::amplitude(std::size_t k) const {
 }
 
 double Spectrum::power(std::size_t k) const {
-  const double a = amplitude(k);
+  MSTS_REQUIRE(k < bins_.size(), "bin index out of range");
+  // Squared amplitude via norm() rather than amplitude()^2: identical up to
+  // rounding but avoids the hypot call, which dominates summed_power-style
+  // sweeps over every bin.
+  const double norm = static_cast<double>(n_) * coherent_gain_;
+  const double two_sided = (k == 0 || (n_ % 2 == 0 && k == n_ / 2)) ? 1.0 : 2.0;
+  const double a_sq = two_sided * two_sided * std::norm(bins_[k]) / (norm * norm);
   // DC carries its full power; tones carry A^2/2.
-  return (k == 0) ? a * a : a * a / 2.0;
+  return (k == 0) ? a_sq : a_sq / 2.0;
 }
 
 double Spectrum::power_db(std::size_t k) const {

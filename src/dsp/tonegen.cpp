@@ -7,19 +7,23 @@
 
 #include "base/require.h"
 #include "base/units.h"
+#include "dsp/oscillator.h"
 
 namespace msts::dsp {
 
+void generate_tones_into(std::span<const Tone> tones, double dc, double fs,
+                         std::size_t n, std::vector<double>& x) {
+  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
+  x.assign(n, dc);
+  for (const Tone& t : tones) {
+    add_cosine(x.data(), n, kTwoPi * t.freq / fs, t.phase, t.amplitude);
+  }
+}
+
 std::vector<double> generate_tones(std::span<const Tone> tones, double dc, double fs,
                                    std::size_t n) {
-  MSTS_REQUIRE(fs > 0.0, "sample rate must be positive");
-  std::vector<double> x(n, dc);
-  for (const Tone& t : tones) {
-    const double w = kTwoPi * t.freq / fs;
-    for (std::size_t i = 0; i < n; ++i) {
-      x[i] += t.amplitude * std::cos(w * static_cast<double>(i) + t.phase);
-    }
-  }
+  std::vector<double> x;
+  generate_tones_into(tones, dc, fs, n, x);
   return x;
 }
 

@@ -24,6 +24,11 @@ struct Tone {
 std::vector<double> generate_tones(std::span<const Tone> tones, double dc, double fs,
                                    std::size_t n);
 
+/// generate_tones into a caller-owned buffer (resized to n; previous capacity
+/// is reused, so repeated synthesis allocates nothing at steady state).
+void generate_tones_into(std::span<const Tone> tones, double dc, double fs,
+                         std::size_t n, std::vector<double>& x);
+
 /// Nearest coherent (bin-centred) frequency to `target` for a length-`n`
 /// record at rate `fs`. If `odd_bin` is set the bin index is forced odd,
 /// which guarantees the record visits distinct phases (no short repetition)

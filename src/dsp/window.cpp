@@ -5,6 +5,7 @@
 
 #include "base/require.h"
 #include "base/units.h"
+#include "dsp/fft_plan.h"
 
 namespace msts::dsp {
 
@@ -75,21 +76,11 @@ std::vector<double> make_window(std::size_t n, WindowType type) {
 }
 
 double coherent_gain(WindowType type, std::size_t n) {
-  const auto w = make_window(n, type);
-  double sum = 0.0;
-  for (double v : w) sum += v;
-  return sum / static_cast<double>(n);
+  return get_window_plan(n, type)->coherent_gain;
 }
 
 double equivalent_noise_bandwidth(WindowType type, std::size_t n) {
-  const auto w = make_window(n, type);
-  double s1 = 0.0;
-  double s2 = 0.0;
-  for (double v : w) {
-    s1 += v;
-    s2 += v * v;
-  }
-  return static_cast<double>(n) * s2 / (s1 * s1);
+  return get_window_plan(n, type)->enbw_bins;
 }
 
 std::size_t main_lobe_half_width(WindowType type) {

@@ -7,6 +7,7 @@
 #include "dsp/tonegen.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
+#include "path/workspace.h"
 
 namespace msts::path {
 
@@ -17,19 +18,37 @@ std::size_t analog_record(const PathConfig& c, const MeasureOptions& opts) {
   return opts.digital_record * c.adc_decimation;
 }
 
-analog::Signal make_rf(const ReceiverPath& path, std::span<const double> if_freqs,
-                       std::span<const double> amps, const MeasureOptions& opts) {
+// Per-thread scratch for the measurement loops below. Sweeps (P1dB, cutoff)
+// and Monte-Carlo batches re-run the path with identically-sized records, so
+// one workspace per thread makes those runs allocation-free at steady state.
+// Every buffer is fully overwritten per run, so results are independent of
+// what the previous measurement on this thread left behind.
+struct MeasureScratch {
+  PathWorkspace ws;
+  analog::Signal rf;
+  std::vector<dsp::Tone> tones;
+};
+
+MeasureScratch& scratch() {
+  thread_local MeasureScratch s;
+  return s;
+}
+
+// Builds the RF stimulus into s.rf: one tone per IF frequency, translated up
+// by the nominal LO frequency.
+void make_rf(const ReceiverPath& path, std::span<const double> if_freqs,
+             std::span<const double> amps, const MeasureOptions& opts,
+             MeasureScratch& s) {
   MSTS_REQUIRE(if_freqs.size() == amps.size(), "one amplitude per tone");
   const PathConfig& c = path.config();
-  std::vector<dsp::Tone> tones;
-  tones.reserve(if_freqs.size());
+  s.tones.clear();
+  s.tones.reserve(if_freqs.size());
   for (std::size_t i = 0; i < if_freqs.size(); ++i) {
-    tones.push_back(dsp::Tone{c.lo.freq_hz + if_freqs[i], amps[i], 0.0});
+    s.tones.push_back(dsp::Tone{c.lo.freq_hz + if_freqs[i], amps[i], 0.0});
   }
-  analog::Signal rf;
-  rf.fs = c.analog_fs;
-  rf.samples = dsp::generate_tones(tones, 0.0, c.analog_fs, analog_record(c, opts));
-  return rf;
+  s.rf.fs = c.analog_fs;
+  dsp::generate_tones_into(s.tones, 0.0, c.analog_fs, analog_record(c, opts),
+                           s.rf.samples);
 }
 
 }  // namespace
@@ -44,10 +63,11 @@ dsp::Spectrum run_two_port(const ReceiverPath& path, std::span<const double> if_
                            stats::Rng& noise_rng, const MeasureOptions& opts) {
   obs::counter_add("path.run_two_port.calls");
   obs::counter_add("path.run_two_port.digital_samples", opts.digital_record);
-  const analog::Signal rf = make_rf(path, if_freqs, amplitudes_vpeak, opts);
-  const auto trace = path.run(rf, noise_rng);
-  const auto volts = path.filter_output_volts(trace);
-  return dsp::Spectrum(volts, trace.digital_fs, opts.window);
+  MeasureScratch& s = scratch();
+  make_rf(path, if_freqs, amplitudes_vpeak, opts, s);
+  const auto& trace = path.run(s.rf, noise_rng, s.ws);
+  path.filter_output_volts_into(trace, s.ws.volts);
+  return dsp::Spectrum(s.ws.volts, trace.digital_fs, opts.window);
 }
 
 double measure_path_gain_db(const ReceiverPath& path, double if_freq, double amp_vpeak,
@@ -145,11 +165,12 @@ double measure_path_cutoff_hz(const ReceiverPath& path, double amp_vpeak,
 double measure_output_dc_v(const ReceiverPath& path, stats::Rng& noise_rng,
                            const MeasureOptions& opts) {
   obs::ScopedTimer timer("path.measure_output_dc_v");
-  analog::Signal rf;
-  rf.fs = path.config().analog_fs;
-  rf.samples.assign(analog_record(path.config(), opts), 0.0);
-  const auto trace = path.run(rf, noise_rng);
-  const auto volts = path.filter_output_volts(trace);
+  MeasureScratch& s = scratch();
+  s.rf.fs = path.config().analog_fs;
+  s.rf.samples.assign(analog_record(path.config(), opts), 0.0);
+  const auto& trace = path.run(s.rf, noise_rng, s.ws);
+  path.filter_output_volts_into(trace, s.ws.volts);
+  const std::vector<double>& volts = s.ws.volts;
   // Skip the FIR warm-up, then average.
   const std::size_t skip = path.fir_coeffs().size();
   MSTS_REQUIRE(volts.size() > 2 * skip, "record too short for DC measurement");
@@ -199,11 +220,13 @@ double measure_lo_freq_error_ppm(const ReceiverPath& path, double if_freq,
   obs::ScopedTimer timer("path.measure_lo_freq_error_ppm");
   const double freqs[] = {if_freq};
   const double amps[] = {amp_vpeak};
-  const analog::Signal rf = make_rf(path, freqs, amps, opts);
-  const auto trace = path.run(rf, noise_rng);
-  const auto volts = path.filter_output_volts(trace);
+  MeasureScratch& s = scratch();
+  make_rf(path, freqs, amps, opts, s);
+  const auto& trace = path.run(s.rf, noise_rng, s.ws);
+  path.filter_output_volts_into(trace, s.ws.volts);
   // The tone comes out at f_rf - f_lo_actual = if_freq - lo_error.
-  const double measured = dsp::estimate_tone_frequency(volts, trace.digital_fs, if_freq);
+  const double measured =
+      dsp::estimate_tone_frequency(s.ws.volts, trace.digital_fs, if_freq);
   const double lo_error_hz = if_freq - measured;
   return lo_error_hz / path.config().lo.freq_hz * 1e6;
 }

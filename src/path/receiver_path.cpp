@@ -1,11 +1,14 @@
 #include "path/receiver_path.h"
 
 #include <cmath>
+#include <utility>
 
 #include "base/require.h"
 #include "base/units.h"
 #include "digital/fir.h"
 #include "dsp/fir_design.h"
+#include "obs/registry.h"
+#include "path/workspace.h"
 #include "stats/uncertain.h"
 
 namespace msts::path {
@@ -90,29 +93,43 @@ ReceiverPath ReceiverPath::sampled(const PathConfig& c, stats::Rng& rng) {
 
 ReceiverPath::Trace ReceiverPath::run(const analog::Signal& rf,
                                       stats::Rng& noise_rng) const {
+  PathWorkspace ws;
+  run(rf, noise_rng, ws);
+  return std::move(ws.trace);
+}
+
+const ReceiverPath::Trace& ReceiverPath::run(const analog::Signal& rf,
+                                             stats::Rng& noise_rng,
+                                             PathWorkspace& ws) const {
   MSTS_REQUIRE(rf.fs == config_.analog_fs, "RF input must use the analog rate");
-  Trace t;
-  t.after_amp = amp_.process(rf, noise_rng);
-  const analog::Signal lo_wave = lo_.generate(rf.fs, rf.size(), noise_rng);
-  t.after_mixer = mixer_.process(t.after_amp, lo_wave, noise_rng);
-  t.after_lpf = lpf_.process(t.after_mixer);
-  t.adc_codes = adc_.digitize(t.after_lpf, config_.adc_decimation);
-  digital::FirModel fir(fir_coeffs_, adc_.bits());
-  t.filter_out.reserve(t.adc_codes.size());
-  for (std::int64_t code : t.adc_codes) {
-    t.filter_out.push_back(fir.step(code));
-  }
+  Trace& t = ws.trace;
+  obs::counter_add(t.after_amp.samples.capacity() >= rf.size()
+                       ? "path.workspace.reuse"
+                       : "path.workspace.grow");
+  amp_.process_into(rf, noise_rng, t.after_amp);
+  lo_.generate_into(rf.fs, rf.size(), noise_rng, ws.lo_wave);
+  mixer_.process_into(t.after_amp, ws.lo_wave, noise_rng, t.after_mixer);
+  lpf_.process_into(t.after_mixer, t.after_lpf);
+  adc_.digitize_into(t.after_lpf, config_.adc_decimation, t.adc_codes);
+  digital::fir_block_into(fir_coeffs_, adc_.bits(), t.adc_codes, t.filter_out);
   t.digital_fs = config_.digital_fs();
   return t;
 }
 
 std::vector<double> ReceiverPath::filter_output_volts(const Trace& trace) const {
+  std::vector<double> out;
+  filter_output_volts_into(trace, out);
+  return out;
+}
+
+void ReceiverPath::filter_output_volts_into(const Trace& trace,
+                                            std::vector<double>& out) const {
   const double scale =
       adc_.lsb() / static_cast<double>(1 << config_.fir_coeff_frac_bits);
-  std::vector<double> out;
-  out.reserve(trace.filter_out.size());
-  for (std::int64_t v : trace.filter_out) out.push_back(static_cast<double>(v) * scale);
-  return out;
+  out.resize(trace.filter_out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<double>(trace.filter_out[i]) * scale;
+  }
 }
 
 std::vector<double> ReceiverPath::adc_output_volts(const Trace& trace) const {
@@ -124,8 +141,7 @@ std::vector<double> ReceiverPath::adc_output_volts(const Trace& trace) const {
 
 double ReceiverPath::fir_magnitude_at(double f) const {
   return std::abs(dsp::frequency_response_fixed(
-             fir_coeffs_, config_.fir_coeff_frac_bits, f / config_.digital_fs())) /
-         1.0;
+      fir_coeffs_, config_.fir_coeff_frac_bits, f / config_.digital_fs()));
 }
 
 }  // namespace msts::path

@@ -20,6 +20,8 @@
 
 namespace msts::path {
 
+struct PathWorkspace;  // path/workspace.h
+
 /// Full configuration of the reference path (nominals + tolerances).
 struct PathConfig {
   double analog_fs = 32.0e6;        ///< Analog simulation rate.
@@ -73,9 +75,20 @@ class ReceiverPath {
   /// Drives the RF input waveform through the whole path.
   Trace run(const analog::Signal& rf, stats::Rng& noise_rng) const;
 
+  /// Same transient, but every intermediate buffer lives in `ws` and is
+  /// reused across calls (see path/workspace.h). Returns ws.trace; the
+  /// reference stays valid until the next run with the same workspace.
+  /// Bit-identical to the allocating overload.
+  const Trace& run(const analog::Signal& rf, stats::Rng& noise_rng,
+                   PathWorkspace& ws) const;
+
   /// Converts the integer filter output to volts (undoes the ADC LSB and the
   /// coefficient scaling), so spectra are comparable with the analog nodes.
   std::vector<double> filter_output_volts(const Trace& trace) const;
+
+  /// filter_output_volts() into a caller-owned buffer (resized; capacity
+  /// reused).
+  void filter_output_volts_into(const Trace& trace, std::vector<double>& out) const;
 
   /// ADC codes as volts (for observing the path without the digital filter).
   std::vector<double> adc_output_volts(const Trace& trace) const;

@@ -1,0 +1,29 @@
+// Reusable buffer set for repeated transient runs.
+//
+// Measurement procedures (P1dB sweeps, cutoff bisection, Monte-Carlo loops)
+// call ReceiverPath::run dozens of times with identically-sized records. A
+// PathWorkspace owns every intermediate buffer of one run; passing the same
+// workspace to consecutive runs makes them allocation-free at steady state —
+// each stage resizes its target (a no-op once capacity exists) and overwrites
+// every element, so results are bit-identical to the allocating overload.
+//
+// A workspace is NOT thread-safe: use one per thread (the measurement layer
+// keeps a thread_local instance). The trace inside is only valid until the
+// next run() with the same workspace.
+#pragma once
+
+#include <vector>
+
+#include "analog/signal.h"
+#include "path/receiver_path.h"
+
+namespace msts::path {
+
+/// Scratch buffers for one in-flight transient simulation.
+struct PathWorkspace {
+  ReceiverPath::Trace trace;   ///< Result of the most recent run().
+  analog::Signal lo_wave;      ///< LO waveform (internal to the mixer stage).
+  std::vector<double> volts;   ///< Scratch for *_volts_into conversions.
+};
+
+}  // namespace msts::path

@@ -1,9 +1,5 @@
 #include "stats/rng.h"
 
-#include <cmath>
-
-#include "base/units.h"
-
 namespace msts::stats {
 
 namespace {
@@ -16,50 +12,12 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);
 }
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 random mantissa bits -> [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-double Rng::normal() {
-  if (has_cached_normal_) {
-    has_cached_normal_ = false;
-    return cached_normal_;
-  }
-  // Box-Muller on two uniforms; u1 is kept away from zero.
-  double u1 = uniform();
-  if (u1 < 1e-300) u1 = 1e-300;
-  const double u2 = uniform();
-  const double r = std::sqrt(-2.0 * std::log(u1));
-  cached_normal_ = r * std::sin(kTwoPi * u2);
-  has_cached_normal_ = true;
-  return r * std::cos(kTwoPi * u2);
-}
-
-double Rng::normal(double mean, double sigma) { return mean + sigma * normal(); }
 
 std::uint64_t Rng::uniform_int(std::uint64_t bound) {
   if (bound == 0) return 0;
@@ -99,7 +57,7 @@ void Rng::apply_jump_poly(const std::uint64_t (&poly)[4]) {
   s_[1] = s1;
   s_[2] = s2;
   s_[3] = s3;
-  // A cached Box-Muller deviate belongs to the pre-jump position.
+  // A cached polar deviate belongs to the pre-jump position.
   has_cached_normal_ = false;
   cached_normal_ = 0.0;
 }

@@ -1,0 +1,341 @@
+// Equivalence and concurrency tests for the planned FFT kernels
+// (dsp/fft_plan.h) and the recurrence oscillators (dsp/oscillator.h).
+//
+// The ground truth throughout is the naive O(N^2) DFT evaluated with library
+// trig at every (n, k) product — slow but with no shared state and no
+// recurrence, so any systematic error in the planned kernels shows up as a
+// mismatch here.
+#include "dsp/fft_plan.h"
+
+#include <atomic>
+#include <cmath>
+#include <complex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/units.h"
+#include "dsp/fft.h"
+#include "dsp/oscillator.h"
+
+namespace msts::dsp {
+namespace {
+
+// Naive forward DFT: X[k] = sum_n x[n] exp(-j 2 pi n k / N).
+std::vector<std::complex<double>> naive_dft(const std::vector<std::complex<double>>& x) {
+  const std::size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = -kTwoPi * static_cast<double>(i) * static_cast<double>(k) /
+                       static_cast<double>(n);
+      acc += x[i] * std::complex<double>(std::cos(a), std::sin(a));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+// Deterministic test record with non-trivial magnitude and phase content:
+// several incommensurate tones at distinct phases plus a DC offset.
+std::vector<std::complex<double>> make_signal(std::size_t n, bool complex_part) {
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    const double re = 0.4 + 1.3 * std::cos(0.731 * t + 0.21) +
+                      0.7 * std::sin(2.113 * t - 1.04) + 0.05 * std::cos(2.9 * t + 2.5);
+    const double im =
+        complex_part ? 0.9 * std::sin(1.377 * t + 0.77) - 0.3 * std::cos(0.19 * t) : 0.0;
+    x[i] = {re, im};
+  }
+  return x;
+}
+
+double relative_error(const std::vector<std::complex<double>>& got,
+                      const std::vector<std::complex<double>>& want) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t k = 0; k < want.size(); ++k) {
+    num += std::norm(got[k] - want[k]);
+    den += std::norm(want[k]);
+  }
+  return std::sqrt(num / std::max(den, 1e-300));
+}
+
+class PlanVsNaive : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PlanVsNaive, ComplexForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto x = make_signal(n, /*complex_part=*/true);
+  const auto want = naive_dft(x);
+
+  auto got = x;
+  const auto plan = get_fft_plan(n);
+  ASSERT_EQ(plan->size(), n);
+  plan->forward(got.data());
+  EXPECT_LE(relative_error(got, want), 1e-9) << "n=" << n;
+}
+
+TEST_P(PlanVsNaive, InverseUndoesForward) {
+  const std::size_t n = GetParam();
+  const auto x = make_signal(n, /*complex_part=*/true);
+  auto y = x;
+  const auto plan = get_fft_plan(n);
+  plan->forward(y.data());
+  plan->inverse(y.data());
+  EXPECT_LE(relative_error(y, x), 1e-11) << "n=" << n;
+}
+
+TEST_P(PlanVsNaive, RealForwardMatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  const auto xc = make_signal(n, /*complex_part=*/false);
+  std::vector<double> xr(n);
+  for (std::size_t i = 0; i < n; ++i) xr[i] = xc[i].real();
+  const auto full = naive_dft(xc);
+
+  const auto plan = get_rfft_plan(n);
+  ASSERT_EQ(plan->num_bins(), n / 2 + 1);
+  std::vector<std::complex<double>> got(plan->num_bins());
+  plan->forward(xr.data(), got.data());
+
+  std::vector<std::complex<double>> want(full.begin(), full.begin() + n / 2 + 1);
+  EXPECT_LE(relative_error(got, want), 1e-9) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PlanVsNaive,
+                         ::testing::Values<std::size_t>(2, 4, 8, 16, 64, 256, 1024, 4096));
+
+TEST(PlanVsNaive, RfftFreeFunctionUsesThePlannedPath) {
+  // rfft() is the public entry point Spectrum uses; pin it to the plan result.
+  const std::size_t n = 512;
+  const auto xc = make_signal(n, false);
+  std::vector<double> xr(n);
+  for (std::size_t i = 0; i < n; ++i) xr[i] = xc[i].real();
+
+  const auto via_free = rfft(xr);
+  const auto plan = get_rfft_plan(n);
+  std::vector<std::complex<double>> via_plan(plan->num_bins());
+  plan->forward(xr.data(), via_plan.data());
+  for (std::size_t k = 0; k < via_plan.size(); ++k) {
+    EXPECT_EQ(via_free[k], via_plan[k]) << "bin " << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Goertzel single_bin_dft vs the naive correlation it replaced.
+
+std::complex<double> naive_single_bin(const std::vector<double>& x, double freq,
+                                      double fs) {
+  const double w = kTwoPi * freq / fs;
+  std::complex<double> acc(0.0, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double a = -w * static_cast<double>(i);
+    acc += x[i] * std::complex<double>(std::cos(a), std::sin(a));
+  }
+  const double nyquist = fs / 2.0;
+  const bool self_mirrored = freq == 0.0 || freq == nyquist;
+  return acc * ((self_mirrored ? 1.0 : 2.0) / static_cast<double>(x.size()));
+}
+
+TEST(GoertzelVsNaive, DcNyquistAndMidBandAgree) {
+  const double fs = 4.0e6;
+  const std::size_t n = 12000;  // non-power-of-two: Goertzel path only
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = 0.25 + 1.1 * std::cos(kTwoPi * 311.0e3 * t + 0.4) +
+           0.3 * std::cos(kTwoPi * 977.0e3 * t - 1.2) +
+           0.02 * ((i % 2 == 0) ? 1.0 : -1.0);  // Nyquist component
+  }
+  const double probes[] = {0.0, fs / 2.0, 311.0e3, 977.0e3, 1.5e6, 13.0e3};
+  for (double f : probes) {
+    const auto got = single_bin_dft(x, f, fs);
+    const auto want = naive_single_bin(x, f, fs);
+    EXPECT_LE(std::abs(got - want), 1e-9 * (1.0 + std::abs(want)))
+        << "freq " << f;
+  }
+}
+
+TEST(GoertzelVsNaive, LongRecordStaysInsideTolerance) {
+  // Error growth is the reason the implementation re-anchors per block; check
+  // a record much longer than one block at an awkward near-DC frequency.
+  const double fs = 1.0e6;
+  const std::size_t n = 100000;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fs;
+    x[i] = std::cos(kTwoPi * 170.0 * t + 1.0) + 0.5 * std::cos(kTwoPi * 120.0e3 * t);
+  }
+  for (double f : {170.0, 120.0e3}) {
+    const auto got = single_bin_dft(x, f, fs);
+    const auto want = naive_single_bin(x, f, fs);
+    EXPECT_LE(std::abs(got - want), 1e-9 * (1.0 + std::abs(want))) << "freq " << f;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recurrence oscillators vs per-sample library trig.
+//
+// The reference phase is reduced mod 2 pi in long double before taking the
+// cosine: the plain product omega * i rounds to ~5e-10 rad at i ~ 1e6, so a
+// naive double reference would itself be two orders outside the 1e-12
+// contract and the comparison would only measure the reference's error.
+
+double true_carrier_phase(double omega, std::size_t i) {
+  constexpr long double kTwoPiL = 6.283185307179586476925286766559005768L;
+  const long double ph =
+      std::fmod(static_cast<long double>(omega) * static_cast<long double>(i), kTwoPiL);
+  return static_cast<double>(ph);
+}
+
+TEST(OscillatorDrift, MillionSampleStreamStaysWithin1em12) {
+  const double omega = kTwoPi * 10.4e6 / 32.0e6;  // reference-path LO pitch
+  const double phase = 0.37;
+  PhasorOscillator osc(omega, phase);
+  const std::size_t n = 1'200'000;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want = std::cos(true_carrier_phase(omega, i) + phase);
+    worst = std::max(worst, std::abs(osc.cos_next() - want));
+  }
+  EXPECT_LE(worst, 1e-12);
+}
+
+TEST(OscillatorDrift, AddCosineMatchesTrigOverMillionSamples) {
+  const double omega = kTwoPi * 0.1031;
+  const double phase = -0.81;
+  const double amp = 2.3;
+  const std::size_t n = 1'048'576 + 3;  // exercise the lane tail as well
+  std::vector<double> x(n, 0.5);
+  add_cosine(x.data(), n, omega, phase, amp);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double want = 0.5 + amp * std::cos(true_carrier_phase(omega, i) + phase);
+    worst = std::max(worst, std::abs(x[i] - want));
+  }
+  EXPECT_LE(worst, amp * 1e-12);
+}
+
+TEST(OscillatorDrift, PhaseJitterFoldsIntoResync) {
+  // Deterministic pseudo-jitter: the oscillator must track the exact
+  // accumulated phase, not just the nominal ramp. `extra` accumulates with
+  // the same plain-double additions as the oscillator, so the two walks are
+  // bitwise identical and only carrier drift remains.
+  const double omega = 0.31;
+  PhasorOscillator osc(omega, 0.1);
+  double extra = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 200000; ++i) {
+    const double jitter = 1e-4 * std::sin(0.001 * static_cast<double>(i));
+    osc.advance_phase(jitter);
+    extra += jitter;
+    const double want = std::cos(true_carrier_phase(omega, i) + (0.1 + extra));
+    worst = std::max(worst, std::abs(osc.cos_next() - want));
+  }
+  EXPECT_LE(worst, 1e-12);
+}
+
+TEST(OscillatorDrift, JitterCosNextMatchesTwoCallForm) {
+  // The fused jitter+carrier rotation must track the exact accumulated phase
+  // to the same bound as the advance_phase/cos_next pair: its extra rounding
+  // (one rotation-product rounding per sample) is folded back to exact trig
+  // at every resync like any other per-step error.
+  const double omega = 0.31;
+  PhasorOscillator osc(omega, 0.1);
+  double extra = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < 200000; ++i) {
+    const double jitter = 1e-4 * std::sin(0.001 * static_cast<double>(i));
+    const double got = osc.jitter_cos_next(jitter);
+    extra += jitter;
+    const double want = std::cos(true_carrier_phase(omega, i) + (0.1 + extra));
+    worst = std::max(worst, std::abs(got - want));
+  }
+  EXPECT_LE(worst, 1e-12);
+}
+
+TEST(OscillatorDrift, UnitPhasorSmallAngleIsExact) {
+  for (double a : {0.0, 1e-9, -3e-7, 5e-4, -9.9e-4, 0.02, -1.3}) {
+    const auto p = unit_phasor(a);
+    EXPECT_NEAR(p.real(), std::cos(a), 1e-15) << "angle " << a;
+    EXPECT_NEAR(p.imag(), std::sin(a), 1e-15) << "angle " << a;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache: concurrent lookups must hand every thread the same immutable
+// plan, and concurrent execution through shared plans must be clean under
+// TSan (this test is in the sanitizer target list; see ROADMAP.md).
+
+TEST(PlanCache, ConcurrentLookupsShareOnePlanPerSize) {
+  constexpr int kThreads = 8;
+  static constexpr std::size_t kSizes[] = {64, 128, 256, 512, 1024};
+  std::atomic<int> ready{0};
+  std::vector<std::shared_ptr<const FftPlan>> first(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ready, &first] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) {
+        // spin so every thread races the same cold/warm cache
+      }
+      for (int round = 0; round < 50; ++round) {
+        for (std::size_t n : kSizes) {
+          auto plan = get_fft_plan(n);
+          ASSERT_EQ(plan->size(), n);
+          if (round == 0 && n == kSizes[0]) first[static_cast<std::size_t>(t)] = plan;
+          // Execute through the shared plan to expose data races in forward().
+          std::vector<std::complex<double>> x(n, {1.0, -0.5});
+          plan->forward(x.data());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(first[static_cast<std::size_t>(t)].get(), first[0].get())
+        << "thread " << t << " got a different 64-point plan";
+  }
+}
+
+TEST(PlanCache, ConcurrentRfftAndWindowLookups) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int round = 0; round < 30; ++round) {
+        for (std::size_t n : {std::size_t{128}, std::size_t{512}, std::size_t{2048}}) {
+          const auto rp = get_rfft_plan(n);
+          const auto wp = get_window_plan(n, WindowType::kHann);
+          ASSERT_EQ(rp->size(), n);
+          ASSERT_EQ(wp->samples.size(), n);
+          std::vector<double> x(n);
+          for (std::size_t i = 0; i < n; ++i) x[i] = wp->samples[i];
+          std::vector<std::complex<double>> bins(rp->num_bins());
+          rp->forward(x.data(), bins.data());
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+TEST(PlanCache, WindowPlanMatchesWindowFunctions) {
+  const std::size_t n = 1024;
+  for (auto type :
+       {WindowType::kRectangular, WindowType::kHann, WindowType::kBlackmanHarris4}) {
+    const auto wp = get_window_plan(n, type);
+    const auto direct = make_window(n, type);
+    ASSERT_EQ(wp->samples.size(), direct.size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(wp->samples[i], direct[i]);
+    EXPECT_DOUBLE_EQ(wp->coherent_gain, coherent_gain(type, n));
+    EXPECT_DOUBLE_EQ(wp->enbw_bins, equivalent_noise_bandwidth(type, n));
+  }
+}
+
+}  // namespace
+}  // namespace msts::dsp

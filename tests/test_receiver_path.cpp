@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include "base/units.h"
+#include "digital/fir.h"
 #include "dsp/tonegen.h"
 #include "path/measurements.h"
+#include "path/workspace.h"
 
 namespace msts::path {
 namespace {
@@ -49,6 +51,76 @@ TEST(ReceiverPath, RejectsWrongSampleRate) {
   bad.fs = 1.0e6;
   bad.samples.assign(256, 0.0);
   EXPECT_THROW(path.run(bad, rng), std::invalid_argument);
+}
+
+TEST(ReceiverPath, WorkspaceRunIsBitIdenticalToAllocatingRun) {
+  const PathConfig c = reference_path_config();
+  const ReceiverPath path(c);
+  const auto rf = rf_tone(c, 500e3, 1e-3, 1024);
+
+  stats::Rng rng_a(42);
+  const auto fresh = path.run(rf, rng_a);
+
+  // Same RNG seed through the workspace overload, reused across three runs;
+  // a stale byte anywhere in the recycled buffers would break the identity.
+  PathWorkspace ws;
+  for (int round = 0; round < 3; ++round) {
+    stats::Rng rng_b(42);
+    const auto& reused = path.run(rf, rng_b, ws);
+    ASSERT_EQ(reused.adc_codes, fresh.adc_codes) << "round " << round;
+    ASSERT_EQ(reused.filter_out, fresh.filter_out) << "round " << round;
+    ASSERT_EQ(reused.after_amp.samples, fresh.after_amp.samples) << "round " << round;
+    ASSERT_EQ(reused.after_mixer.samples, fresh.after_mixer.samples) << "round " << round;
+    ASSERT_EQ(reused.after_lpf.samples, fresh.after_lpf.samples) << "round " << round;
+    EXPECT_DOUBLE_EQ(reused.digital_fs, fresh.digital_fs);
+  }
+}
+
+TEST(ReceiverPath, WorkspaceSurvivesRecordLengthChanges) {
+  // Shrinking then regrowing the record must not leave stale tail samples.
+  const PathConfig c = reference_path_config();
+  const ReceiverPath path(c);
+  PathWorkspace ws;
+  for (std::size_t digital_n : {std::size_t{1024}, std::size_t{256}, std::size_t{1024}}) {
+    const auto rf = rf_tone(c, 500e3, 1e-3, digital_n);
+    stats::Rng rng_a(7);
+    stats::Rng rng_b(7);
+    const auto fresh = path.run(rf, rng_a);
+    const auto& reused = path.run(rf, rng_b, ws);
+    ASSERT_EQ(reused.filter_out, fresh.filter_out) << "digital_n " << digital_n;
+  }
+}
+
+TEST(ReceiverPath, FilterOutputVoltsIntoMatchesValueForm) {
+  const PathConfig c = reference_path_config();
+  const ReceiverPath path(c);
+  stats::Rng rng(3);
+  const auto trace = path.run(rf_tone(c, 400e3, 1e-3, 512), rng);
+  const auto by_value = path.filter_output_volts(trace);
+  std::vector<double> into(3, -99.0);  // wrong size and content on purpose
+  path.filter_output_volts_into(trace, into);
+  ASSERT_EQ(into, by_value);
+}
+
+TEST(ReceiverPath, FirBlockMatchesStepwiseModel) {
+  // The transient uses digital::fir_block_into; pin it against FirModel::step
+  // on the path's own coefficient set, including negative and saturating-range
+  // inputs around the warm-up boundary.
+  const PathConfig c = reference_path_config();
+  const ReceiverPath path(c);
+  digital::FirModel model(path.fir_coeffs(), c.adc.bits);
+
+  std::vector<std::int64_t> x;
+  for (int i = 0; i < 64; ++i) {
+    x.push_back(((i * 37) % 4001) - 2000);  // deterministic, in 12-bit range
+  }
+  std::vector<std::int64_t> block;
+  digital::fir_block_into(path.fir_coeffs(), c.adc.bits, x, block);
+  ASSERT_EQ(block.size(), x.size());
+  model.reset();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(block[i], model.step(x[i])) << "sample " << i;
+  }
 }
 
 TEST(Measurements, PathGainNearNominalCascade) {
