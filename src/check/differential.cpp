@@ -1,0 +1,120 @@
+#include "check/differential.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "obs/registry.h"
+
+namespace msts::check {
+
+namespace {
+
+// Maps a double's bit pattern onto a monotone signed integer line, so the
+// count of representable doubles between two values is a plain subtraction.
+std::int64_t ordered_bits(double x) {
+  std::int64_t bits;
+  static_assert(sizeof(bits) == sizeof(x));
+  std::memcpy(&bits, &x, sizeof(bits));
+  // Negative doubles have descending bit patterns; reflect them so the line
+  // ascends through zero (-0.0 and +0.0 both land on 0).
+  return bits >= 0 ? bits : std::numeric_limits<std::int64_t>::min() - bits;
+}
+
+}  // namespace
+
+double ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return (std::isnan(a) && std::isnan(b))
+               ? 0.0
+               : std::numeric_limits<double>::infinity();
+  }
+  if (a == b) return 0.0;  // covers +0/-0 and equal infinities
+  if (std::isinf(a) || std::isinf(b)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::int64_t da = ordered_bits(a);
+  const std::int64_t db = ordered_bits(b);
+  // The difference of two ordered-line positions always fits in uint64.
+  const std::uint64_t dist = da > db ? static_cast<std::uint64_t>(da) - static_cast<std::uint64_t>(db)
+                                     : static_cast<std::uint64_t>(db) - static_cast<std::uint64_t>(da);
+  return static_cast<double>(dist);
+}
+
+namespace detail {
+
+CaseOutcome compare(std::span<const double> fast, std::span<const double> reference,
+                    const Tolerance& tol) {
+  CaseOutcome out;
+  out.fast_size = fast.size();
+  out.reference_size = reference.size();
+  if (fast.size() != reference.size()) {
+    out.passed = false;
+    out.size_mismatch = true;
+    return out;
+  }
+  bool have_worst = false;
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    const double f = fast[i];
+    const double r = reference[i];
+    const bool one_nan = std::isnan(f) != std::isnan(r);
+    const double abs_diff =
+        one_nan ? std::numeric_limits<double>::infinity()
+                : (std::isnan(f) ? 0.0 : std::abs(f - r));
+    const double ulp = ulp_distance(f, r);
+    if (!(abs_diff <= tol.max_abs || ulp <= tol.max_ulp)) out.passed = false;
+    if (!have_worst || abs_diff > out.div.max_abs) {
+      out.div.worst_index = i;
+      out.div.fast_value = f;
+      out.div.reference_value = r;
+      have_worst = true;
+    }
+    if (abs_diff > out.div.max_abs) out.div.max_abs = abs_diff;
+    if (ulp > out.div.max_ulp) out.div.max_ulp = ulp;
+  }
+  return out;
+}
+
+void account(Report& report, const CaseOutcome& outcome, int case_index) {
+  ++report.cases;
+  if (!outcome.passed) ++report.failures;
+  report.compared += outcome.size_mismatch
+                         ? 0
+                         : static_cast<std::uint64_t>(outcome.fast_size);
+  if (report.worst_case < 0 || outcome.div.max_abs > report.worst.max_abs) {
+    report.worst = outcome.div;
+    report.worst_case = case_index;
+  }
+}
+
+void reproducer_header(obs::json::Writer& w, std::string_view name,
+                       const RunOptions& opts, int case_index,
+                       const CaseOutcome& outcome) {
+  w.kv("check", name);
+  w.kv("seed", opts.seed);
+  w.kv("cases", opts.cases);
+  w.kv("case", case_index);
+  if (outcome.size_mismatch) {
+    w.kv("fast_size", static_cast<std::uint64_t>(outcome.fast_size));
+    w.kv("reference_size", static_cast<std::uint64_t>(outcome.reference_size));
+  } else {
+    w.kv("max_abs", outcome.div.max_abs);
+    w.kv("max_ulp", outcome.div.max_ulp);
+    w.kv("worst_index", static_cast<std::uint64_t>(outcome.div.worst_index));
+    w.kv("fast", outcome.div.fast_value);
+    w.kv("reference", outcome.div.reference_value);
+  }
+}
+
+void publish(const Report& report) {
+  const std::string prefix = "check." + report.name;
+  obs::counter_add(prefix + ".cases", static_cast<std::uint64_t>(report.cases));
+  obs::counter_add(prefix + ".failures",
+                   static_cast<std::uint64_t>(report.failures));
+  obs::counter_add(prefix + ".compared", report.compared);
+  obs::histogram_record(prefix + ".max_abs", report.worst.max_abs);
+  obs::histogram_record(prefix + ".max_ulp", report.worst.max_ulp);
+}
+
+}  // namespace detail
+}  // namespace msts::check

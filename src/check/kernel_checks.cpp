@@ -1,0 +1,379 @@
+#include "check/kernel_checks.h"
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/units.h"
+#include "check/generators.h"
+#include "dsp/fft.h"
+#include "dsp/fft_plan.h"
+#include "dsp/oscillator.h"
+#include "dsp/tonegen.h"
+#include "path/workspace.h"
+#include "stats/yield.h"
+
+namespace msts::check {
+
+namespace {
+
+// Interleaves re/im so complex outputs flow through the scalar comparator.
+void push_complex(std::vector<double>& out, const std::complex<double>& v) {
+  out.push_back(v.real());
+  out.push_back(v.imag());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Planned real FFT vs naive O(N^2) DFT.
+// ---------------------------------------------------------------------------
+
+Report check_fft_plan_vs_naive_dft(const RunOptions& opts) {
+  using Case = RecordCase;
+  return differential<Case>(
+      "fft_plan_vs_naive_dft",
+      [](stats::Rng& rng) { return random_record(rng, /*min_log2=*/4, /*max_log2=*/10); },
+      [](const Case& c, stats::Rng&) {
+        std::vector<double> out;
+        const auto bins = dsp::rfft(c.samples);
+        out.reserve(2 * bins.size());
+        for (const auto& b : bins) push_complex(out, b);
+        return out;
+      },
+      [](const Case& c, stats::Rng&) {
+        // One-sided naive DFT with exact library trig at every (n, k) angle.
+        const std::size_t n = c.samples.size();
+        std::vector<double> out;
+        out.reserve(2 * (n / 2 + 1));
+        for (std::size_t k = 0; k <= n / 2; ++k) {
+          std::complex<double> acc(0.0, 0.0);
+          for (std::size_t i = 0; i < n; ++i) {
+            const double a = -kTwoPi * static_cast<double>(i) *
+                             static_cast<double>(k) / static_cast<double>(n);
+            acc += c.samples[i] * std::complex<double>(std::cos(a), std::sin(a));
+          }
+          push_complex(out, acc);
+        }
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) { describe(c, w); },
+      // Bin magnitudes reach N * sum(amplitudes); the abs bound absorbs
+      // cancellation noise on near-empty bins, the ulp bound scales with the
+      // loaded bins.
+      Tolerance::abs_or_ulp(1e-6, 1e5), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Blockwise Goertzel single-bin DFT vs direct correlation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SingleBinCase {
+  RecordCase rec;
+  double freq = 0.0;
+};
+
+}  // namespace
+
+Report check_goertzel_vs_direct_correlation(const RunOptions& opts) {
+  using Case = SingleBinCase;
+  return differential<Case>(
+      "goertzel_vs_direct_correlation",
+      [](stats::Rng& rng) {
+        Case c;
+        c.rec = random_record(rng, /*min_log2=*/6, /*max_log2=*/13);
+        const double u = rng.uniform();
+        if (u < 0.15) {
+          c.freq = 0.0;  // DC branch
+        } else if (u < 0.3) {
+          c.freq = 0.5 * c.rec.fs;  // Nyquist branch
+        } else if (u < 0.6) {
+          // Bin-centred (the production use: coherent translated tests).
+          c.freq = dsp::coherent_frequency(c.rec.fs, c.rec.samples.size(),
+                                           rng.uniform(0.02, 0.45) * c.rec.fs);
+        } else {
+          // Arbitrary off-bin frequency.
+          c.freq = rng.uniform(0.001, 0.499) * c.rec.fs;
+        }
+        return c;
+      },
+      [](const Case& c, stats::Rng&) {
+        std::vector<double> out;
+        push_complex(out, dsp::single_bin_dft(c.rec.samples, c.freq, c.rec.fs));
+        return out;
+      },
+      [](const Case& c, stats::Rng&) {
+        // Direct correlation with a libm cos/sin pair at every sample, with
+        // the same one-sided 2/N (1/N at DC/Nyquist) scaling.
+        const std::size_t n = c.rec.samples.size();
+        std::complex<double> acc(0.0, 0.0);
+        const double w = kTwoPi * c.freq / c.rec.fs;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double a = -w * static_cast<double>(i);
+          acc += c.rec.samples[i] * std::complex<double>(std::cos(a), std::sin(a));
+        }
+        const bool self_mirrored = (c.freq == 0.0) || (c.freq == 0.5 * c.rec.fs);
+        acc *= (self_mirrored ? 1.0 : 2.0) / static_cast<double>(n);
+        std::vector<double> out;
+        push_complex(out, acc);
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        w.kv("freq", c.freq);
+        describe(c.rec, w);
+      },
+      Tolerance::abs_or_ulp(1e-8, 1e5), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Recurrence oscillator vs long-double libm trig.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct OscCase {
+  double omega = 0.0;
+  double phase = 0.0;
+  double amp = 1.0;
+  std::size_t n = 0;
+};
+
+}  // namespace
+
+Report check_oscillator_vs_libm_trig(const RunOptions& opts) {
+  using Case = OscCase;
+  return differential<Case>(
+      "oscillator_vs_libm_trig",
+      [](stats::Rng& rng) {
+        Case c;
+        c.omega = rng.uniform(1e-4, 0.99 * kPi);
+        c.phase = rng.uniform(0.0, kTwoPi);
+        c.amp = rng.uniform(0.1, 2.0);
+        c.n = std::size_t{1} << (10 + rng.uniform_int(5));  // 1k .. 16k
+        return c;
+      },
+      [](const Case& c, stats::Rng&) {
+        // Both generation paths: the 4-lane add_cosine used by tonegen, then
+        // the single streaming phasor used by the LO.
+        std::vector<double> out(c.n, 0.0);
+        dsp::add_cosine(out.data(), c.n, c.omega, c.phase, c.amp);
+        dsp::PhasorOscillator osc(c.omega, c.phase);
+        out.reserve(2 * c.n);
+        for (std::size_t i = 0; i < c.n; ++i) out.push_back(c.amp * osc.cos_next());
+        return out;
+      },
+      [](const Case& c, stats::Rng&) {
+        // Long-double golden model: the angle product omega * i is formed in
+        // 80-bit precision, so its rounding stays far below the oscillators'
+        // 1e-12 drift contract.
+        std::vector<double> out;
+        out.reserve(2 * c.n);
+        for (int rep = 0; rep < 2; ++rep) {
+          for (std::size_t i = 0; i < c.n; ++i) {
+            const long double angle =
+                static_cast<long double>(c.omega) * static_cast<long double>(i) +
+                static_cast<long double>(c.phase);
+            out.push_back(static_cast<double>(
+                static_cast<long double>(c.amp) * std::cos(angle)));
+          }
+        }
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        w.kv("omega", c.omega);
+        w.kv("phase", c.phase);
+        w.kv("amp", c.amp);
+        w.kv("n", static_cast<std::uint64_t>(c.n));
+      },
+      Tolerance::abs_only(5e-12), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace-reusing transient vs allocating transient.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PathCase {
+  path::PathConfig cfg;
+  std::size_t digital_record = 256;
+  std::vector<dsp::Tone> rf_tones;
+};
+
+// RF stimulus of a PathCase (deterministic; both sides build the same one).
+analog::Signal make_case_rf(const PathCase& c) {
+  analog::Signal rf;
+  rf.fs = c.cfg.analog_fs;
+  rf.samples = dsp::generate_tones(c.rf_tones, 0.0, c.cfg.analog_fs,
+                                   c.digital_record * c.cfg.adc_decimation);
+  return rf;
+}
+
+// Flattens the observable outputs of one transient: the full-precision FIR
+// output plus its volts conversion.
+std::vector<double> flatten_trace(const path::ReceiverPath& p,
+                                  const path::ReceiverPath::Trace& t,
+                                  const std::vector<double>& volts) {
+  std::vector<double> out;
+  out.reserve(t.filter_out.size() + volts.size() + 1);
+  for (std::int64_t v : t.filter_out) out.push_back(static_cast<double>(v));
+  out.insert(out.end(), volts.begin(), volts.end());
+  out.push_back(p.fir_magnitude_at(0.1 * p.config().digital_fs()));
+  return out;
+}
+
+}  // namespace
+
+Report check_path_workspace_vs_allocating_run(const RunOptions& opts) {
+  using Case = PathCase;
+  // One workspace shared across every case: steady-state reuse across
+  // different record lengths and configs is exactly the contract under test.
+  auto ws = std::make_shared<path::PathWorkspace>();
+  return differential<Case>(
+      "path_workspace_vs_allocating_run",
+      [](stats::Rng& rng) {
+        Case c;
+        c.cfg = random_path_config(rng);
+        c.digital_record = std::size_t{1} << (8 + rng.uniform_int(3));  // 256..1024
+        const double digital_fs = c.cfg.digital_fs();
+        const std::size_t ntones = 1 + static_cast<std::size_t>(rng.uniform_int(2));
+        for (std::size_t t = 0; t < ntones; ++t) {
+          dsp::Tone tone;
+          const double if_freq = dsp::coherent_frequency(
+              digital_fs, c.digital_record, rng.uniform(0.05, 0.3) * digital_fs);
+          tone.freq = c.cfg.lo.freq_hz + if_freq;
+          tone.amplitude = rng.uniform(0.001, 0.008);
+          tone.phase = 0.0;
+          c.rf_tones.push_back(tone);
+        }
+        return c;
+      },
+      [ws](const Case& c, stats::Rng& rng) {
+        const path::ReceiverPath p = path::ReceiverPath::sampled(c.cfg, rng);
+        const analog::Signal rf = make_case_rf(c);
+        const auto& trace = p.run(rf, rng, *ws);
+        p.filter_output_volts_into(trace, ws->volts);
+        return flatten_trace(p, trace, ws->volts);
+      },
+      [](const Case& c, stats::Rng& rng) {
+        const path::ReceiverPath p = path::ReceiverPath::sampled(c.cfg, rng);
+        const analog::Signal rf = make_case_rf(c);
+        const path::ReceiverPath::Trace trace = p.run(rf, rng);
+        const std::vector<double> volts = p.filter_output_volts(trace);
+        return flatten_trace(p, trace, volts);
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        describe(c.cfg, w);
+        w.kv("digital_record", static_cast<std::uint64_t>(c.digital_record));
+        w.key("rf_tones").begin_array();
+        for (const dsp::Tone& t : c.rf_tones) {
+          w.begin_object();
+          w.kv("freq", t.freq);
+          w.kv("amplitude", t.amplitude);
+          w.end_object();
+        }
+        w.end_array();
+      },
+      Tolerance::bit_identical(), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel Monte-Carlo evaluation vs the serial path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct McCase {
+  SpecTriple triple;
+  int trials = 1000;
+};
+
+std::vector<double> flatten_outcome(const stats::TestOutcome& o) {
+  return {o.yield, o.defect_rate, o.accept_rate, o.yield_loss,
+          o.fault_coverage_loss};
+}
+
+}  // namespace
+
+Report check_parallel_mc_vs_serial(const RunOptions& opts) {
+  using Case = McCase;
+  SpecTripleOptions triple_opts;
+  triple_opts.always_guard_banded = false;  // thresholds at and off the spec
+  return differential<Case>(
+      "parallel_mc_vs_serial",
+      [triple_opts](stats::Rng& rng) {
+        Case c;
+        c.triple = random_spec_triple(rng, triple_opts);
+        c.trials = 1000 + static_cast<int>(rng.uniform_int(39001));
+        return c;
+      },
+      [](const Case& c, stats::Rng& rng) {
+        return flatten_outcome(stats::evaluate_test_mc(
+            c.triple.param, c.triple.spec, c.triple.threshold, c.triple.error,
+            rng, c.trials, /*threads=*/4));
+      },
+      [](const Case& c, stats::Rng& rng) {
+        return flatten_outcome(stats::evaluate_test_mc(
+            c.triple.param, c.triple.spec, c.triple.threshold, c.triple.error,
+            rng, c.trials, /*threads=*/1));
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        describe(c.triple, w);
+        w.kv("trials", c.trials);
+      },
+      Tolerance::bit_identical(), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Analytic guard-banded evaluation vs Monte Carlo.
+// ---------------------------------------------------------------------------
+
+Report check_guard_band_analytic_vs_mc(const RunOptions& opts) {
+  using Case = SpecTriple;
+  SpecTripleOptions triple_opts;
+  triple_opts.always_guard_banded = true;
+  triple_opts.sharp_errors_only = true;
+  // 1.2M trials put ~4.5 sigma of Monte-Carlo sampling error at ~8e-3 even
+  // for the conditional losses (the faulty population is >= ~7 % of trials by
+  // construction of the generator). An analytic integration grid that fails
+  // to cut at the guard-banded threshold mis-assigns up to half a grid cell
+  // of probability mass at the acceptance step — amplified by the conditional
+  // denominators, that lands well outside this band, which is how the
+  // harness catches the yield.cpp segmentation bug.
+  constexpr int kGrid = 501;
+  constexpr int kTrials = 1200000;
+  return differential<Case>(
+      "guard_band_analytic_vs_mc",
+      [triple_opts](stats::Rng& rng) { return random_spec_triple(rng, triple_opts); },
+      [](const Case& c, stats::Rng&) {
+        const stats::TestOutcome o =
+            stats::evaluate_test(c.param, c.spec, c.threshold, c.error, kGrid);
+        return std::vector<double>{o.yield, o.accept_rate, o.yield_loss,
+                                   o.fault_coverage_loss};
+      },
+      [](const Case& c, stats::Rng& rng) {
+        const stats::TestOutcome o = stats::evaluate_test_mc(
+            c.param, c.spec, c.threshold, c.error, rng, kTrials);
+        return std::vector<double>{o.yield, o.accept_rate, o.yield_loss,
+                                   o.fault_coverage_loss};
+      },
+      [](const Case& c, obs::json::Writer& w) { describe(c, w); },
+      Tolerance::abs_only(8e-3), opts);
+}
+
+std::vector<Report> run_all_kernel_checks(const RunOptions& opts) {
+  return {
+      check_fft_plan_vs_naive_dft(opts),
+      check_goertzel_vs_direct_correlation(opts),
+      check_oscillator_vs_libm_trig(opts),
+      check_path_workspace_vs_allocating_run(opts),
+      check_parallel_mc_vs_serial(opts),
+      check_guard_band_analytic_vs_mc(opts),
+  };
+}
+
+}  // namespace msts::check

@@ -1,0 +1,41 @@
+// The toolkit's fast/reference kernel pairs, wired into the differential
+// harness.
+//
+// Each function runs one pair under randomized configurations (see
+// check/generators.h) and returns the harness report. The golden side is
+// always the slowest, most obviously correct formulation available:
+//
+//   fast kernel                     | golden model
+//   --------------------------------+------------------------------------
+//   planned real FFT (fft_plan)     | naive O(N^2) DFT, libm trig per (n,k)
+//   blockwise Goertzel single bin   | direct correlation, libm trig per n
+//   recurrence oscillator (tonegen) | long-double libm cos per sample
+//   ReceiverPath::run into a reused | allocating ReceiverPath::run
+//     PathWorkspace                 |
+//   evaluate_test_mc on 4 threads   | evaluate_test_mc on 1 thread
+//   analytic evaluate_test at       | evaluate_test_mc (large trial count)
+//     guard-banded thresholds       |
+//
+// The last pair is the regression net for the guard-band yield-integration
+// fix: with the threshold cuts missing from the integration grid, the
+// analytic side diverges from Monte Carlo by far more than sampling error at
+// sharp-error guard-banded thresholds.
+#pragma once
+
+#include <vector>
+
+#include "check/differential.h"
+
+namespace msts::check {
+
+Report check_fft_plan_vs_naive_dft(const RunOptions& opts = {});
+Report check_goertzel_vs_direct_correlation(const RunOptions& opts = {});
+Report check_oscillator_vs_libm_trig(const RunOptions& opts = {});
+Report check_path_workspace_vs_allocating_run(const RunOptions& opts = {});
+Report check_parallel_mc_vs_serial(const RunOptions& opts = {});
+Report check_guard_band_analytic_vs_mc(const RunOptions& opts = {});
+
+/// Runs every pair above with the same options.
+std::vector<Report> run_all_kernel_checks(const RunOptions& opts = {});
+
+}  // namespace msts::check

@@ -1,5 +1,6 @@
 #include "dsp/cic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "base/require.h"
@@ -20,9 +21,25 @@ double CicDecimator::dc_gain() const {
 template <typename T>
 std::vector<double> CicDecimator::run(std::span<const T> x) const {
   // Hogenauer structure in 64-bit two's complement scaled by 2^20 for the
-  // real-valued overload; wrap-around is harmless as long as the word is
-  // wider than log2(gain) + input bits, which it is by construction here.
+  // real-valued overload; wrap-around is harmless only while the word is
+  // wider than log2(gain) + input bits. That is a property of the *input*,
+  // not of the construction: a large enough sample makes the llround scaling
+  // itself undefined (result unrepresentable in int64) before the modular
+  // identity even gets a chance to break. Enforce the word-width budget up
+  // front instead of silently corrupting the output.
   constexpr double kScale = double{1 << 20};
+  constexpr int kScaleBits = 20;
+  double peak = 0.0;
+  for (const T& sample : x) {
+    peak = std::max(peak, std::abs(static_cast<double>(sample)));
+  }
+  // |x| * 2^20 * R^N must stay below 2^62 (one bit of headroom under the
+  // int64 sign bit): log2|x| + 20 + N*log2(R) <= 62.
+  const double limit =
+      std::ldexp(1.0, 62 - kScaleBits) / dc_gain();
+  MSTS_REQUIRE(peak <= limit,
+               "input magnitude overflows the 64-bit CIC word: need log2|x| + "
+               "20 + stages*log2(ratio) <= 62");
   std::vector<std::int64_t> integ(static_cast<std::size_t>(stages_), 0);
   std::vector<std::int64_t> comb(static_cast<std::size_t>(stages_), 0);
 

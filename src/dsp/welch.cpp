@@ -27,13 +27,24 @@ WelchResult welch_psd(std::span<const double> x, double fs, std::size_t segment,
   r.power.assign(segment / 2 + 1, 0.0);
 
   const std::size_t hop = segment / 2;
-  for (std::size_t start = 0; start + segment <= x.size(); start += hop) {
+  auto accumulate = [&](std::size_t start) {
     const Spectrum s(x.subspan(start, segment), fs, window);
     for (std::size_t k = 0; k < r.power.size(); ++k) {
       r.power[k] += s.power(k);
     }
     ++r.segments;
+  };
+  std::size_t covered = 0;  // one past the last sample any segment has seen
+  for (std::size_t start = 0; start + segment <= x.size(); start += hop) {
+    accumulate(start);
+    covered = start + segment;
   }
+  // When hop does not divide the record, up to hop-1 plus any remainder
+  // samples would fall off the end of the hop grid; anchor one final segment
+  // to the record end (standard practice) so every sample enters the
+  // estimate. Overlapping the previous segment by more than 50 % only makes
+  // the last two segments slightly more correlated.
+  if (covered < x.size()) accumulate(x.size() - segment);
   for (double& p : r.power) p /= static_cast<double>(r.segments);
   return r;
 }

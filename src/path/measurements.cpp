@@ -197,13 +197,39 @@ double measure_group_delay_s(const ReceiverPath& path, double if_freq,
   obs::ScopedTimer timer("path.measure_group_delay_s");
   const PathConfig& c = path.config();
   const double bin_w = c.digital_fs() / static_cast<double>(opts.digital_record);
-  // Two coherent tones straddling if_freq, 8 bins apart.
-  const double f1 = coherent_if_freq(c, opts, if_freq - 4.0 * bin_w);
-  const double f2 = coherent_if_freq(c, opts, if_freq + 4.0 * bin_w);
+  // The phase difference between the two tones is only known mod 2 pi, so the
+  // phase-slope delay is unambiguous only inside +/- 1/(2 df). Estimate the
+  // nominal path delay (linear-phase FIR plus the LPF's analytic group delay
+  // — both known to the tester) and narrow the tone spacing until that
+  // estimate fits with margin; spacings stay even-bin so odd-bin snapping
+  // keeps both tones coherent and distinct.
+  const double nominal_delay_s =
+      (static_cast<double>(c.fir_taps) - 1.0) / (2.0 * c.digital_fs()) +
+      path.lpf().group_delay_at(if_freq, c.analog_fs);
+  double half_bins = 4.0;  // tones at if_freq -/+ half_bins * bin_w
+  while (half_bins > 2.0 &&
+         nominal_delay_s > 0.8 / (2.0 * 2.0 * half_bins * bin_w)) {
+    half_bins /= 2.0;
+  }
+  obs::counter_add("path.measure_group_delay.half_bins",
+                   static_cast<std::uint64_t>(half_bins));
+  MSTS_REQUIRE(nominal_delay_s <= 0.8 / (2.0 * 2.0 * half_bins * bin_w),
+               "nominal path delay exceeds the unambiguous phase-slope range "
+               "even at the narrowest tone spacing; the measured phase "
+               "difference would alias — use a longer record");
+  const double f1 = coherent_if_freq(c, opts, if_freq - half_bins * bin_w);
+  const double f2 = coherent_if_freq(c, opts, if_freq + half_bins * bin_w);
   MSTS_REQUIRE(f2 > f1, "group-delay tones collapsed; widen the record");
+  // Narrowed tones sit too close for wide-lobe windows (Blackman-Harris
+  // spans +/-5 bins — measure_tone's peak refinement would land both tones
+  // on the same bin). Hann's +/-3-bin lobe resolves the 4-bin spacing, and
+  // for the bin-centred tones used here its leakage onto the partner tone's
+  // bin is exactly zero, so the phases stay exact.
+  MeasureOptions gd_opts = opts;
+  if (half_bins < 4.0) gd_opts.window = dsp::WindowType::kHann;
   const double freqs[] = {f1, f2};
   const double amps[] = {amp_vpeak, amp_vpeak};
-  const auto spectrum = run_two_port(path, freqs, amps, noise_rng, opts);
+  const auto spectrum = run_two_port(path, freqs, amps, noise_rng, gd_opts);
   const auto t1 = dsp::measure_tone(spectrum, f1);
   const auto t2 = dsp::measure_tone(spectrum, f2);
   // Both RF tones start at phase 0, so the output phase difference is the

@@ -47,6 +47,16 @@ SpecLimits SpecLimits::loosened(double delta) const {
       out.hi += delta;
       break;
   }
+  if (side == SpecSide::kTwoSided && out.lo > out.hi) {
+    // Over-tightening crossed the window. An inverted (lo > hi) region would
+    // still reject everything through passes(), but its limits no longer mean
+    // anything; collapse to the zero-width window at the crossing point so
+    // the result is a well-formed "accepts (almost) nothing" region and
+    // further loosening recovers a sensible window.
+    const double mid = 0.5 * (out.lo + out.hi);
+    out.lo = mid;
+    out.hi = mid;
+  }
   return out;
 }
 
@@ -111,11 +121,16 @@ TestOutcome evaluate_test(const Normal& param, const SpecLimits& spec,
   const double lo = param.mean - span;
   const double hi = param.mean + span;
 
-  // Split the integration domain at the spec boundaries so the good/faulty
-  // indicator is constant within each segment; otherwise the discontinuity
-  // costs O(dx) accuracy right where the losses live.
+  // Split the integration domain at every discontinuity of the integrand: the
+  // spec boundaries (where the good/faulty indicator jumps) AND the threshold
+  // boundaries (where a zero-error acceptance step jumps, and where the
+  // error-smeared acceptance ramp kinks). Guard-banded thresholds
+  // (tightened/loosened) sit strictly between the spec bounds, so omitting
+  // their cuts would land the acceptance step mid-segment and cost O(dx)
+  // accuracy in exactly the yield-loss / coverage-loss numbers this function
+  // exists to produce.
   std::vector<double> cuts = {lo, hi};
-  for (double b : {spec.lo, spec.hi}) {
+  for (double b : {spec.lo, spec.hi, threshold.lo, threshold.hi}) {
     if (std::isfinite(b) && b > lo && b < hi) cuts.push_back(b);
   }
   std::sort(cuts.begin(), cuts.end());

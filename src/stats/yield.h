@@ -36,6 +36,10 @@ struct SpecLimits {
 
   /// Shifts every active limit outward/inward by `delta` (positive widens a
   /// lower bound downward and an upper bound upward — i.e. loosens the test).
+  /// A two-sided window tightened past its own midpoint (delta > (hi-lo)/2)
+  /// collapses to the zero-width window at the crossing point — a well-formed
+  /// region that accepts only that single value (measure zero for continuous
+  /// parameters) — never an inverted lo > hi pair.
   SpecLimits loosened(double delta) const;
   /// Opposite of loosened(): tightens the acceptance region by `delta`.
   SpecLimits tightened(double delta) const;

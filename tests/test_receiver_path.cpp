@@ -265,6 +265,43 @@ TEST(Measurements, GroupDelayRisesTowardTheCutoff) {
   EXPECT_GT(edge, mid + 0.05e-6);
 }
 
+TEST(Measurements, GroupDelayNarrowsToneSpacingForLongFirs) {
+  // Regression: the phase-slope delay is only unambiguous within
+  // +/- 1/(2 df). With the old fixed +/-4-bin spacing a 701-tap FIR
+  // (87.5 us of delay against a 51.2 us unambiguous range at this record)
+  // wrapped the phase difference past pi and silently reported ~40 us. The
+  // measurement now narrows the spacing to +/-2 bins, where the delay fits,
+  // and must recover the true value.
+  PathConfig c = reference_path_config();
+  c.fir_taps = 701;
+  const ReceiverPath path(c);
+  stats::Rng rng(21);
+  const MeasureOptions opts;  // default 4096-sample record
+  const double f_if = coherent_if_freq(c, opts, 400e3);
+  const double measured =
+      measure_group_delay_s(path, f_if, vpeak_from_dbm(-35.0), rng, opts);
+  const double fir_delay =
+      (static_cast<double>(c.fir_taps) - 1.0) / 2.0 / c.digital_fs();
+  const double lpf_delay = path.lpf().group_delay_at(f_if, c.analog_fs);
+  EXPECT_NEAR(measured, fir_delay + lpf_delay, 0.3e-6);
+}
+
+TEST(Measurements, GroupDelayRefusesToAliasWhenDelayExceedsRange) {
+  // 1025 taps is 128 us of FIR delay — beyond the unambiguous range even at
+  // the narrowest tone spacing for a 2048-sample record (51.2 us). The old
+  // code happily measured a wrapped phase difference (128 us aliases to
+  // ~0 us at +/-4-bin spacing); it must refuse instead of lying.
+  PathConfig c = reference_path_config();
+  c.fir_taps = 1025;
+  const ReceiverPath path(c);
+  stats::Rng rng(22);
+  const MeasureOptions opts = fast_opts();
+  const double f_if = coherent_if_freq(c, opts, 400e3);
+  EXPECT_THROW(
+      measure_group_delay_s(path, f_if, vpeak_from_dbm(-35.0), rng, opts),
+      std::invalid_argument);
+}
+
 TEST(Measurements, ClockSpurVisibleInOutputSpectrum) {
   PathConfig c = reference_path_config();
   c.lpf.clock_spur_v = stats::Uncertain::exact(2e-3);

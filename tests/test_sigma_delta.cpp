@@ -177,5 +177,34 @@ TEST(Cic, RejectsBadConfig) {
   EXPECT_THROW(dsp::CicDecimator(3, 1), std::invalid_argument);
 }
 
+TEST(Cic, RejectsInputThatOverflowsTheAccumulatorWord) {
+  // Hogenauer budget: the integrator word must hold
+  // log2|x| + 20 (input scaling bits) + stages * log2(ratio) bits. For 6
+  // stages at ratio 32 that leaves 62 - 20 - 30 = 12 bits of input headroom,
+  // i.e. |x| <= 4096. Beyond that llround() on the scaled sample is UB /
+  // the modular accumulators alias full-scale — so the filter must refuse.
+  const dsp::CicDecimator cic(6, 32);
+  const double limit = std::ldexp(1.0, 42) / cic.dc_gain();  // 4096
+  EXPECT_NEAR(limit, 4096.0, 1e-9);
+
+  std::vector<double> ok(32 * 8, 4000.0);
+  EXPECT_NO_THROW(cic.decimate(std::span(ok.data(), ok.size())));
+
+  std::vector<double> over(32 * 8, 5000.0);
+  EXPECT_THROW(cic.decimate(std::span(over.data(), over.size())),
+               std::invalid_argument);
+
+  // A single out-of-budget sample anywhere in the record is enough.
+  std::vector<double> spike(32 * 8, 0.5);
+  spike[100] = -5000.0;
+  EXPECT_THROW(cic.decimate(std::span(spike.data(), spike.size())),
+               std::invalid_argument);
+
+  // The everyday +/-1 bitstream case keeps working untouched.
+  std::vector<int> bits(32 * 8);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (i % 2 == 0) ? 1 : -1;
+  EXPECT_NO_THROW(cic.decimate(std::span(bits.data(), bits.size())));
+}
+
 }  // namespace
 }  // namespace msts

@@ -64,6 +64,42 @@ TEST(Welch, NoiseFloorMatchesInjectedLevel) {
   EXPECT_NEAR(total, sigma * sigma, 0.15 * sigma * sigma);
 }
 
+TEST(Welch, ToneLevelInvariantToHopHalfExtension) {
+  // Regression: the segment loop used to visit only hop-grid starts, so a
+  // record extended by half a hop lost its trailing samples entirely. The
+  // final segment is now anchored to the record end; for a coherent
+  // full-scale tone the extra (tone-continuing) samples must not move the
+  // measured level, and the anchored segment must show up in the count.
+  const double fs = 1e6;
+  const std::size_t seg = 1024;
+  const double f = coherent_frequency(fs, seg, 100e3);
+  const Tone t{f, 1.0, 0.0};
+  const auto base = generate_tones(std::span(&t, 1), 0.0, fs, seg * 8);
+  const auto extended =
+      generate_tones(std::span(&t, 1), 0.0, fs, seg * 8 + seg / 4);
+
+  const auto r1 = welch_psd(base, fs, seg);
+  const auto r2 = welch_psd(extended, fs, seg);
+  EXPECT_EQ(r1.segments, 15u);
+  EXPECT_EQ(r2.segments, 16u);  // one extra tail-anchored segment
+
+  const auto k = static_cast<std::size_t>(std::llround(f / r1.bin_width));
+  EXPECT_NEAR(r2.power[k], r1.power[k], 0.01 * r1.power[k]);
+}
+
+TEST(Welch, TailSamplesEnterTheEstimate) {
+  // Energy that lives only past the last hop-grid segment must be visible:
+  // the pre-fix estimator returned an exactly-zero PSD for this record.
+  const double fs = 1e6;
+  const std::size_t seg = 1024;
+  std::vector<double> x(seg * 8 + seg / 4, 0.0);
+  for (std::size_t i = seg * 8; i < x.size(); ++i) x[i] = 1.0;
+  const auto r = welch_psd(x, fs, seg);
+  double total = 0.0;
+  for (double p : r.power) total += p;
+  EXPECT_GT(total, 0.0);
+}
+
 TEST(Welch, RejectsBadArguments) {
   const std::vector<double> x(100, 0.0);
   EXPECT_THROW(welch_psd(x, 1e6, 100), std::invalid_argument);   // not pow2

@@ -28,6 +28,42 @@ TEST(SpecLimits, LoosenedAndTightened) {
   EXPECT_TRUE(win.passes(1.5));
 }
 
+TEST(SpecLimits, TightenedPastMidpointCollapsesToZeroWidthWindow) {
+  // Over-tightening a two-sided window must not produce an inverted
+  // (lo > hi) pair: it collapses to the zero-width window at the crossing
+  // point, which accepts only that single value.
+  const auto collapsed = SpecLimits::window(1.0, 2.0).tightened(0.75);
+  EXPECT_EQ(collapsed.lo, 1.5);
+  EXPECT_EQ(collapsed.hi, 1.5);
+  EXPECT_TRUE(collapsed.passes(1.5));
+  EXPECT_FALSE(collapsed.passes(1.5 - 1e-12));
+  EXPECT_FALSE(collapsed.passes(1.5 + 1e-12));
+
+  // Exactly to the midpoint: same zero-width window, no collapse needed.
+  const auto exact = SpecLimits::window(1.0, 2.0).tightened(0.5);
+  EXPECT_EQ(exact.lo, 1.5);
+  EXPECT_EQ(exact.hi, 1.5);
+
+  // Loosening a collapsed window recovers a sensible window around the
+  // crossing point (the property threshold sweeps rely on).
+  const auto recovered = collapsed.loosened(0.25);
+  EXPECT_EQ(recovered.lo, 1.25);
+  EXPECT_EQ(recovered.hi, 1.75);
+
+  // One-sided bounds never collapse; they just keep marching.
+  const auto lb = SpecLimits::at_least(2.0).tightened(5.0);
+  EXPECT_EQ(lb.lo, 7.0);
+  EXPECT_FALSE(lb.passes(6.9));
+
+  // A collapsed window is still a valid evaluate_test input: everything is
+  // rejected, so accept_rate ~ 0 and yield_loss ~ 1.
+  const Normal param{1.5, 0.3};
+  const auto spec = SpecLimits::window(1.0, 2.0);
+  const auto out = evaluate_test(param, spec, collapsed, ErrorModel::none());
+  EXPECT_NEAR(out.accept_rate, 0.0, 1e-12);
+  EXPECT_NEAR(out.yield_loss, 1.0, 1e-12);
+}
+
 TEST(EvaluateTest, PerfectMeasurementHasNoLoss) {
   const Normal param{10.0, 1.0};
   const auto spec = SpecLimits::at_least(8.0);
@@ -106,6 +142,50 @@ TEST(EvaluateTest, AgreesWithMonteCarlo) {
   EXPECT_NEAR(mc.yield_loss, analytic.yield_loss, 0.003);
   EXPECT_NEAR(mc.fault_coverage_loss, analytic.fault_coverage_loss, 0.02);
   EXPECT_NEAR(mc.accept_rate, analytic.accept_rate, 0.003);
+}
+
+TEST(EvaluateTest, GuardBandedThresholdAgreesWithMonteCarlo) {
+  // Regression for the integration-grid bug: evaluate_test used to cut its
+  // integration domain only at the SPEC boundaries, so a guard-banded
+  // threshold (tightened/loosened — strictly between or outside the spec
+  // bounds) landed its acceptance step mid-segment and the midpoint rule
+  // mis-assigned up to half a cell of probability mass. With a zero-error
+  // model the acceptance indicator is a pure step, the configuration where
+  // the O(dx) error is largest; at grid=501 the analytic conditionals were
+  // off by up to ~2e-2 against Monte Carlo. With the threshold cuts in
+  // place the error is O(dx^2) and everything lands well inside MC noise.
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  for (const double delta : {0.3, -0.3}) {
+    const auto threshold =
+        delta >= 0.0 ? spec.tightened(delta) : spec.loosened(-delta);
+    for (const auto& model :
+         {ErrorModel::none(), ErrorModel::uniform(0.03)}) {
+      const auto analytic = evaluate_test(param, spec, threshold, model, 501);
+      Rng rng(2026);
+      const auto mc = evaluate_test_mc(param, spec, threshold, model, rng, 800000);
+      EXPECT_NEAR(mc.yield, analytic.yield, 3e-3);
+      EXPECT_NEAR(mc.accept_rate, analytic.accept_rate, 3e-3);
+      EXPECT_NEAR(mc.yield_loss, analytic.yield_loss, 3e-3);
+      EXPECT_NEAR(mc.fault_coverage_loss, analytic.fault_coverage_loss, 8e-3);
+    }
+  }
+}
+
+TEST(EvaluateTest, GuardBandedTwoSidedThresholdAgreesWithMonteCarlo) {
+  // Same regression on a two-sided window, where both threshold bounds sit
+  // strictly inside the spec window.
+  const Normal param{0.0, 1.0};
+  const auto spec = SpecLimits::window(-1.5, 1.5);
+  const auto threshold = spec.tightened(0.35);
+  const auto analytic =
+      evaluate_test(param, spec, threshold, ErrorModel::none(), 501);
+  Rng rng(4242);
+  const auto mc =
+      evaluate_test_mc(param, spec, threshold, ErrorModel::none(), rng, 800000);
+  EXPECT_NEAR(mc.accept_rate, analytic.accept_rate, 3e-3);
+  EXPECT_NEAR(mc.yield_loss, analytic.yield_loss, 4e-3);
+  EXPECT_NEAR(mc.fault_coverage_loss, analytic.fault_coverage_loss, 8e-3);
 }
 
 TEST(EvaluateTest, UpperBoundSpecWorks) {
