@@ -1,9 +1,13 @@
 // Regression diff for two schema-v1 BENCH_*.json reports.
 //
 // Compares a baseline report against a candidate from the same bench:
-//   * scalars present in both must agree within --threshold relative change
-//     (headline numbers are deterministic, so drift in either direction is
-//     suspicious);
+//   * scalars present in both must agree within --threshold relative change.
+//     Most headline numbers are deterministic, so drift in either direction
+//     is suspicious — but performance scalars are gated directionally by
+//     name: latency-like keys (ending in '_ns' or '_s_per_iter', or
+//     containing 'latency' or 'wait') only fail when they *increase*, and
+//     throughput-like keys (containing 'per_sec' or 'throughput') only fail
+//     when they *decrease*. Improvements never fail.
 //   * per-phase and total wall times may only *increase* by the threshold
 //     (speed-ups never fail);
 //   * scalars that appear or disappear are reported but do not fail, since
@@ -94,6 +98,48 @@ double rel_change(double base, double now) {
   return (now - base) / denom;
 }
 
+/// How a scalar may drift before it counts as a regression.
+enum class Direction {
+  kBoth,           ///< Deterministic output: any drift is suspicious.
+  kHigherIsWorse,  ///< Latency-like: only increases fail.
+  kLowerIsWorse,   ///< Throughput-like: only decreases fail.
+};
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Classifies a scalar by naming convention (see the header comment).
+/// Deterministic outputs (yields, coverages, counts) keep the symmetric
+/// gate; timing and rate scalars are one-sided so improvements never fail.
+Direction scalar_direction(const std::string& key) {
+  if (contains(key, "per_sec") || contains(key, "throughput")) {
+    return Direction::kLowerIsWorse;
+  }
+  if (ends_with(key, "_ns") || ends_with(key, "_s_per_iter") ||
+      contains(key, "latency") || contains(key, "wait")) {
+    return Direction::kHigherIsWorse;
+  }
+  return Direction::kBoth;
+}
+
+bool is_regression(Direction dir, double change, double threshold) {
+  switch (dir) {
+    case Direction::kHigherIsWorse:
+      return change > threshold;
+    case Direction::kLowerIsWorse:
+      return change < -threshold;
+    case Direction::kBoth:
+      break;
+  }
+  return std::abs(change) > threshold;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,10 +188,14 @@ int main(int argc, char** argv) {
     }
     ++compared;
     const double change = rel_change(old_v, *new_v);
-    if (std::abs(change) > threshold) {
+    const Direction dir = scalar_direction(key);
+    if (is_regression(dir, change, threshold)) {
       std::printf("  REGRESSION scalar '%s': %.6g -> %.6g (%+.1f%%)\n", key.c_str(),
                   old_v, *new_v, 100.0 * change);
       ++regressions;
+    } else if (dir != Direction::kBoth && std::abs(change) > threshold) {
+      std::printf("  note: scalar '%s' improved: %.6g -> %.6g (%+.1f%%)\n",
+                  key.c_str(), old_v, *new_v, 100.0 * change);
     }
   }
   for (const auto& [key, v] : cand->scalars) {

@@ -1,8 +1,9 @@
 # End-to-end check of the bench_compare exit-code contract on synthetic
 # schema-v1 reports. Invoked by the bench_compare_selftest CTest as
 #   cmake -DCOMPARER=... -DOUT_DIR=... -P bench_compare_selftest.cmake
-# Three cases: identity must pass (0), a known regression pair must fail (1),
-# and mismatched bench names must be a usage error (2).
+# Cases: identity must pass (0), a known regression pair must fail (1),
+# mismatched bench names must be a usage error (2), and the directional
+# scalar gate must pass perf improvements while failing perf regressions.
 foreach(var COMPARER OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "bench_compare_selftest.cmake: missing -D${var}=...")
@@ -58,6 +59,62 @@ execute_process(COMMAND "${COMPARER}" "${baseline}" "${other_bench}"
                 RESULT_VARIABLE mismatch_rc)
 if(NOT mismatch_rc EQUAL 2)
   message(FATAL_ERROR "bench-name mismatch should exit 2, got status ${mismatch_rc}")
+endif()
+
+# Directional scalars: latency-like keys ('latency', 'wait', *_ns,
+# *_s_per_iter) only fail on increases; throughput-like keys ('per_sec',
+# 'throughput') only fail on decreases. Symmetric keys still fail both ways.
+set(perf_base "${OUT_DIR}/perf_base.json")
+file(WRITE "${perf_base}" [=[
+{"bench": "perf", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [], "total_wall_s": 1.0,
+ "scalars": {"latency_p99_ns": 1000.0, "queue_wait_p99_ns": 400.0,
+             "plans_per_sec": 50000.0, "coverage": 0.95}}
+]=])
+
+# Everything got faster: halved latencies, doubled throughput. Must pass.
+set(perf_better "${OUT_DIR}/perf_better.json")
+file(WRITE "${perf_better}" [=[
+{"bench": "perf", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [], "total_wall_s": 1.0,
+ "scalars": {"latency_p99_ns": 500.0, "queue_wait_p99_ns": 150.0,
+             "plans_per_sec": 100000.0, "coverage": 0.95}}
+]=])
+
+execute_process(COMMAND "${COMPARER}" "${perf_base}" "${perf_better}"
+                RESULT_VARIABLE better_rc)
+if(NOT better_rc EQUAL 0)
+  message(FATAL_ERROR "perf improvements should pass, got status ${better_rc}")
+endif()
+
+# Latency doubled: must fail even though every other scalar is unchanged.
+set(perf_slow "${OUT_DIR}/perf_slow.json")
+file(WRITE "${perf_slow}" [=[
+{"bench": "perf", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [], "total_wall_s": 1.0,
+ "scalars": {"latency_p99_ns": 2000.0, "queue_wait_p99_ns": 400.0,
+             "plans_per_sec": 50000.0, "coverage": 0.95}}
+]=])
+
+execute_process(COMMAND "${COMPARER}" "${perf_base}" "${perf_slow}"
+                RESULT_VARIABLE slow_rc)
+if(NOT slow_rc EQUAL 1)
+  message(FATAL_ERROR "latency regression should exit 1, got status ${slow_rc}")
+endif()
+
+# Throughput halved: must fail.
+set(perf_throughput_drop "${OUT_DIR}/perf_throughput_drop.json")
+file(WRITE "${perf_throughput_drop}" [=[
+{"bench": "perf", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [], "total_wall_s": 1.0,
+ "scalars": {"latency_p99_ns": 1000.0, "queue_wait_p99_ns": 400.0,
+             "plans_per_sec": 25000.0, "coverage": 0.95}}
+]=])
+
+execute_process(COMMAND "${COMPARER}" "${perf_base}" "${perf_throughput_drop}"
+                RESULT_VARIABLE tput_rc)
+if(NOT tput_rc EQUAL 1)
+  message(FATAL_ERROR "throughput drop should exit 1, got status ${tput_rc}")
 endif()
 
 message(STATUS "bench_compare selftest OK")

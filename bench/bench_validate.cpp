@@ -20,6 +20,15 @@ bool fail(const char* path, const std::string& why) {
 
 bool is_number(const Value* v) { return v != nullptr && v->is_number(); }
 
+// The JSON writer serializes non-finite doubles (NaN/Inf) as null, so a
+// null where a number belongs almost always means the bench computed a
+// non-finite value; say so instead of a generic type complaint.
+std::string number_problem(const Value* v) {
+  if (v == nullptr) return "missing";
+  if (v->is_null()) return "null (a non-finite value was serialized as null)";
+  return "not a number";
+}
+
 bool validate(const char* path) {
   std::ifstream in(path);
   if (!in) return fail(path, "cannot open");
@@ -49,7 +58,7 @@ bool validate(const char* path) {
   }
   const Value* total = doc->find("total_wall_s");
   if (!is_number(total) || total->number < 0.0) {
-    return fail(path, "missing or invalid 'total_wall_s'");
+    return fail(path, "'total_wall_s' is " + number_problem(total));
   }
 
   const Value* phases = doc->find("phases");
@@ -64,7 +73,8 @@ bool validate(const char* path) {
       return fail(path, "phase entry missing 'name'");
     }
     if (!is_number(wall) || wall->number < 0.0) {
-      return fail(path, "phase '" + name->string + "' missing 'wall_s'");
+      return fail(path, "phase '" + name->string + "': 'wall_s' is " +
+                            number_problem(wall));
     }
   }
 
@@ -74,7 +84,7 @@ bool validate(const char* path) {
   }
   for (const auto& [key, v] : scalars->object) {
     if (key.empty() || !v.is_number()) {
-      return fail(path, "scalar '" + key + "' is not a finite number");
+      return fail(path, "scalar '" + key + "' is " + number_problem(&v));
     }
   }
 

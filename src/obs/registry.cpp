@@ -137,6 +137,27 @@ void Registry::histogram_record(std::string_view name, double value) {
   ++c.bins[histogram_bin_of(value)];
 }
 
+namespace {
+
+std::vector<Metric> to_metrics(const CellMap& merged) {
+  std::vector<Metric> out;
+  out.reserve(merged.size());
+  for (const auto& [name, cell] : merged) {
+    Metric m;
+    m.name = name;
+    m.kind = cell.kind;
+    m.count = cell.count;
+    m.total_ns = cell.total_ns;
+    m.min_ns = (cell.count == 0 || cell.kind != Metric::Kind::kTimer) ? 0 : cell.min_ns;
+    m.max_ns = cell.max_ns;
+    m.bins = cell.bins;
+    out.push_back(std::move(m));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+}  // namespace
+
 std::vector<Metric> Registry::snapshot() const {
   Impl* im = const_cast<Registry*>(this)->impl();
   CellMap merged;
@@ -152,20 +173,27 @@ std::vector<Metric> Registry::snapshot() const {
       }
     }
   }
-  std::vector<Metric> out;
-  out.reserve(merged.size());
-  for (const auto& [name, cell] : merged) {
-    Metric m;
-    m.name = name;
-    m.kind = cell.kind;
-    m.count = cell.count;
-    m.total_ns = cell.total_ns;
-    m.min_ns = (cell.count == 0 || cell.kind != Metric::Kind::kTimer) ? 0 : cell.min_ns;
-    m.max_ns = cell.max_ns;
-    m.bins = cell.bins;
-    out.push_back(std::move(m));
+  return to_metrics(merged);
+}
+
+std::vector<Metric> Registry::drain() {
+  Impl* im = impl();
+  CellMap merged;
+  {
+    // One registry lock covers the whole collect-and-clear; sink retirement
+    // (thread exit) takes the same lock, so an exiting worker's cells end up
+    // either in this drain or intact in `retired` for the next one.
+    std::lock_guard<std::mutex> lock(im->mu);
+    merged.swap(im->retired);
+    for (Impl::Sink* sink : im->sinks) {
+      std::lock_guard<std::mutex> sink_lock(sink->mu);
+      for (const auto& [name, cell] : sink->cells) {
+        cell_of(merged, name, cell.kind).merge_from(cell);
+      }
+      sink->cells.clear();
+    }
   }
-  return out;  // std::map iteration is already name-sorted
+  return to_metrics(merged);
 }
 
 void Registry::reset() {

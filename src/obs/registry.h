@@ -12,6 +12,23 @@
 // inputs, counter totals, sample counts and histogram bins are bit-identical
 // at any thread count.)
 //
+// Thread lifetime contract: a sink merges eagerly into the registry's
+// retired totals when its thread exits (the thread_local destructor), and
+// that merge serializes with snapshot(), drain() and reset() on the registry
+// mutex. Threads may therefore be spawned and joined freely around drains —
+// a worker that exits between requests never drops its counts. Every update
+// lands in exactly one of: the sink a snapshot reads, or the retired totals.
+// The only forbidden pattern is recording metrics from *another*
+// thread_local object's destructor that runs after this thread's sink was
+// destroyed (standard thread_local teardown order): that would touch a dead
+// sink. Record metrics from ordinary code, never from thread_local
+// destructors.
+//
+// Collect-and-clear: drain() atomically snapshots and zeroes everything
+// under one registry lock, so periodic collectors (the service layer's
+// stats publisher, benches sampling between phases) never lose updates that
+// land between a snapshot() and a reset().
+//
 // When metrics are disabled (obs::metrics_enabled() == false) the free
 // functions below return after a single relaxed atomic load: no clock read,
 // no allocation, no lock. Hot loops may be instrumented unconditionally.
@@ -66,6 +83,13 @@ class Registry {
   /// Merged view of every metric, sorted by name. Deterministic in the
   /// sense documented at the top of this header.
   std::vector<Metric> snapshot() const;
+
+  /// Atomic collect-and-clear: returns the merged view (as snapshot would)
+  /// and zeroes the retired totals and every live sink under a single
+  /// registry lock. Updates racing a drain land either in the returned view
+  /// or in the registry afterwards — never both, never neither — so summing
+  /// successive drains conserves every recorded count.
+  std::vector<Metric> drain();
 
   /// Drops every recorded value (live sinks and retired totals).
   void reset();

@@ -1,0 +1,52 @@
+// Content-addressed cache of synthesized results.
+//
+// Keyed on the request's canonical content key (full byte string, so two
+// distinct requests can never alias, whatever their hashes do). Lookups and
+// insertions take one short mutex; synthesis itself always happens *outside*
+// the lock (the same build-outside-lock discipline as the FFT plan cache in
+// dsp/fft_plan.cpp): concurrent misses on different keys never serialize
+// behind each other's synthesis, and concurrent misses on the same key race
+// benignly — the first insertion wins and losers adopt the winner's (bit-
+// identical, synthesis is deterministic) result.
+//
+// Obs counters: service.cache.{hit,miss,insert,race_adopted} and the gauge
+// counter service.cache.entries (incremented per insert; current size is
+// size()).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/request.h"
+
+namespace msts::service {
+
+class PlanCache {
+ public:
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached result for `key`, or nullptr on miss. Counts hit/miss.
+  std::shared_ptr<const SynthesisResult> lookup(const std::string& key);
+
+  /// Publishes `result` under `key`. If another thread published the same
+  /// key first, that earlier entry is kept and returned (counted as
+  /// race_adopted); otherwise `result` itself is returned.
+  std::shared_ptr<const SynthesisResult> insert(
+      const std::string& key, std::shared_ptr<const SynthesisResult> result);
+
+  std::size_t size() const;
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const SynthesisResult>> map_;
+};
+
+}  // namespace msts::service

@@ -1,0 +1,139 @@
+#include "service/engine.h"
+
+#include <chrono>
+#include <utility>
+
+#include "base/require.h"
+#include "obs/registry.h"
+
+namespace msts::service {
+
+namespace {
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  const auto d = std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+
+}  // namespace
+
+SynthesisEngine::SynthesisEngine(EngineOptions options)
+    : options_(options), workers_(stats::resolve_threads(options.workers)) {
+  MSTS_REQUIRE(options_.queue_capacity >= 1, "admission queue needs capacity >= 1");
+  pool_ = std::make_unique<stats::ThreadPool>(workers_);
+}
+
+SynthesisEngine::~SynthesisEngine() {
+  // Wait for every admitted request (each one holds a pending_ slot until
+  // its promise is fulfilled), then let pool_'s destructor join the workers.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_space_.wait(lock, [this] { return pending_ == 0; });
+}
+
+std::size_t SynthesisEngine::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+std::future<Served> SynthesisEngine::submit(SynthesisRequest request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] { return pending_ < options_.queue_capacity; });
+    ++pending_;
+  }
+  return admit(std::move(request));
+}
+
+std::optional<std::future<Served>> SynthesisEngine::try_submit(
+    SynthesisRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_ >= options_.queue_capacity) {
+      obs::counter_add("service.requests.rejected");
+      return std::nullopt;
+    }
+    ++pending_;
+  }
+  return admit(std::move(request));
+}
+
+std::future<Served> SynthesisEngine::admit(SynthesisRequest request) {
+  obs::counter_add("service.requests.submitted");
+  auto promise = std::make_shared<std::promise<Served>>();
+  std::future<Served> future = promise->get_future();
+  const auto admitted_at = std::chrono::steady_clock::now();
+  pool_->submit([this, promise = std::move(promise), request = std::move(request),
+                 admitted_at]() mutable {
+    Served served;
+    std::exception_ptr error;
+    try {
+      served = execute(request, admitted_at);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    // Release the admission slot *before* fulfilling the promise: a caller
+    // returning from future.get() must observe this request gone from
+    // in_flight(). The engine destructor still cannot outrun the tail of
+    // this lambda — it joins the workers after the pending_ wait.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    cv_space_.notify_all();
+    if (error != nullptr) {
+      obs::counter_add("service.requests.errors");
+      promise->set_exception(error);
+    } else {
+      obs::counter_add("service.requests.completed");
+      promise->set_value(std::move(served));
+    }
+  });
+  return future;
+}
+
+Served SynthesisEngine::execute(const SynthesisRequest& request,
+                                std::chrono::steady_clock::time_point admitted_at) {
+  const auto started_at = std::chrono::steady_clock::now();
+  Served served;
+  served.queue_wait_ns = ns_between(admitted_at, started_at);
+  obs::timer_record_ns("service.request.queue_wait", served.queue_wait_ns);
+
+  const bool use_cache = options_.cache && request.options.use_cache;
+  if (use_cache) {
+    const std::string key = content_key(request);
+    served.result = cache_.lookup(key);
+    if (served.result != nullptr) {
+      served.cache_hit = true;
+    } else {
+      // Build outside the cache lock (see service/cache.h): a concurrent
+      // miss on the same key costs one redundant synthesis, never a stall
+      // of every other key behind this one.
+      auto built = std::make_shared<const SynthesisResult>(synthesize_direct(request));
+      served.result = cache_.insert(key, std::move(built));
+    }
+  } else {
+    served.result = std::make_shared<const SynthesisResult>(synthesize_direct(request));
+  }
+
+  const auto finished_at = std::chrono::steady_clock::now();
+  served.exec_ns = ns_between(started_at, finished_at);
+  obs::timer_record_ns("service.request.exec", served.exec_ns);
+  obs::histogram_record("service.request.latency_s",
+                        1e-9 * static_cast<double>(served.latency_ns()));
+  return served;
+}
+
+std::vector<Served> SynthesisEngine::run_batch(std::vector<SynthesisRequest> requests) {
+  std::vector<std::future<Served>> futures;
+  futures.reserve(requests.size());
+  for (SynthesisRequest& request : requests) {
+    futures.push_back(submit(std::move(request)));
+  }
+  std::vector<Served> out;
+  out.reserve(futures.size());
+  for (std::future<Served>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+}  // namespace msts::service

@@ -1,0 +1,190 @@
+#include "service/request.h"
+
+#include <bit>
+#include <cstring>
+
+#include "core/translation.h"
+
+namespace msts::service {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical byte serialization. Fixed-width little-endian integers, doubles
+// by bit pattern (so -0.0 != +0.0 and every NaN payload is distinct — byte
+// equality is exactly bit equality), strings length-prefixed.
+// ---------------------------------------------------------------------------
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_double(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_bool(std::string& out, bool v) { out += v ? '\1' : '\0'; }
+
+void put_string(std::string& out, const std::string& s) {
+  put_u64(out, s.size());
+  out += s;
+}
+
+void put_uncertain(std::string& out, const stats::Uncertain& u) {
+  put_double(out, u.nominal);
+  put_double(out, u.wc);
+  put_double(out, u.sigma);
+}
+
+void put_spec(std::string& out, const stats::SpecLimits& s) {
+  put_i64(out, static_cast<std::int64_t>(s.side));
+  put_double(out, s.lo);
+  put_double(out, s.hi);
+}
+
+void put_config(std::string& out, const path::PathConfig& c) {
+  put_double(out, c.analog_fs);
+  put_u64(out, c.adc_decimation);
+
+  put_uncertain(out, c.amp.gain_db);
+  put_uncertain(out, c.amp.iip3_dbm);
+  put_uncertain(out, c.amp.iip2_dbm);
+  put_uncertain(out, c.amp.p1db_in_dbm);
+  put_uncertain(out, c.amp.nf_db);
+  put_uncertain(out, c.amp.dc_offset_v);
+
+  put_uncertain(out, c.mixer.conv_gain_db);
+  put_uncertain(out, c.mixer.iip3_dbm);
+  put_uncertain(out, c.mixer.p1db_in_dbm);
+  put_uncertain(out, c.mixer.lo_isolation_db);
+  put_uncertain(out, c.mixer.nf_db);
+
+  put_double(out, c.lo.freq_hz);
+  put_uncertain(out, c.lo.freq_error_ppm);
+  put_uncertain(out, c.lo.phase_noise_rad);
+  put_double(out, c.lo.amplitude);
+
+  put_uncertain(out, c.lpf.cutoff_hz);
+  put_uncertain(out, c.lpf.passband_gain_db);
+  put_i64(out, c.lpf.order);
+  put_double(out, c.lpf.clock_hz);
+  put_uncertain(out, c.lpf.clock_spur_v);
+
+  put_i64(out, c.adc.bits);
+  put_double(out, c.adc.vref);
+  put_uncertain(out, c.adc.offset_error_v);
+  put_uncertain(out, c.adc.gain_error);
+  put_uncertain(out, c.adc.inl_peak_lsb);
+  put_uncertain(out, c.adc.dnl_sigma_lsb);
+
+  put_u64(out, c.fir_taps);
+  put_double(out, c.fir_cutoff_norm);
+  put_i64(out, c.fir_coeff_frac_bits);
+  put_uncertain(out, c.analog_flatness_db);
+}
+
+void put_study(std::string& out, const core::ParameterStudy& s) {
+  put_string(out, s.parameter);
+  put_string(out, s.unit);
+  put_double(out, s.population.mean);
+  put_double(out, s.population.sigma);
+  put_spec(out, s.spec);
+  put_double(out, s.error_wc);
+  put_i64(out, static_cast<std::int64_t>(s.treatment));
+  put_u64(out, s.rows.size());
+  for (const core::ThresholdRow& r : s.rows) {
+    put_string(out, r.label);
+    put_spec(out, r.threshold);
+    put_double(out, r.outcome.yield);
+    put_double(out, r.outcome.defect_rate);
+    put_double(out, r.outcome.accept_rate);
+    put_double(out, r.outcome.yield_loss);
+    put_double(out, r.outcome.fault_coverage_loss);
+  }
+}
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+MeasurementSetup make_measurement_setup(const path::PathConfig& config,
+                                        const path::MeasureOptions& opts) {
+  const core::Translator translator(config);
+  MeasurementSetup setup;
+  setup.record = opts;
+  setup.analog_fs_hz = config.analog_fs;
+  setup.digital_fs_hz = config.digital_fs();
+  setup.if_freq_hz = translator.test_if_freq(opts);
+  const auto [f1, f2] = translator.test_two_tone(opts);
+  setup.two_tone_f1_hz = f1;
+  setup.two_tone_f2_hz = f2;
+  setup.drive_vpeak = translator.linear_drive_vpeak();
+  return setup;
+}
+
+SynthesisResult synthesize_direct(const SynthesisRequest& request) {
+  const core::TestSynthesizer synth(request.config, request.options.adaptive,
+                                    request.options.spec_sigmas);
+  SynthesisResult result;
+  result.plan = synth.synthesize();
+  result.setup = make_measurement_setup(request.config, request.options.measure);
+  return result;
+}
+
+std::string content_key(const SynthesisRequest& request) {
+  std::string key;
+  key.reserve(512);
+  put_config(key, request.config);
+  put_bool(key, request.options.adaptive);
+  put_double(key, request.options.spec_sigmas);
+  put_u64(key, request.options.measure.digital_record);
+  put_i64(key, static_cast<std::int64_t>(request.options.measure.window));
+  return key;
+}
+
+std::uint64_t content_hash(const SynthesisRequest& request) {
+  return fnv1a(content_key(request));
+}
+
+std::string result_content(const SynthesisResult& result) {
+  std::string out;
+  out.reserve(4096);
+  put_u64(out, result.plan.size());
+  for (const core::PlannedTest& t : result.plan) {
+    put_string(out, t.module);
+    put_string(out, t.parameter);
+    put_string(out, t.unit);
+    put_i64(out, static_cast<std::int64_t>(t.method));
+    put_bool(out, t.translatable);
+    put_uncertain(out, t.error);
+    put_string(out, t.formula);
+    put_bool(out, t.has_study);
+    if (t.has_study) put_study(out, t.study);
+  }
+  put_u64(out, result.setup.record.digital_record);
+  put_i64(out, static_cast<std::int64_t>(result.setup.record.window));
+  put_double(out, result.setup.analog_fs_hz);
+  put_double(out, result.setup.digital_fs_hz);
+  put_double(out, result.setup.if_freq_hz);
+  put_double(out, result.setup.two_tone_f1_hz);
+  put_double(out, result.setup.two_tone_f2_hz);
+  put_double(out, result.setup.drive_vpeak);
+  return out;
+}
+
+std::uint64_t result_fingerprint(const SynthesisResult& result) {
+  return fnv1a(result_content(result));
+}
+
+}  // namespace msts::service

@@ -81,21 +81,27 @@ namespace {
 // shared pool.
 thread_local bool t_in_parallel_region = false;
 
-// One process-wide pool, serialized by `pool_mu` (concurrent top-level
-// parallel_for_index calls take turns; the fan-out inside each call is what
-// exploits the cores). Grown on demand so an explicit request for more
-// threads than any earlier call is honoured exactly.
-std::mutex& pool_mutex() {
+// One process-wide pool handed out as a refcounted handle. The mutex guards
+// only the acquire/replace of the handle — never a whole parallel_for_index
+// call — so independent top-level callers share the workers and genuinely
+// run concurrently (each call distributes its indices through its own
+// atomic cursor; block results are per-index, so interleaving is safe).
+//
+// Growth: when a caller asks for more workers than the current pool has, a
+// bigger pool replaces the shared handle. Callers already in flight keep
+// their reference to the old pool, which is destroyed (joining its threads)
+// only when the last such caller releases it — never out from under a
+// concurrent user. Release always happens on a top-level caller thread,
+// after that caller's own tasks have drained, so the destructor never joins
+// from inside one of the pool's own workers.
+std::shared_ptr<ThreadPool> acquire_shared_pool(int min_workers) {
   static std::mutex mu;
-  return mu;
-}
-
-ThreadPool& shared_pool(int min_workers) {
-  // Callers hold pool_mutex(), so the lazy (re)construction is race-free.
-  static std::unique_ptr<ThreadPool> pool;
-  if (!pool || pool->workers() < min_workers) {
-    pool.reset();  // join the old workers before spawning the new set
-    pool = std::make_unique<ThreadPool>(min_workers);
+  // Leaked holder: late top-level callers may outlive static destruction.
+  static std::shared_ptr<ThreadPool>* pool = new std::shared_ptr<ThreadPool>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (!*pool || (*pool)->workers() < min_workers) {
+    if (*pool) obs::counter_add("stats.parallel_for.pool_rebuilds");
+    *pool = std::make_shared<ThreadPool>(min_workers);
   }
   return *pool;
 }
@@ -114,10 +120,9 @@ void parallel_for_index(std::size_t n, int threads,
   obs::counter_add("stats.parallel_for.parallel_runs");
   obs::counter_add("stats.parallel_for.indices", n);
 
-  std::lock_guard<std::mutex> pool_lock(pool_mutex());
   const int runners =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
-  ThreadPool& pool = shared_pool(runners);
+  const std::shared_ptr<ThreadPool> pool = acquire_shared_pool(runners);
 
   struct RunState {
     std::atomic<std::size_t> next{0};
@@ -148,7 +153,7 @@ void parallel_for_index(std::size_t n, int threads,
     }
   };
 
-  for (int r = 0; r < runners - 1; ++r) pool.submit(run_indices);
+  for (int r = 0; r < runners - 1; ++r) pool->submit(run_indices);
   run_indices();  // the calling thread is runner 0
 
   std::unique_lock<std::mutex> lock(state->mu);

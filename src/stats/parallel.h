@@ -78,6 +78,16 @@ class ThreadPool {
 /// runs serially in index order on the calling thread. fn must confine its
 /// writes to per-index state; the function returns once every index has run
 /// and rethrows the first exception any index threw.
+///
+/// Independent top-level calls run concurrently: the pool is handed out as a
+/// refcounted handle and the global lock covers only the handle swap, never
+/// a whole call. Each call distributes its own indices through a private
+/// atomic cursor, so concurrent callers interleave on the shared workers
+/// without affecting each other's (per-index, hence order-independent)
+/// results. When a call requests more workers than the pool has, a larger
+/// pool replaces the shared handle; in-flight callers keep the old pool
+/// alive until their calls complete, so workers are never joined out from
+/// under a concurrent user.
 void parallel_for_index(std::size_t n, int threads,
                         const std::function<void(std::size_t)>& fn);
 

@@ -6,8 +6,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <new>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -274,6 +276,57 @@ TEST(ObsRegistry, MergedTotalsIndependentOfThreadCount) {
   Registry::instance().reset();
 }
 
+// The collect-and-clear contract (Registry::drain): with recorder threads
+// starting, recording, and *exiting* while a concurrent drainer is running,
+// every recorded count lands in exactly one drain — the sum over drains
+// conserves the total. This is the service-loop usage pattern (periodic
+// metric shipping) and pins the thread-exit retirement lifetime.
+TEST(ObsRegistry, DrainConservesCountsAcrossThreadExitAndConcurrentDrains) {
+  ConfigGuard guard;
+  configure(make_config(true, false));
+  Registry::instance().reset();
+
+  constexpr int kRounds = 4;
+  constexpr int kRecorders = 4;
+  constexpr int kPerRecorder = 5000;
+  const auto count_of = [](const std::vector<Metric>& metrics) {
+    std::uint64_t total = 0;
+    for (const Metric& m : metrics) {
+      if (m.name == "drain.count") total += m.count;
+    }
+    return total;
+  };
+
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      drained.fetch_add(count_of(Registry::instance().drain()),
+                        std::memory_order_relaxed);
+    }
+  });
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::thread> recorders;
+    for (int r = 0; r < kRecorders; ++r) {
+      recorders.emplace_back([] {
+        for (int i = 0; i < kPerRecorder; ++i) counter_add("drain.count");
+      });
+    }
+    for (auto& t : recorders) t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  drainer.join();
+  drained.fetch_add(count_of(Registry::instance().drain()),
+                    std::memory_order_relaxed);
+
+  EXPECT_EQ(drained.load(),
+            std::uint64_t{kRounds} * kRecorders * kPerRecorder);
+  // Drains cleared everything: nothing left for a snapshot to see.
+  EXPECT_EQ(count_of(Registry::instance().snapshot()), 0u);
+  Registry::instance().reset();
+}
+
 // ---------------------------------------------------------------------------
 // Disabled mode is a true no-op: no allocations on the instrumented path.
 // ---------------------------------------------------------------------------
@@ -489,6 +542,18 @@ TEST(ObsJson, ParserRejectsMalformedDocuments) {
   }
 }
 
+// Regression pin for the non-finite contract: the writer must never emit the
+// bare tokens some printf paths produce for NaN/Inf (they are not JSON), and
+// the strict parser must refuse them if a foreign tool writes one anyway.
+TEST(ObsJson, ParserRejectsBareNonFiniteTokens) {
+  for (const char* bad : {"nan", "inf", "-inf", "Infinity", "-Infinity", "NaN",
+                          "{\"x\": nan}", "{\"x\": inf}", "[1, -nan(ind)]"}) {
+    std::string err;
+    EXPECT_FALSE(json::parse(bad, &err).has_value()) << "'" << bad << "'";
+    EXPECT_FALSE(err.empty()) << "'" << bad << "'";
+  }
+}
+
 TEST(ObsJson, ParserHandlesUnicodeEscapes) {
   const auto v = json::parse("\"a\\u00e9\\u4e2d\\n\"");
   ASSERT_TRUE(v.has_value());
@@ -559,6 +624,43 @@ TEST(ObsBenchReport, WritesValidatableJson) {
   EXPECT_EQ(v->find("scalars")->find("yield")->number, 0.875);
   EXPECT_EQ(v->find("scalars")->find("trials")->number, 1000.0);
   EXPECT_EQ(v->find("labels")->find("mode")->string, "selftest");
+}
+
+// A bench that computes a non-finite scalar (e.g. 0/0 from an empty phase)
+// must still emit a parseable report: the value arrives as JSON null, which
+// bench_validate then flags with a targeted message instead of the file
+// failing to parse at all.
+TEST(ObsBenchReport, NonFiniteScalarSerializesAsNull) {
+  ConfigGuard guard;
+  configure(make_config(false, false));
+  EnvVarGuard dir_guard("MSTS_BENCH_JSON_DIR");
+  EnvVarGuard scale_guard("MSTS_BENCH_SCALE");
+  ::setenv("MSTS_BENCH_JSON_DIR", ::testing::TempDir().c_str(), 1);
+  ::unsetenv("MSTS_BENCH_SCALE");
+
+  std::string path;
+  {
+    BenchReport report("obs_nonfinite_selftest");
+    path = report.json_path();
+    std::remove(path.c_str());
+    report.add_scalar("bad_rate", std::nan(""));
+    report.add_scalar("bad_ratio", std::numeric_limits<double>::infinity());
+    report.add_scalar("good", 1.0);
+    EXPECT_TRUE(report.write());
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::remove(path.c_str());
+
+  std::string err;
+  const auto v = json::parse(buf.str(), &err);
+  ASSERT_TRUE(v.has_value()) << err << "\n" << buf.str();
+  EXPECT_TRUE(v->find("scalars")->find("bad_rate")->is_null());
+  EXPECT_TRUE(v->find("scalars")->find("bad_ratio")->is_null());
+  EXPECT_EQ(v->find("scalars")->find("good")->number, 1.0);
 }
 
 TEST(ObsBenchReport, ScaledHelpers) {

@@ -3,10 +3,14 @@
 #include "stats/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -224,6 +228,83 @@ TEST(EvaluateTestMcParallel, CallerRngAdvancesIndependentlyOfThreadCount) {
   (void)evaluate_test_mc(param, spec, spec, ErrorModel::none(), a, 2000, 1);
   (void)evaluate_test_mc(param, spec, spec, ErrorModel::none(), b, 2000, 4);
   EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent top-level callers. parallel_for_index used to hold a process-
+// wide mutex for the whole call, silently serializing independent callers
+// (and destroying/rebuilding the shared pool under them on growth). These
+// tests pin the fixed contract; both run under TSan in the sanitizer leg.
+// ---------------------------------------------------------------------------
+
+// Two top-level parallel_for_index calls must be able to make progress at
+// the same time. Each call's body announces its own arrival and then waits
+// (bounded) for the other call's arrival: under the old whole-call lock the
+// second call could never start, so the rendezvous times out and the test
+// fails instead of hanging.
+TEST(ParallelConcurrentCallers, TopLevelCallsOverlap) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool arrived[2] = {false, false};
+  std::atomic<bool> timed_out{false};
+
+  auto run_call = [&](int call) {
+    parallel_for_index(2, 2, [&, call](std::size_t) {
+      std::unique_lock<std::mutex> lock(mu);
+      arrived[call] = true;
+      cv.notify_all();
+      if (!cv.wait_for(lock, std::chrono::seconds(20),
+                       [&] { return arrived[1 - call]; })) {
+        timed_out.store(true, std::memory_order_relaxed);
+      }
+    });
+  };
+
+  std::thread other([&] { run_call(1); });
+  run_call(0);
+  other.join();
+  EXPECT_FALSE(timed_out.load())
+      << "concurrent top-level parallel_for_index calls did not overlap";
+}
+
+// The stress half: several top-level callers, each itself running a
+// multi-threaded MC, racing on the shared pool (including pool growth from
+// a larger thread request) — every result bit-identical to its serial run.
+TEST(ParallelConcurrentCallers, ConcurrentMcCallersBitIdenticalToSerial) {
+  constexpr int kCallers = 3;
+  constexpr int kRepeats = 2;
+  constexpr int kTrials = 60000;
+  const Normal param{10.0, 1.0};
+  const auto spec = SpecLimits::at_least(8.5);
+  const auto model = ErrorModel::gaussian(0.3);
+
+  TestOutcome serial[kCallers];
+  for (int c = 0; c < kCallers; ++c) {
+    Rng rng(1000 + c);
+    serial[c] = evaluate_test_mc(param, spec, spec, model, rng, kTrials, 1);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int r = 0; r < kRepeats; ++r) {
+        Rng rng(1000 + c);
+        // Different thread counts per caller: one of them grows the pool.
+        const auto out =
+            evaluate_test_mc(param, spec, spec, model, rng, kTrials, 2 + c);
+        if (out.yield != serial[c].yield ||
+            out.defect_rate != serial[c].defect_rate ||
+            out.accept_rate != serial[c].accept_rate ||
+            out.yield_loss != serial[c].yield_loss ||
+            out.fault_coverage_loss != serial[c].fault_coverage_loss) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 // Cross-check: for all three threshold rows of a threshold_study, the MC

@@ -1,0 +1,277 @@
+// Tests for the synthesis service (src/service): canonical content keys,
+// the plan/result cache, the bounded-admission engine, and — the core
+// contract — that a served result is bit-identical to a direct
+// TestSynthesizer::synthesize() call, cache on or off, under any amount of
+// submitter concurrency. The Service* suites also run under the TSan tier-1
+// leg (see ROADMAP.md).
+#include "service/engine.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/cache.h"
+#include "service/request.h"
+
+namespace msts::service {
+namespace {
+
+SynthesisRequest make_request(int variant = 0) {
+  SynthesisRequest req;
+  req.config = path::reference_path_config();
+  // Distinct-but-valid configs: shift a couple of nominals by a small,
+  // index-dependent amount (tolerances untouched).
+  req.config.amp.gain_db.nominal += 0.01 * static_cast<double>(variant % 17);
+  req.config.mixer.conv_gain_db.nominal -= 0.005 * static_cast<double>(variant % 13);
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Content keys and fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(ServiceRequest, ContentKeyIsDeterministic) {
+  const SynthesisRequest a = make_request(3);
+  const SynthesisRequest b = make_request(3);
+  EXPECT_EQ(content_key(a), content_key(b));
+  EXPECT_EQ(content_hash(a), content_hash(b));
+}
+
+TEST(ServiceRequest, ContentKeyDistinguishesConfigsAndOptions) {
+  const SynthesisRequest base = make_request();
+  const std::string key = content_key(base);
+
+  SynthesisRequest cfg = base;
+  cfg.config.amp.gain_db.nominal += 1e-12;  // bit-level sensitivity
+  EXPECT_NE(content_key(cfg), key);
+
+  SynthesisRequest tol = base;
+  tol.config.lpf.cutoff_hz.sigma *= 1.0000001;
+  EXPECT_NE(content_key(tol), key);
+
+  SynthesisRequest adaptive = base;
+  adaptive.options.adaptive = false;
+  EXPECT_NE(content_key(adaptive), key);
+
+  SynthesisRequest sigmas = base;
+  sigmas.options.spec_sigmas = 2.5;
+  EXPECT_NE(content_key(sigmas), key);
+
+  SynthesisRequest record = base;
+  record.options.measure.digital_record *= 2;
+  EXPECT_NE(content_key(record), key);
+
+  // use_cache routes the request; it must NOT change the key.
+  SynthesisRequest uncached = base;
+  uncached.options.use_cache = false;
+  EXPECT_EQ(content_key(uncached), key);
+}
+
+TEST(ServiceRequest, MeasurementSetupIsCoherentAndDeterministic) {
+  const auto config = path::reference_path_config();
+  const MeasurementSetup a = make_measurement_setup(config);
+  const MeasurementSetup b = make_measurement_setup(config);
+  EXPECT_EQ(a.if_freq_hz, b.if_freq_hz);
+  EXPECT_EQ(a.two_tone_f1_hz, b.two_tone_f1_hz);
+  EXPECT_EQ(a.two_tone_f2_hz, b.two_tone_f2_hz);
+  EXPECT_EQ(a.drive_vpeak, b.drive_vpeak);
+  EXPECT_EQ(a.analog_fs_hz, config.analog_fs);
+  EXPECT_DOUBLE_EQ(a.digital_fs_hz, config.digital_fs());
+  EXPECT_GT(a.if_freq_hz, 0.0);
+  EXPECT_LT(a.if_freq_hz, a.digital_fs_hz / 2.0);
+  EXPECT_LT(a.two_tone_f1_hz, a.two_tone_f2_hz);
+  EXPECT_GT(a.drive_vpeak, 0.0);
+}
+
+TEST(ServiceRequest, ResultFingerprintTracksContent) {
+  const SynthesisResult r1 = synthesize_direct(make_request(1));
+  const SynthesisResult r1b = synthesize_direct(make_request(1));
+  const SynthesisResult r2 = synthesize_direct(make_request(2));
+  EXPECT_EQ(result_content(r1), result_content(r1b));
+  EXPECT_EQ(result_fingerprint(r1), result_fingerprint(r1b));
+  EXPECT_NE(result_content(r1), result_content(r2));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+TEST(ServiceCache, InsertLookupAndFirstWins) {
+  PlanCache cache;
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+
+  auto first = std::make_shared<const SynthesisResult>();
+  auto second = std::make_shared<const SynthesisResult>();
+  EXPECT_EQ(cache.insert("k", first), first);
+  EXPECT_EQ(cache.size(), 1u);
+  // Losing a publication race adopts the existing entry.
+  EXPECT_EQ(cache.insert("k", second), first);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup("k"), first);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.lookup("k"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// SynthesisEngine
+// ---------------------------------------------------------------------------
+
+TEST(ServiceEngine, ServedBitIdenticalToDirectWithCache) {
+  SynthesisEngine engine;
+  const SynthesisRequest request = make_request();
+  const std::string direct = result_content(synthesize_direct(request));
+
+  const Served miss = engine.submit(request).get();
+  ASSERT_NE(miss.result, nullptr);
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(result_content(*miss.result), direct);
+
+  const Served hit = engine.submit(request).get();
+  ASSERT_NE(hit.result, nullptr);
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_EQ(hit.result, miss.result);  // one shared immutable object
+  EXPECT_EQ(result_content(*hit.result), direct);
+  EXPECT_EQ(engine.cache_size(), 1u);
+}
+
+TEST(ServiceEngine, ServedBitIdenticalToDirectWithoutCache) {
+  EngineOptions options;
+  options.cache = false;
+  SynthesisEngine engine(options);
+  const SynthesisRequest request = make_request();
+  const std::string direct = result_content(synthesize_direct(request));
+
+  const Served a = engine.submit(request).get();
+  const Served b = engine.submit(request).get();
+  EXPECT_FALSE(a.cache_hit);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_NE(a.result, b.result);  // independent copies
+  EXPECT_EQ(result_content(*a.result), direct);
+  EXPECT_EQ(result_content(*b.result), direct);
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(ServiceEngine, PerRequestCacheOptOut) {
+  SynthesisEngine engine;
+  SynthesisRequest request = make_request();
+  (void)engine.submit(request).get();  // populate
+
+  request.options.use_cache = false;
+  const Served bypass = engine.submit(request).get();
+  EXPECT_FALSE(bypass.cache_hit);
+  EXPECT_EQ(result_content(*bypass.result),
+            result_content(synthesize_direct(request)));
+}
+
+TEST(ServiceEngine, RunBatchPreservesRequestOrder) {
+  SynthesisEngine engine;
+  // Duplicates on purpose: 8 requests over 4 distinct configs.
+  std::vector<SynthesisRequest> requests;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(make_request(i % 4));
+    expected.push_back(result_content(synthesize_direct(requests.back())));
+  }
+
+  const std::vector<Served> served = engine.run_batch(requests);
+  ASSERT_EQ(served.size(), requests.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    ASSERT_NE(served[i].result, nullptr) << i;
+    EXPECT_EQ(result_content(*served[i].result), expected[i]) << i;
+  }
+  EXPECT_EQ(engine.cache_size(), 4u);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+TEST(ServiceEngine, TrySubmitRefusesWhenQueueFull) {
+  EngineOptions options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  SynthesisEngine engine(options);
+  EXPECT_EQ(engine.queue_capacity(), 2u);
+
+  // Pump a burst of non-blocking submissions; with capacity 2 and a single
+  // worker that needs ~hundreds of microseconds per miss, the burst must see
+  // at least one refusal, and admissions never exceed the bound.
+  std::vector<std::future<Served>> accepted;
+  std::size_t rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_LE(engine.in_flight(), engine.queue_capacity());
+    auto f = engine.try_submit(make_request(i));
+    if (f.has_value()) {
+      accepted.push_back(std::move(*f));
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GE(accepted.size(), 1u);
+  for (auto& f : accepted) {
+    EXPECT_NE(f.get().result, nullptr);
+  }
+}
+
+TEST(ServiceEngine, SynthesisErrorPropagatesThroughFuture) {
+  SynthesisEngine engine;
+  SynthesisRequest bad = make_request();
+  bad.options.spec_sigmas = -1.0;  // rejected by the synthesizer
+  auto future = engine.submit(bad);
+  EXPECT_THROW((void)future.get(), std::invalid_argument);
+  // The engine stays usable after a failed request.
+  EXPECT_NE(engine.submit(make_request()).get().result, nullptr);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+// The stress half of the determinism contract: many producer threads racing
+// hot and cold keys through one engine, every served result checked against
+// the direct reference. Runs under TSan in the sanitizer leg.
+TEST(ServiceEngine, ConcurrentSubmittersServeBitIdenticalResults) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 24;
+  constexpr int kDistinct = 6;
+
+  std::vector<std::string> expected(kDistinct);
+  for (int v = 0; v < kDistinct; ++v) {
+    expected[v] = result_content(synthesize_direct(make_request(v)));
+  }
+
+  EngineOptions options;
+  options.workers = 3;
+  options.queue_capacity = 16;
+  SynthesisEngine engine(options);
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> served_count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int v = (p + i) % kDistinct;
+        const Served served = engine.submit(make_request(v)).get();
+        if (served.result == nullptr ||
+            result_content(*served.result) != expected[v]) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+        served_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(served_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(engine.cache_size(), static_cast<std::size_t>(kDistinct));
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace msts::service
