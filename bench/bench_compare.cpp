@@ -4,143 +4,25 @@
 //   * scalars present in both must agree within --threshold relative change.
 //     Most headline numbers are deterministic, so drift in either direction
 //     is suspicious — but performance scalars are gated directionally by
-//     name: latency-like keys (ending in '_ns' or '_s_per_iter', or
-//     containing 'latency' or 'wait') only fail when they *increase*, and
-//     throughput-like keys (containing 'per_sec' or 'throughput') only fail
-//     when they *decrease*. Improvements never fail.
+//     name (see bench/report_io.h for the shared rules): latency-like keys
+//     only fail when they *increase*, throughput-like keys only fail when
+//     they *decrease*. Improvements never fail.
 //   * per-phase and total wall times may only *increase* by the threshold
 //     (speed-ups never fail);
-//   * scalars that appear or disappear are reported but do not fail, since
-//     benches legitimately grow new outputs.
+//   * scalars that appear or disappear are reported as explicit notes but
+//     do not fail, since benches legitimately grow new outputs.
 // Exit status: 0 = comparable, 1 = regression(s) found, 2 = usage/IO error.
 // The bench_smoke CTest flow runs an identity self-compare on every emitted
 // report; see README.md ("Comparing bench runs") for CI usage.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <optional>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "obs/json.h"
+#include "report_io.h"
 
-namespace {
-
-using msts::obs::json::Value;
-
-struct Report {
-  std::string bench;
-  std::vector<std::pair<std::string, double>> scalars;
-  std::vector<std::pair<std::string, double>> phase_wall_s;
-  double total_wall_s = 0.0;
-};
-
-std::optional<Report> load(const char* path) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "bench_compare: %s: cannot open\n", path);
-    return std::nullopt;
-  }
-  std::stringstream buf;
-  buf << in.rdbuf();
-  std::string err;
-  const auto doc = msts::obs::json::parse(buf.str(), &err);
-  if (!doc || !doc->is_object()) {
-    std::fprintf(stderr, "bench_compare: %s: invalid JSON: %s\n", path, err.c_str());
-    return std::nullopt;
-  }
-  const Value* version = doc->find("schema_version");
-  if (version == nullptr || !version->is_number() || version->number != 1.0) {
-    std::fprintf(stderr, "bench_compare: %s: not a schema-v1 bench report\n", path);
-    return std::nullopt;
-  }
-
-  Report r;
-  if (const Value* bench = doc->find("bench"); bench != nullptr && bench->is_string()) {
-    r.bench = bench->string;
-  }
-  if (const Value* total = doc->find("total_wall_s");
-      total != nullptr && total->is_number()) {
-    r.total_wall_s = total->number;
-  }
-  if (const Value* scalars = doc->find("scalars");
-      scalars != nullptr && scalars->is_object()) {
-    for (const auto& [key, v] : scalars->object) {
-      if (v.is_number()) r.scalars.emplace_back(key, v.number);
-    }
-  }
-  if (const Value* phases = doc->find("phases"); phases != nullptr && phases->is_array()) {
-    for (const Value& p : phases->array) {
-      if (!p.is_object()) continue;
-      const Value* name = p.find("name");
-      const Value* wall = p.find("wall_s");
-      if (name != nullptr && name->is_string() && wall != nullptr && wall->is_number()) {
-        r.phase_wall_s.emplace_back(name->string, wall->number);
-      }
-    }
-  }
-  return r;
-}
-
-const double* find(const std::vector<std::pair<std::string, double>>& kv,
-                   const std::string& key) {
-  for (const auto& [k, v] : kv) {
-    if (k == key) return &v;
-  }
-  return nullptr;
-}
-
-/// Relative change of `now` vs `base`, guarded against tiny baselines.
-double rel_change(double base, double now) {
-  const double denom = std::max(std::abs(base), 1e-12);
-  return (now - base) / denom;
-}
-
-/// How a scalar may drift before it counts as a regression.
-enum class Direction {
-  kBoth,           ///< Deterministic output: any drift is suspicious.
-  kHigherIsWorse,  ///< Latency-like: only increases fail.
-  kLowerIsWorse,   ///< Throughput-like: only decreases fail.
-};
-
-bool contains(const std::string& s, const char* needle) {
-  return s.find(needle) != std::string::npos;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-/// Classifies a scalar by naming convention (see the header comment).
-/// Deterministic outputs (yields, coverages, counts) keep the symmetric
-/// gate; timing and rate scalars are one-sided so improvements never fail.
-Direction scalar_direction(const std::string& key) {
-  if (contains(key, "per_sec") || contains(key, "throughput")) {
-    return Direction::kLowerIsWorse;
-  }
-  if (ends_with(key, "_ns") || ends_with(key, "_s_per_iter") ||
-      contains(key, "latency") || contains(key, "wait")) {
-    return Direction::kHigherIsWorse;
-  }
-  return Direction::kBoth;
-}
-
-bool is_regression(Direction dir, double change, double threshold) {
-  switch (dir) {
-    case Direction::kHigherIsWorse:
-      return change > threshold;
-    case Direction::kLowerIsWorse:
-      return change < -threshold;
-    case Direction::kBoth:
-      break;
-  }
-  return std::abs(change) > threshold;
-}
-
-}  // namespace
+using namespace msts::benchtool;
 
 int main(int argc, char** argv) {
   double threshold = 0.25;
@@ -168,8 +50,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto base = load(files[0]);
-  const auto cand = load(files[1]);
+  const auto base = load_report(files[0], "bench_compare");
+  const auto cand = load_report(files[1], "bench_compare");
   if (!base || !cand) return 2;
   if (!base->bench.empty() && !cand->bench.empty() && base->bench != cand->bench) {
     std::fprintf(stderr, "bench_compare: reports come from different benches ('%s' vs '%s')\n",

@@ -117,4 +117,32 @@ if(NOT tput_rc EQUAL 1)
   message(FATAL_ERROR "throughput drop should exit 1, got status ${tput_rc}")
 endif()
 
+# Added / removed scalars: benches legitimately grow (or retire) outputs, so
+# a one-sided scalar must surface as an explicit note without failing.
+set(grown "${OUT_DIR}/grown.json")
+file(WRITE "${grown}" [=[
+{"bench": "selftest", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [{"name": "setup", "wall_s": 0.5}, {"name": "run", "wall_s": 2.0}],
+ "total_wall_s": 2.5,
+ "scalars": {"gain_db": 25.0, "coverage": 0.95, "p99_latency_s": 0.004}}
+]=])
+
+execute_process(COMMAND "${COMPARER}" "${baseline}" "${grown}"
+                RESULT_VARIABLE added_rc OUTPUT_VARIABLE added_out)
+if(NOT added_rc EQUAL 0)
+  message(FATAL_ERROR "added scalar should not fail, got status ${added_rc}")
+endif()
+if(NOT added_out MATCHES "new scalar 'p99_latency_s'")
+  message(FATAL_ERROR "added scalar should be noted, got output: ${added_out}")
+endif()
+
+execute_process(COMMAND "${COMPARER}" "${grown}" "${baseline}"
+                RESULT_VARIABLE removed_rc OUTPUT_VARIABLE removed_out)
+if(NOT removed_rc EQUAL 0)
+  message(FATAL_ERROR "removed scalar should not fail, got status ${removed_rc}")
+endif()
+if(NOT removed_out MATCHES "scalar 'p99_latency_s' missing from candidate")
+  message(FATAL_ERROR "removed scalar should be noted, got output: ${removed_out}")
+endif()
+
 message(STATUS "bench_compare selftest OK")

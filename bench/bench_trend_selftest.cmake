@@ -1,0 +1,103 @@
+# End-to-end check of the bench_trend exit-code contract on synthetic
+# schema-v1 snapshots. Invoked by the bench_trend_selftest CTest as
+#   cmake -DTREND=... -DOUT_DIR=... -P bench_trend_selftest.cmake
+# Cases: a flat three-snapshot series must pass (0); a series with a seeded
+# latency regression in the last step must fail (1) and name the step; the
+# directory form must glob + order snapshots the same way; mixed benches and
+# a single snapshot must be usage errors (2); a throughput *improvement*
+# must not be flagged.
+foreach(var TREND OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_trend_selftest.cmake: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(series_dir "${OUT_DIR}/series")
+file(REMOVE_RECURSE "${series_dir}")
+file(MAKE_DIRECTORY "${series_dir}")
+
+# Three snapshots of the same bench. Latency holds, then doubles in the
+# last step; throughput climbs the whole way (an improvement, never a flag).
+set(snap1 "${series_dir}/BENCH_service.001.json")
+file(WRITE "${snap1}" [=[
+{"bench": "service", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [{"name": "serve", "wall_s": 1.0}], "total_wall_s": 1.1,
+ "scalars": {"latency_p99_ns": 1000.0, "plans_per_sec": 50000.0,
+             "coverage": 0.95}}
+]=])
+set(snap2 "${series_dir}/BENCH_service.002.json")
+file(WRITE "${snap2}" [=[
+{"bench": "service", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [{"name": "serve", "wall_s": 1.0}], "total_wall_s": 1.1,
+ "scalars": {"latency_p99_ns": 1050.0, "plans_per_sec": 60000.0,
+             "coverage": 0.95}}
+]=])
+set(snap3 "${series_dir}/BENCH_service.003.json")
+file(WRITE "${snap3}" [=[
+{"bench": "service", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [{"name": "serve", "wall_s": 1.0}], "total_wall_s": 1.1,
+ "scalars": {"latency_p99_ns": 2100.0, "plans_per_sec": 70000.0,
+             "coverage": 0.95}}
+]=])
+
+# Explicit-file form: first two snapshots are within tolerance.
+execute_process(COMMAND "${TREND}" "${snap1}" "${snap2}"
+                RESULT_VARIABLE flat_rc)
+if(NOT flat_rc EQUAL 0)
+  message(FATAL_ERROR "flat series should pass, got status ${flat_rc}")
+endif()
+
+# The full series carries the seeded latency regression at step #2 -> #3.
+execute_process(COMMAND "${TREND}" "${snap1}" "${snap2}" "${snap3}"
+                RESULT_VARIABLE seeded_rc OUTPUT_VARIABLE seeded_out)
+if(NOT seeded_rc EQUAL 1)
+  message(FATAL_ERROR "seeded regression should exit 1, got status ${seeded_rc}")
+endif()
+if(NOT seeded_out MATCHES "latency_p99_ns")
+  message(FATAL_ERROR "flag should name latency_p99_ns, got output: ${seeded_out}")
+endif()
+if(NOT seeded_out MATCHES "REGRESSION #2->#3")
+  message(FATAL_ERROR "flag should name the #2->#3 step, got output: ${seeded_out}")
+endif()
+if(seeded_out MATCHES "plans_per_sec.*REGRESSION")
+  message(FATAL_ERROR "throughput improvement must not be flagged: ${seeded_out}")
+endif()
+
+# Directory form: globs BENCH_*.json in lexicographic (= chronological for
+# sequence-numbered names) order, so the same regression is found.
+execute_process(COMMAND "${TREND}" "${series_dir}"
+                RESULT_VARIABLE dir_rc OUTPUT_VARIABLE dir_out)
+if(NOT dir_rc EQUAL 1)
+  message(FATAL_ERROR "directory form should find the regression, got ${dir_rc}")
+endif()
+if(NOT dir_out MATCHES "3 snapshots")
+  message(FATAL_ERROR "directory form should load 3 snapshots: ${dir_out}")
+endif()
+
+# A loose threshold lets the 2x latency step through.
+execute_process(COMMAND "${TREND}" --threshold 1.5 "${series_dir}"
+                RESULT_VARIABLE loose_rc)
+if(NOT loose_rc EQUAL 0)
+  message(FATAL_ERROR "loose threshold should pass, got status ${loose_rc}")
+endif()
+
+# Usage errors: fewer than two snapshots, and mixed benches.
+execute_process(COMMAND "${TREND}" "${snap1}"
+                RESULT_VARIABLE single_rc)
+if(NOT single_rc EQUAL 2)
+  message(FATAL_ERROR "single snapshot should exit 2, got status ${single_rc}")
+endif()
+
+set(other "${OUT_DIR}/BENCH_other.json")
+file(WRITE "${other}" [=[
+{"bench": "different", "schema_version": 1, "threads": 2, "scale": 1.0,
+ "phases": [], "total_wall_s": 0.5, "scalars": {}}
+]=])
+execute_process(COMMAND "${TREND}" "${snap1}" "${other}"
+                RESULT_VARIABLE mixed_rc)
+if(NOT mixed_rc EQUAL 2)
+  message(FATAL_ERROR "mixed benches should exit 2, got status ${mixed_rc}")
+endif()
+
+message(STATUS "bench_trend selftest OK")

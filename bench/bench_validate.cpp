@@ -2,10 +2,18 @@
 // The bench_smoke CTest label runs every bench at reduced scale and then
 // this tool over the emitted file; a malformed or incomplete report fails
 // the test. Usage: bench_validate BENCH_<name>.json...
+//
+// --trace switches to validating Chrome/Perfetto trace-event files (the
+// MSTS_TRACE_PATH export from obs/span.h): a traceEvents array whose "X"
+// slices carry name/ts/dur and whose nestable async "b"/"e" pairs balance
+// per (cat, id). The trace_smoke CTest flow runs a bench with tracing on
+// and this mode over the exported file.
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "obs/json.h"
 
@@ -93,14 +101,106 @@ bool validate(const char* path) {
   return true;
 }
 
+bool validate_trace(const char* path) {
+  std::ifstream in(path);
+  if (!in) return fail(path, "cannot open");
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  std::string err;
+  const auto doc = msts::obs::json::parse(buf.str(), &err);
+  if (!doc) return fail(path, "invalid JSON: " + err);
+  if (!doc->is_object()) return fail(path, "root is not an object");
+
+  const Value* events = doc->find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return fail(path, "missing or invalid 'traceEvents'");
+  }
+
+  std::size_t slices = 0;
+  std::map<std::pair<std::string, std::string>, long> async_depth;
+  for (const Value& e : events->array) {
+    if (!e.is_object()) return fail(path, "trace event is not an object");
+    const Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.empty()) {
+      return fail(path, "trace event missing 'ph'");
+    }
+    const std::string& phase = ph->string;
+    if (phase == "M") continue;  // metadata (process/thread names)
+    const Value* name = e.find("name");
+    const Value* ts = e.find("ts");
+    const Value* tid = e.find("tid");
+    if (phase == "X") {
+      const Value* dur = e.find("dur");
+      if (name == nullptr || !name->is_string() || name->string.empty()) {
+        return fail(path, "'X' slice missing 'name'");
+      }
+      if (!is_number(ts) || ts->number < 0.0) {
+        return fail(path, "'X' slice '" + name->string + "': 'ts' is " +
+                              number_problem(ts));
+      }
+      if (!is_number(dur) || dur->number < 0.0) {
+        return fail(path, "'X' slice '" + name->string + "': 'dur' is " +
+                              number_problem(dur));
+      }
+      if (!is_number(tid)) {
+        return fail(path, "'X' slice '" + name->string + "': 'tid' is " +
+                              number_problem(tid));
+      }
+      ++slices;
+    } else if (phase == "b" || phase == "e") {
+      const Value* cat = e.find("cat");
+      const Value* id = e.find("id");
+      if (cat == nullptr || !cat->is_string() || id == nullptr || !id->is_string()) {
+        return fail(path, "async '" + phase + "' event missing 'cat'/'id'");
+      }
+      if (!is_number(ts) || ts->number < 0.0) {
+        return fail(path, "async event id " + id->string + ": 'ts' is " +
+                              number_problem(ts));
+      }
+      if (phase == "b" &&
+          (name == nullptr || !name->is_string() || name->string.empty())) {
+        return fail(path, "async 'b' event id " + id->string + " missing 'name'");
+      }
+      long& depth = async_depth[{cat->string, id->string}];
+      depth += (phase == "b") ? 1 : -1;
+      if (depth < 0) {
+        return fail(path, "async 'e' before 'b' for id " + id->string);
+      }
+      if (phase == "b") ++slices;
+    } else {
+      return fail(path, "unexpected trace event ph '" + phase + "'");
+    }
+  }
+  for (const auto& [key, depth] : async_depth) {
+    if (depth != 0) {
+      return fail(path, "unbalanced async events for id " + key.second);
+    }
+  }
+
+  std::printf("bench_validate: %s OK (trace, %zu events, %zu spans)\n", path,
+              events->array.size(), slices);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: bench_validate BENCH_<name>.json...\n");
+  bool trace_mode = false;
+  int first = 1;
+  if (argc >= 2 && std::string(argv[1]) == "--trace") {
+    trace_mode = true;
+    first = 2;
+  }
+  if (first >= argc) {
+    std::fprintf(stderr,
+                 "usage: bench_validate BENCH_<name>.json...\n"
+                 "       bench_validate --trace TRACE.json...\n");
     return 2;
   }
   bool ok = true;
-  for (int i = 1; i < argc; ++i) ok = validate(argv[i]) && ok;
+  for (int i = first; i < argc; ++i) {
+    ok = (trace_mode ? validate_trace(argv[i]) : validate(argv[i])) && ok;
+  }
   return ok ? 0 : 1;
 }

@@ -1,0 +1,111 @@
+#include "report_io.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace msts::benchtool {
+
+namespace {
+
+using msts::obs::json::Value;
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+std::optional<Report> load_report(const char* path, const char* tool) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: %s: cannot open\n", tool, path);
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = msts::obs::json::parse(buf.str(), &err);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "%s: %s: invalid JSON: %s\n", tool, path, err.c_str());
+    return std::nullopt;
+  }
+  const Value* version = doc->find("schema_version");
+  if (version == nullptr || !version->is_number() || version->number != 1.0) {
+    std::fprintf(stderr, "%s: %s: not a schema-v1 bench report\n", tool, path);
+    return std::nullopt;
+  }
+
+  Report r;
+  r.path = path;
+  if (const Value* bench = doc->find("bench"); bench != nullptr && bench->is_string()) {
+    r.bench = bench->string;
+  }
+  if (const Value* total = doc->find("total_wall_s");
+      total != nullptr && total->is_number()) {
+    r.total_wall_s = total->number;
+  }
+  if (const Value* scalars = doc->find("scalars");
+      scalars != nullptr && scalars->is_object()) {
+    for (const auto& [key, v] : scalars->object) {
+      if (v.is_number()) r.scalars.emplace_back(key, v.number);
+    }
+  }
+  if (const Value* phases = doc->find("phases"); phases != nullptr && phases->is_array()) {
+    for (const Value& p : phases->array) {
+      if (!p.is_object()) continue;
+      const Value* name = p.find("name");
+      const Value* wall = p.find("wall_s");
+      if (name != nullptr && name->is_string() && wall != nullptr && wall->is_number()) {
+        r.phase_wall_s.emplace_back(name->string, wall->number);
+      }
+    }
+  }
+  return r;
+}
+
+const double* find(const std::vector<std::pair<std::string, double>>& kv,
+                   const std::string& key) {
+  for (const auto& [k, v] : kv) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double rel_change(double base, double now) {
+  const double denom = std::max(std::abs(base), 1e-12);
+  return (now - base) / denom;
+}
+
+Direction scalar_direction(const std::string& key) {
+  if (contains(key, "per_sec") || contains(key, "throughput")) {
+    return Direction::kLowerIsWorse;
+  }
+  if (ends_with(key, "_ns") || ends_with(key, "_s_per_iter") ||
+      contains(key, "latency") || contains(key, "wait")) {
+    return Direction::kHigherIsWorse;
+  }
+  return Direction::kBoth;
+}
+
+bool is_regression(Direction dir, double change, double threshold) {
+  switch (dir) {
+    case Direction::kHigherIsWorse:
+      return change > threshold;
+    case Direction::kLowerIsWorse:
+      return change < -threshold;
+    case Direction::kBoth:
+      break;
+  }
+  return std::abs(change) > threshold;
+}
+
+}  // namespace msts::benchtool

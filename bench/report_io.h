@@ -1,0 +1,54 @@
+// Shared loading and regression-gating rules for the schema-v1 BENCH_*.json
+// reports emitted by obs::BenchReport, used by bench_compare (two-report
+// diff) and bench_trend (time series over many snapshots).
+//
+// The direction rules live here so both tools gate identically:
+//   * keys containing 'per_sec' or 'throughput' are throughput-like — only
+//     decreases count as regressions;
+//   * keys ending in '_ns' or '_s_per_iter', or containing 'latency' or
+//     'wait', are latency-like — only increases count;
+//   * everything else is treated as deterministic output, where drift in
+//     either direction is suspicious.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace msts::benchtool {
+
+/// One parsed schema-v1 bench report.
+struct Report {
+  std::string path;   ///< Where it was loaded from (for messages).
+  std::string bench;  ///< "bench" field; may be empty in synthetic fixtures.
+  std::vector<std::pair<std::string, double>> scalars;
+  std::vector<std::pair<std::string, double>> phase_wall_s;
+  double total_wall_s = 0.0;
+};
+
+/// Parses `path`, validating JSON shape and schema_version == 1. On failure
+/// prints "<tool>: <path>: <why>" to stderr and returns nullopt.
+std::optional<Report> load_report(const char* path, const char* tool);
+
+/// Linear scan lookup (reports are small); nullptr when absent.
+const double* find(const std::vector<std::pair<std::string, double>>& kv,
+                   const std::string& key);
+
+/// Relative change of `now` vs `base`, guarded against tiny baselines.
+double rel_change(double base, double now);
+
+/// How a scalar may drift before it counts as a regression.
+enum class Direction {
+  kBoth,           ///< Deterministic output: any drift is suspicious.
+  kHigherIsWorse,  ///< Latency-like: only increases fail.
+  kLowerIsWorse,   ///< Throughput-like: only decreases fail.
+};
+
+/// Classifies a scalar by naming convention (see the file comment).
+Direction scalar_direction(const std::string& key);
+
+/// Whether `change` (a rel_change value) violates `threshold` under `dir`.
+bool is_regression(Direction dir, double change, double threshold);
+
+}  // namespace msts::benchtool

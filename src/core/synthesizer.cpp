@@ -6,6 +6,7 @@
 #include "base/require.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
+#include "obs/span.h"
 
 namespace msts::core {
 
@@ -30,6 +31,7 @@ stats::Normal population_of(const stats::Uncertain& param) {
 
 ParameterStudy TestSynthesizer::study_mixer_p1db() const {
   obs::ScopedTimer timer("core.study_mixer_p1db");
+  obs::Span span("core.study_mixer_p1db");
   const auto analysis = translator_.analyze_mixer_p1db();
   const auto& p = config_.mixer.p1db_in_dbm;
   return threshold_study(
@@ -40,6 +42,7 @@ ParameterStudy TestSynthesizer::study_mixer_p1db() const {
 
 ParameterStudy TestSynthesizer::study_mixer_iip3() const {
   obs::ScopedTimer timer("core.study_mixer_iip3");
+  obs::Span span("core.study_mixer_iip3");
   const auto analysis = translator_.analyze_mixer_iip3(adaptive_);
   const auto& p = config_.mixer.iip3_dbm;
   return threshold_study(
@@ -50,6 +53,7 @@ ParameterStudy TestSynthesizer::study_mixer_iip3() const {
 
 ParameterStudy TestSynthesizer::study_lpf_cutoff() const {
   obs::ScopedTimer timer("core.study_lpf_cutoff");
+  obs::Span span("core.study_lpf_cutoff");
   const auto analysis = translator_.analyze_lpf_cutoff();
   const auto& p = config_.lpf.cutoff_hz;
   const double half = spec_sigmas_ * population_of(p).sigma;
@@ -60,6 +64,7 @@ ParameterStudy TestSynthesizer::study_lpf_cutoff() const {
 
 std::vector<PlannedTest> TestSynthesizer::synthesize() const {
   obs::ScopedTimer timer("core.synthesize");
+  obs::Span span("core.synthesize");
   obs::counter_add("core.synthesize.calls");
   std::vector<PlannedTest> plan;
 

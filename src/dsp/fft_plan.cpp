@@ -10,6 +10,7 @@
 #include "base/units.h"
 #include "dsp/fft.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 
 namespace msts::dsp {
 
@@ -166,14 +167,18 @@ PlanCaches& caches() {
 
 std::shared_ptr<const FftPlan> get_fft_plan(std::size_t n) {
   MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  obs::Span span("dsp.plan_cache.fft");
+  span.note("n", static_cast<std::int64_t>(n));
   PlanCaches& c = caches();
   std::lock_guard<std::mutex> lk(c.mu);
   auto it = c.fft.find(n);
   if (it != c.fft.end()) {
     obs::counter_add("dsp.plan_cache.fft.hit");
+    span.note("hit", std::int64_t{1});
     return it->second;
   }
   obs::counter_add("dsp.plan_cache.fft.miss");
+  span.note("hit", std::int64_t{0});
   auto plan = std::make_shared<const FftPlan>(n);
   c.fft.emplace(n, plan);
   return plan;
@@ -181,15 +186,19 @@ std::shared_ptr<const FftPlan> get_fft_plan(std::size_t n) {
 
 std::shared_ptr<const RfftPlan> get_rfft_plan(std::size_t n) {
   MSTS_REQUIRE(is_power_of_two(n), "FFT size must be a power of two");
+  obs::Span span("dsp.plan_cache.rfft");
+  span.note("n", static_cast<std::int64_t>(n));
   PlanCaches& c = caches();
   {
     std::lock_guard<std::mutex> lk(c.mu);
     auto it = c.rfft.find(n);
     if (it != c.rfft.end()) {
       obs::counter_add("dsp.plan_cache.rfft.hit");
+      span.note("hit", std::int64_t{1});
       return it->second;
     }
     obs::counter_add("dsp.plan_cache.rfft.miss");
+    span.note("hit", std::int64_t{0});
   }
   // Built outside the lock: the constructor re-enters the cache through
   // get_fft_plan for its half-size plan, and the mutex is not recursive.
@@ -205,6 +214,8 @@ std::shared_ptr<const RfftPlan> get_rfft_plan(std::size_t n) {
 
 std::shared_ptr<const WindowPlan> get_window_plan(std::size_t n, WindowType type) {
   MSTS_REQUIRE(n >= 1, "window length must be >= 1");
+  obs::Span span("dsp.plan_cache.window");
+  span.note("n", static_cast<std::int64_t>(n));
   const auto key = std::make_pair(n, static_cast<int>(type));
   PlanCaches& c = caches();
   {
@@ -212,9 +223,11 @@ std::shared_ptr<const WindowPlan> get_window_plan(std::size_t n, WindowType type
     auto it = c.window.find(key);
     if (it != c.window.end()) {
       obs::counter_add("dsp.plan_cache.window.hit");
+      span.note("hit", std::int64_t{1});
       return it->second;
     }
     obs::counter_add("dsp.plan_cache.window.miss");
+    span.note("hit", std::int64_t{0});
   }
   // Window synthesis is trig-heavy; build outside the lock so concurrent
   // lookups of other sizes are not serialised behind it.

@@ -12,6 +12,7 @@
 #include "obs/config.h"
 #include "obs/json.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace msts::obs {
@@ -108,7 +109,12 @@ void BenchReport::add_label(std::string key, std::string value) {
 
 std::string BenchReport::json_path() const {
   const char* dir = std::getenv("MSTS_BENCH_JSON_DIR");
-  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+#ifdef MSTS_BENCH_JSON_DEFAULT_DIR
+  const char* fallback = MSTS_BENCH_JSON_DEFAULT_DIR;
+#else
+  const char* fallback = ".";
+#endif
+  std::string path = (dir != nullptr && dir[0] != '\0') ? dir : fallback;
   if (path.back() != '/') path += '/';
   path += "BENCH_" + name_ + ".json";
   return path;
@@ -159,9 +165,33 @@ bool BenchReport::write() {
     }
     w.end_array();
   }
+  // Spans drain once per report: the drained batch feeds the per-stage
+  // attribution (JSON + stdout) and, when MSTS_TRACE_PATH is set, the
+  // Chrome/Perfetto export.
+  std::vector<SpanRecord> spans;
+  std::uint64_t spans_lost = 0;
+  std::vector<StageAttribution> stages;
   if (trace_enabled()) {
+    spans_lost = spans_dropped();  // read before the drain resets it
+    spans = spans_drain();
+    stages = latency_attribution(spans);
     w.kv("trace_events",
          static_cast<std::uint64_t>(trace_pending()) + trace_dropped());
+    w.kv("spans", static_cast<std::uint64_t>(spans.size()));
+    w.kv("spans_dropped", spans_lost);
+    w.key("span_stages").begin_array();
+    for (const StageAttribution& s : stages) {
+      w.begin_object();
+      w.kv("name", std::string_view(s.name));
+      w.kv("count", s.count);
+      w.kv("total_ns", s.total_ns);
+      w.kv("min_ns", s.min_ns);
+      w.kv("max_ns", s.max_ns);
+      w.kv("p50_ns", attribution_quantile_ns(s, 0.5));
+      w.kv("p99_ns", attribution_quantile_ns(s, 0.99));
+      w.end_object();
+    }
+    w.end_array();
   }
   w.end_object();
 
@@ -170,7 +200,7 @@ bool BenchReport::write() {
   if (out) {
     out << w.str() << '\n';
   }
-  const bool ok = static_cast<bool>(out);
+  bool ok = static_cast<bool>(out);
   if (!ok) {
     std::fprintf(stderr, "[obs] could not write %s\n", path.c_str());
   }
@@ -182,6 +212,23 @@ bool BenchReport::write() {
   std::printf("\n");
   for (const PhaseRecord& p : phases_) {
     std::printf("[obs]   phase %-24s %8.3f s\n", p.label.c_str(), p.wall_s);
+  }
+  if (!stages.empty()) {
+    std::printf("%s", attribution_to_text(stages).c_str());
+    if (spans_lost > 0) {
+      std::printf("[obs]   (%llu span%s dropped by full ring buffers)\n",
+                  static_cast<unsigned long long>(spans_lost),
+                  spans_lost == 1 ? "" : "s");
+    }
+    const std::string trace_file = trace_path();
+    if (!trace_file.empty()) {
+      if (spans_write_chrome(trace_file, spans)) {
+        std::printf("[obs]   trace: %s (%zu spans; load in ui.perfetto.dev)\n",
+                    trace_file.c_str(), spans.size());
+      } else {
+        ok = false;
+      }
+    }
   }
   return ok;
 }

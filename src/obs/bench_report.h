@@ -18,13 +18,22 @@
 //   "labels":  { "<key>": "<string>", ... },          // optional
 //   "metrics": [ {"name": ..., "kind": ..., "count": ...,
 //                 "total_ns": ...}, ... ],            // MSTS_METRICS only
-//   "trace_events": <int>                             // MSTS_TRACE only
+//   "trace_events": <int>,                            // MSTS_TRACE only
+//   "spans": <int>, "spans_dropped": <int>,           // MSTS_TRACE only
+//   "span_stages": [ {"name": ..., "count": ..., "total_ns": ...,
+//                     "min_ns": ..., "max_ns": ...,
+//                     "p50_ns": ..., "p99_ns": ...}, ... ]
 // }
 //
-// The output directory defaults to the working directory; MSTS_BENCH_JSON_DIR
-// overrides it. MSTS_BENCH_SCALE in (0, 1] shrinks trial counts through the
-// scaled_* helpers below — the bench_smoke CTest label runs every bench that
-// way.
+// With tracing on, write() drains the span buffers (obs/span.h): the batch
+// becomes the span_stages attribution above (also printed as a stdout table)
+// and, when MSTS_TRACE_PATH is set, a Chrome/Perfetto trace-event file.
+//
+// The output directory defaults to the build tree the library was configured
+// in (MSTS_BENCH_JSON_DEFAULT_DIR, injected by CMake; the working directory
+// otherwise); MSTS_BENCH_JSON_DIR overrides it. MSTS_BENCH_SCALE in (0, 1]
+// shrinks trial counts through the scaled_* helpers below — the bench_smoke
+// CTest label runs every bench that way.
 #pragma once
 
 #include <chrono>

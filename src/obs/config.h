@@ -13,18 +13,31 @@
 // Environment parsing is strict: a set-but-malformed variable throws
 // std::invalid_argument naming the variable, instead of silently running
 // with a misparsed configuration.
+//
+// MSTS_TRACE_PATH names the Chrome/Perfetto trace file span collection
+// exports to (obs/span.h; BenchReport::write() flushes there). Parsing is
+// as strict as the switches: setting it without MSTS_TRACE on, or pointing
+// it at a file that cannot be opened for writing, throws
+// std::invalid_argument at startup — the same fail-fast semantics as a
+// malformed MSTS_THREADS — instead of silently tracing to nowhere.
 #pragma once
 
 #include <optional>
+#include <string>
 
 namespace msts::obs {
 
 /// The observability switches.
 struct Config {
   bool metrics = false;  ///< Timers / counters / histograms collect.
-  bool trace = false;    ///< Structured trace events collect.
+  bool trace = false;    ///< Structured trace events + spans collect.
+  /// Destination for the Chrome/Perfetto span export; empty = no export.
+  /// Only meaningful with trace on (from_env / configure enforce this).
+  std::string trace_path;
 
-  /// Reads MSTS_METRICS and MSTS_TRACE (see env_flag for accepted values).
+  /// Reads MSTS_METRICS, MSTS_TRACE and MSTS_TRACE_PATH (see env_flag for
+  /// accepted switch values; the path must come with MSTS_TRACE on and be
+  /// writable, else std::invalid_argument).
   static Config from_env();
 };
 
@@ -40,6 +53,10 @@ bool metrics_enabled();
 
 /// True when trace collection is on. One relaxed atomic load.
 bool trace_enabled();
+
+/// The configured trace-export path ("" when none). Not a hot-path call
+/// (takes a lock); exporters read it once per flush.
+std::string trace_path();
 
 // ---------------------------------------------------------------------------
 // Strict environment parsing (shared by the rest of the toolkit; notably

@@ -14,6 +14,7 @@ const char* to_string(TraceKind kind) {
     case TraceKind::kTranslation: return "translation";
     case TraceKind::kMcBlock: return "mc_block";
     case TraceKind::kPhase: return "phase";
+    case TraceKind::kSlowRequest: return "slow_request";
   }
   return "?";
 }

@@ -9,7 +9,11 @@
 //  * kMcBlock     — one parallel Monte-Carlo work unit: stream id, trial
 //                   range, wall time (stats::evaluate_test_mc,
 //                   core::validate_iip3_study_mc, digital::simulate_faults);
-//  * kPhase       — one bench phase (obs::BenchReport).
+//  * kPhase       — one bench phase (obs::BenchReport);
+//  * kSlowRequest — one service request whose end-to-end latency exceeded
+//                   the engine's slow-request threshold, carrying the
+//                   hex-encoded content key so the request is replayable
+//                   (service::SynthesisEngine).
 //
 // Collection is gated by obs::trace_enabled() (MSTS_TRACE or an explicit
 // configure()). Emission never perturbs numerical state: call sites only
@@ -33,7 +37,13 @@
 
 namespace msts::obs {
 
-enum class TraceKind : std::uint8_t { kAttrStep, kTranslation, kMcBlock, kPhase };
+enum class TraceKind : std::uint8_t {
+  kAttrStep,
+  kTranslation,
+  kMcBlock,
+  kPhase,
+  kSlowRequest,
+};
 
 const char* to_string(TraceKind kind);
 

@@ -20,6 +20,22 @@
 // completed,rejected,errors} and the service.cache.* counters. The
 // bench_service target turns these plus its own per-request samples into
 // p50/p99 latency and plans/sec in BENCH_service.json.
+//
+// With MSTS_TRACE on, every request additionally yields a span tree
+// (obs/span.h): an async "service.request" root spanning admission to
+// fulfillment, an async "service.queue_wait" child, and on-thread
+// "service.cache_probe" / "service.execute" / "service.fulfill" stages —
+// built from the *same* steady_clock time points as the timers above, so
+// the queue_wait span equals queue_wait_ns exactly and cache_probe +
+// execute sum to exec_ns exactly. Work nested inside execution
+// (core.synthesize, stats.parallel blocks, dsp plan-cache builds) parents
+// under the execute span.
+//
+// Requests whose end-to-end latency exceeds the slow-request threshold
+// (EngineOptions::slow_request_threshold_s, or MSTS_SLOW_REQUEST_S when
+// that is negative; unset = disabled) bump service.slow_requests, log one
+// stderr line carrying the hex content key, and emit a kSlowRequest trace
+// event — enough to find and replay the offending request.
 #pragma once
 
 #include <chrono>
@@ -32,6 +48,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/span.h"
 #include "service/cache.h"
 #include "service/request.h"
 #include "stats/parallel.h"
@@ -47,6 +64,10 @@ struct EngineOptions {
   std::size_t queue_capacity = 1024;
   /// Master cache switch (per-request use_cache can only opt *out*).
   bool cache = true;
+  /// End-to-end latency (queue wait + execution, seconds) above which a
+  /// request is reported as slow (counter, stderr log, trace event).
+  /// Negative = resolve from MSTS_SLOW_REQUEST_S; unset env = disabled.
+  double slow_request_threshold_s = -1.0;
 };
 
 /// One served request: the shared immutable result plus per-request timing.
@@ -92,10 +113,13 @@ class SynthesisEngine {
  private:
   std::future<Served> admit(SynthesisRequest request);
   Served execute(const SynthesisRequest& request,
-                 std::chrono::steady_clock::time_point admitted_at);
+                 std::chrono::steady_clock::time_point admitted_at,
+                 obs::SpanId root);
+  void report_if_slow(const SynthesisRequest& request, const Served& served);
 
   EngineOptions options_;
   int workers_ = 1;
+  std::uint64_t slow_threshold_ns_ = UINT64_MAX;  ///< UINT64_MAX = disabled.
   PlanCache cache_;
   mutable std::mutex mu_;
   std::condition_variable cv_space_;

@@ -8,6 +8,7 @@
 #include "base/require.h"
 #include "obs/config.h"
 #include "obs/registry.h"
+#include "obs/span.h"
 
 namespace msts::stats {
 
@@ -124,6 +125,14 @@ void parallel_for_index(std::size_t n, int threads,
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
   const std::shared_ptr<ThreadPool> pool = acquire_shared_pool(runners);
 
+  // One span for the whole region on the calling thread; its id is captured
+  // *before* dispatch so every runner's block span parents under it even on
+  // pool threads (the pool workers have no thread-local parent cursor).
+  obs::Span region_span("stats.parallel_for");
+  region_span.note("n", static_cast<std::int64_t>(n));
+  region_span.note("runners", static_cast<std::int64_t>(runners));
+  const obs::SpanId region = region_span.id();
+
   struct RunState {
     std::atomic<std::size_t> next{0};
     std::atomic<int> active{0};
@@ -134,17 +143,25 @@ void parallel_for_index(std::size_t n, int threads,
   auto state = std::make_shared<RunState>();
   state->active.store(runners, std::memory_order_relaxed);
 
-  auto run_indices = [state, n, &fn] {
+  auto run_indices = [state, n, region, &fn] {
     t_in_parallel_region = true;
-    try {
-      for (;;) {
-        const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) break;
-        fn(i);
+    {
+      // One span per runner (not per index): coarse enough to never flood
+      // the rings at Monte-Carlo scale, fine enough to show work imbalance.
+      obs::Span block("stats.parallel.block", region);
+      std::int64_t processed = 0;
+      try {
+        for (;;) {
+          const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) break;
+          fn(i);
+          ++processed;
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (!state->error) state->error = std::current_exception();
       }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (!state->error) state->error = std::current_exception();
+      block.note("indices", processed);
     }
     t_in_parallel_region = false;
     if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {

@@ -6,12 +6,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <new>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "obs/json.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "stats/parallel.h"
 #include "stats/yield.h"
@@ -56,6 +59,7 @@ class ConfigGuard {
   ~ConfigGuard() {
     configure(saved_);
     (void)trace_take();
+    (void)spans_drain();
   }
 
  private:
@@ -682,6 +686,359 @@ TEST(ObsBenchReport, ScaledHelpers) {
   for (const char* bad : {"0", "-1", "1.5", "x"}) {
     ::setenv("MSTS_BENCH_SCALE", bad, 1);
     EXPECT_THROW(bench_scale(), std::invalid_argument) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spans: gating, nesting, cross-thread conservation, exporters. The Span*
+// suites also run under the TSan tier-1 leg (see ROADMAP.md).
+// ---------------------------------------------------------------------------
+
+TEST(ObsSpanConfig, TracePathRequiresTraceOn) {
+  ConfigGuard guard;
+  Config c;
+  c.trace = false;
+  c.trace_path = ::testing::TempDir() + "/span_cfg_trace.json";
+  EXPECT_THROW(configure(c), std::invalid_argument);
+
+  c.trace = true;
+  configure(c);  // writable path with trace on: accepted
+  EXPECT_EQ(trace_path(), c.trace_path);
+  EXPECT_EQ(current_config().trace_path, c.trace_path);
+
+  c.trace_path = "/nonexistent-msts-dir/trace.json";
+  EXPECT_THROW(configure(c), std::invalid_argument);
+
+  c.trace_path.clear();
+  configure(c);  // empty path is always fine
+  EXPECT_EQ(trace_path(), "");
+}
+
+TEST(ObsSpanConfig, FromEnvParsesTracePathStrictly) {
+  ConfigGuard guard;
+  EnvVarGuard trace_guard("MSTS_TRACE");
+  EnvVarGuard path_guard("MSTS_TRACE_PATH");
+  EnvVarGuard metrics_guard("MSTS_METRICS");
+  ::unsetenv("MSTS_METRICS");
+
+  const std::string good = ::testing::TempDir() + "/span_env_trace.json";
+
+  // Path without the switch: fail fast, same contract as malformed
+  // MSTS_THREADS.
+  ::unsetenv("MSTS_TRACE");
+  ::setenv("MSTS_TRACE_PATH", good.c_str(), 1);
+  EXPECT_THROW(Config::from_env(), std::invalid_argument);
+
+  // Unwritable path with the switch on: fail fast too.
+  ::setenv("MSTS_TRACE", "1", 1);
+  ::setenv("MSTS_TRACE_PATH", "/nonexistent-msts-dir/trace.json", 1);
+  EXPECT_THROW(Config::from_env(), std::invalid_argument);
+
+  // Well-formed combination round-trips.
+  ::setenv("MSTS_TRACE_PATH", good.c_str(), 1);
+  const Config c = Config::from_env();
+  EXPECT_TRUE(c.trace);
+  EXPECT_EQ(c.trace_path, good);
+
+  // Empty value behaves like unset.
+  ::setenv("MSTS_TRACE_PATH", "", 1);
+  EXPECT_EQ(Config::from_env().trace_path, "");
+}
+
+TEST(ObsSpanDisabled, SpansAreFreeWhenTracingOff) {
+  ConfigGuard guard;
+  configure(make_config(false, false));
+  (void)spans_drain();
+
+  // Warm up thread-local state outside the measured window.
+  { Span warm("warmup"); }
+
+  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    Span s("hot.span");
+    s.note("k", std::int64_t{1});
+    s.note("v", 2.0);
+    SpanParentScope scope(s.id());
+    if (s.armed() || s.id() != 0 || Span::current() != 0) {
+      ADD_FAILURE() << "span must be disarmed while tracing is off";
+    }
+  }
+  const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after) << "disabled-mode spans allocated";
+  EXPECT_TRUE(spans_drain().empty());
+}
+
+TEST(ObsSpan, NestsViaThreadLocalCursorAndRestoresIt) {
+  ConfigGuard guard;
+  configure(make_config(false, true));
+  (void)spans_drain();
+
+  SpanId outer_id = 0;
+  SpanId inner_id = 0;
+  {
+    Span outer("outer");
+    outer_id = outer.id();
+    EXPECT_NE(outer_id, 0u);
+    EXPECT_EQ(Span::current(), outer_id);
+    {
+      Span inner("inner");
+      inner_id = inner.id();
+      EXPECT_EQ(Span::current(), inner_id);
+      inner.note("depth", std::int64_t{2});
+    }
+    EXPECT_EQ(Span::current(), outer_id);
+  }
+  EXPECT_EQ(Span::current(), 0u);
+
+  const auto spans = spans_drain();
+  ASSERT_EQ(spans.size(), 2u);
+  // Drain sorts by start time: outer opened first.
+  EXPECT_STREQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_STREQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, outer_id);
+  EXPECT_EQ(spans[1].id, inner_id);
+  EXPECT_EQ(spans[0].tid, spans[1].tid);
+  ASSERT_EQ(spans[1].note_count, 1u);
+  EXPECT_STREQ(spans[1].notes[0].key, "depth");
+  EXPECT_EQ(spans[1].notes[0].i, 2);
+  // The inner span closed first, so it cannot outlast the outer one.
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+}
+
+TEST(ObsSpan, ParallelForBlocksParentUnderRegionAcrossThreads) {
+  ConfigGuard guard;
+  configure(make_config(false, true));
+  (void)spans_drain();
+
+  constexpr std::size_t kN = 64;
+  std::atomic<std::uint64_t> touched{0};
+  {
+    Span request("test.request");
+    stats::parallel_for_index(kN, 4, [&](std::size_t) {
+      touched.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(touched.load(), kN);
+
+  const auto spans = spans_drain();
+  const SpanRecord* request_rec = nullptr;
+  const SpanRecord* region = nullptr;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) == "test.request") request_rec = &s;
+    if (std::string_view(s.name) == "stats.parallel_for") region = &s;
+  }
+  ASSERT_NE(request_rec, nullptr);
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->parent, request_rec->id);
+
+  std::int64_t indices = 0;
+  std::size_t blocks = 0;
+  bool multi_thread = false;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) != "stats.parallel.block") continue;
+    ++blocks;
+    // Every block parents under the region even when it ran on a pool
+    // thread that has no thread-local cursor.
+    EXPECT_EQ(s.parent, region->id);
+    if (s.tid != region->tid) multi_thread = true;
+    for (std::uint8_t i = 0; i < s.note_count; ++i) {
+      if (std::string_view(s.notes[i].key) == "indices") indices += s.notes[i].i;
+    }
+  }
+  ASSERT_GE(blocks, 1u);
+  EXPECT_LE(blocks, 4u);
+  EXPECT_EQ(indices, static_cast<std::int64_t>(kN));
+  EXPECT_TRUE(multi_thread) << "expected at least one block on a pool thread";
+}
+
+TEST(ObsSpan, DrainConservesAcrossThreadExitAndOverflow) {
+  ConfigGuard guard;
+  configure(make_config(false, true));
+  (void)spans_drain();
+
+  // Over-fill one short-lived thread's ring: the overflow must be counted,
+  // and retirement at thread exit must hand the survivors to the drain.
+  const std::size_t cap = span_ring_capacity();
+  const std::size_t extra = 100;
+  constexpr int kThreads = 3;
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&] {
+      for (std::size_t i = 0; i < cap + extra; ++i) {
+        Span s("conserve.span");
+      }
+    });
+  }
+  for (auto& t : emitters) t.join();
+
+  const std::uint64_t dropped = spans_dropped();
+  const auto spans = spans_drain();
+  std::size_t ours = 0;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) == "conserve.span") ++ours;
+  }
+  EXPECT_EQ(ours + dropped, std::uint64_t{kThreads} * (cap + extra));
+  EXPECT_GE(dropped, std::uint64_t{kThreads} * extra);
+  // Drained everything: a second drain sees nothing and the drop counter
+  // was reset by the first drain.
+  EXPECT_TRUE(spans_drain().empty());
+  EXPECT_EQ(spans_dropped(), 0u);
+}
+
+TEST(ObsSpan, RecordBetweenClampsLikeServiceTimers) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = t0 + std::chrono::microseconds(250);
+  SpanRecord fwd = span_record_between("stage", 7, 3, false, t0, t1);
+  EXPECT_EQ(fwd.id, 7u);
+  EXPECT_EQ(fwd.parent, 3u);
+  EXPECT_EQ(fwd.dur_ns, 250000u);
+  // Reversed endpoints clamp to zero, exactly like the engine's ns_between.
+  SpanRecord rev = span_record_between("stage", 8, 3, true, t1, t0);
+  EXPECT_EQ(rev.dur_ns, 0u);
+  EXPECT_TRUE(rev.async);
+}
+
+TEST(ObsSpanExport, ChromeJsonParsesAndAsyncPairsBalance) {
+  std::vector<SpanRecord> spans;
+  const auto t0 = span_epoch() + std::chrono::milliseconds(1);
+  const auto t1 = t0 + std::chrono::microseconds(500);
+
+  SpanRecord root = span_record_between("service.request", 10, 0, true, t0, t1);
+  SpanRecord wait = span_record_between("service.queue_wait", 11, 10, true, t0,
+                                        t0 + std::chrono::microseconds(100));
+  SpanRecord exec = span_record_between("service.execute", 12, 10, false,
+                                        t0 + std::chrono::microseconds(100), t1);
+  SpanNote note;
+  note.key = "cache_hit";
+  note.type = SpanNote::Type::kInt;
+  note.i = 1;
+  exec.notes[exec.note_count++] = note;
+  spans = {root, wait, exec};
+
+  const std::string json_text = spans_to_chrome_json(spans);
+  std::string err;
+  const auto doc = json::parse(json_text, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // 1 metadata + 2 async pairs (b+e each) + 1 complete slice.
+  ASSERT_EQ(events->array.size(), 6u);
+  int x_slices = 0;
+  int balance = 0;
+  for (const json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->string;
+    if (ph == "X") {
+      ++x_slices;
+      EXPECT_EQ(e.find("name")->string, "service.execute");
+      EXPECT_DOUBLE_EQ(e.find("dur")->number, 400.0);  // microseconds
+      EXPECT_EQ(e.find("args")->find("cache_hit")->number, 1.0);
+      EXPECT_EQ(e.find("args")->find("parent")->number, 10.0);
+    } else if (ph == "b") {
+      ++balance;
+      // One-level async children share the parent's id, landing on its track.
+      EXPECT_EQ(e.find("id")->string, "0xa");
+    } else if (ph == "e") {
+      --balance;
+      EXPECT_GE(balance, 0);
+    }
+  }
+  EXPECT_EQ(x_slices, 1);
+  EXPECT_EQ(balance, 0);
+}
+
+TEST(ObsSpanAttribution, AggregatesByStageWithQuantiles) {
+  std::vector<SpanRecord> spans;
+  const auto mk = [](const char* name, std::uint64_t dur_ns) {
+    SpanRecord r;
+    r.name = name;
+    r.id = 1;
+    r.dur_ns = dur_ns;
+    return r;
+  };
+  for (int i = 0; i < 90; ++i) spans.push_back(mk("fast", 1000));
+  for (int i = 0; i < 10; ++i) spans.push_back(mk("fast", 1000000));
+  spans.push_back(mk("slow", 5000000));
+
+  const auto stages = latency_attribution(spans);
+  ASSERT_EQ(stages.size(), 2u);
+  // Sorted by total time: fast contributes 90us + 10ms, slow 5ms... fast
+  // first (10.09ms > 5ms).
+  EXPECT_EQ(stages[0].name, "fast");
+  EXPECT_EQ(stages[0].count, 100u);
+  EXPECT_EQ(stages[0].total_ns, 90u * 1000 + 10u * 1000000);
+  EXPECT_EQ(stages[0].min_ns, 1000u);
+  EXPECT_EQ(stages[0].max_ns, 1000000u);
+  EXPECT_EQ(stages[1].name, "slow");
+  EXPECT_EQ(stages[1].count, 1u);
+
+  // p50 lands in the 1us population, p99 in the 1ms tail; both clamp inside
+  // [min, max].
+  const double p50 = attribution_quantile_ns(stages[0], 0.50);
+  const double p99 = attribution_quantile_ns(stages[0], 0.99);
+  EXPECT_GE(p50, 1000.0);
+  EXPECT_LT(p50, 10000.0);
+  EXPECT_GT(p99, 100000.0);
+  EXPECT_LE(p99, 1000000.0);
+
+  const std::string text = attribution_to_text(stages);
+  EXPECT_NE(text.find("fast"), std::string::npos);
+  EXPECT_NE(text.find("slow"), std::string::npos);
+}
+
+TEST(ObsSpanExport, FlushToTracePathWritesValidChromeFile) {
+  ConfigGuard guard;
+  const std::string path = ::testing::TempDir() + "/span_flush_trace.json";
+  Config c;
+  c.trace = true;
+  c.trace_path = path;
+  configure(c);
+  (void)spans_drain();
+
+  {
+    Span outer("flush.outer");
+    Span inner("flush.inner");
+  }
+  const std::size_t written = spans_flush_to_trace_path();
+  EXPECT_EQ(written, 2u);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  const auto doc = json::parse(buf.str(), &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_TRUE(doc->find("traceEvents")->is_array());
+  // Flushing drained the buffers.
+  EXPECT_TRUE(spans_drain().empty());
+}
+
+// Determinism contract: span collection must never perturb numbers. The MC
+// evaluator gives bit-identical results with tracing on at any thread count.
+TEST(ObsSpanMc, ResultsBitIdenticalAcrossThreadCountsWithSpans) {
+  ConfigGuard guard;
+
+  const stats::Normal param{0.0, 1.0};
+  const auto spec = stats::SpecLimits::at_least(-1.0);
+  const auto run = [&](int threads, bool traced) {
+    configure(make_config(false, traced));
+    stats::Rng rng(123);
+    const auto out = stats::evaluate_test_mc(param, spec, spec,
+                                             stats::ErrorModel::gaussian(0.1),
+                                             rng, 30000, threads);
+    (void)spans_drain();
+    return out;
+  };
+
+  const auto baseline = run(1, false);
+  for (const int threads : {1, 2, 8}) {
+    const auto traced = run(threads, true);
+    EXPECT_EQ(std::memcmp(&baseline, &traced, sizeof baseline), 0)
+        << "spans perturbed MC results at " << threads << " threads";
   }
 }
 

@@ -6,16 +6,23 @@
 // leg (see ROADMAP.md).
 #include "service/engine.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/config.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 #include "service/cache.h"
 #include "service/request.h"
 
@@ -271,6 +278,193 @@ TEST(ServiceEngine, ConcurrentSubmittersServeBitIdenticalResults) {
   EXPECT_EQ(served_count.load(), kProducers * kPerProducer);
   EXPECT_EQ(engine.cache_size(), static_cast<std::size_t>(kDistinct));
   EXPECT_EQ(engine.in_flight(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request span trees and slow-request reporting. The Service* suites run
+// under the TSan tier-1 leg, so the span path is raced there too.
+// ---------------------------------------------------------------------------
+
+// Saves/restores the obs configuration and leaves the buffers drained.
+class ObsGuard {
+ public:
+  ObsGuard() : saved_(obs::current_config()) {}
+  ~ObsGuard() {
+    obs::configure(saved_);
+    (void)obs::trace_take();
+    (void)obs::spans_drain();
+  }
+
+ private:
+  obs::Config saved_;
+};
+
+TEST(ServiceSpans, RequestSpanTreesReconcileExactlyWithTimers) {
+  ObsGuard guard;
+  obs::Config config;
+  config.trace = true;
+  obs::configure(config);
+  (void)obs::spans_drain();
+
+  constexpr int kRequests = 8;
+  std::vector<Served> served;
+  {
+    EngineOptions options;
+    options.workers = 2;
+    SynthesisEngine engine(options);
+    std::vector<SynthesisRequest> requests;
+    for (int i = 0; i < kRequests; ++i) requests.push_back(make_request(i));
+    served = engine.run_batch(std::move(requests));
+  }
+
+  const auto spans = obs::spans_drain();
+  std::vector<const obs::SpanRecord*> roots;
+  std::uint64_t queue_wait_sum = 0;
+  std::uint64_t probe_plus_exec_sum = 0;
+  std::vector<obs::SpanId> exec_ids;
+  std::size_t queue_waits = 0, probes = 0, execs = 0, fulfills = 0;
+  std::size_t synthesizes = 0;
+  for (const obs::SpanRecord& s : spans) {
+    const std::string_view name(s.name);
+    if (name == "service.request") {
+      roots.push_back(&s);
+      EXPECT_TRUE(s.async);
+    } else if (name == "service.queue_wait") {
+      ++queue_waits;
+      queue_wait_sum += s.dur_ns;
+      EXPECT_TRUE(s.async);
+    } else if (name == "service.cache_probe") {
+      ++probes;
+      probe_plus_exec_sum += s.dur_ns;
+    } else if (name == "service.execute") {
+      ++execs;
+      probe_plus_exec_sum += s.dur_ns;
+      exec_ids.push_back(s.id);
+    } else if (name == "service.fulfill") {
+      ++fulfills;
+    } else if (name == "core.synthesize") {
+      ++synthesizes;
+    }
+  }
+  ASSERT_EQ(roots.size(), static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(queue_waits, static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(probes, static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(execs, static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(fulfills, static_cast<std::size_t>(kRequests));
+  // Distinct configs: every request synthesized (no cache hits).
+  EXPECT_EQ(synthesizes, static_cast<std::size_t>(kRequests));
+
+  // Stage children reference their request root, and core.synthesize nests
+  // under the execute stage via the parent-scope cursor.
+  std::vector<obs::SpanId> root_ids;
+  for (const obs::SpanRecord* r : roots) root_ids.push_back(r->id);
+  for (const obs::SpanRecord& s : spans) {
+    const std::string_view name(s.name);
+    if (name == "service.queue_wait" || name == "service.cache_probe" ||
+        name == "service.execute" || name == "service.fulfill") {
+      EXPECT_NE(std::find(root_ids.begin(), root_ids.end(), s.parent),
+                root_ids.end())
+          << name << " span not parented under a request root";
+    } else if (name == "core.synthesize") {
+      EXPECT_NE(std::find(exec_ids.begin(), exec_ids.end(), s.parent),
+                exec_ids.end())
+          << "core.synthesize not parented under an execute stage";
+    }
+  }
+
+  // Exact reconciliation: the spans are built from the same steady_clock
+  // time points as the Served timers, with the same clamp.
+  std::uint64_t served_queue_sum = 0;
+  std::uint64_t served_exec_sum = 0;
+  std::uint64_t served_latency_sum = 0;
+  for (const Served& s : served) {
+    EXPECT_FALSE(s.cache_hit);
+    served_queue_sum += s.queue_wait_ns;
+    served_exec_sum += s.exec_ns;
+    served_latency_sum += s.latency_ns();
+  }
+  EXPECT_EQ(queue_wait_sum, served_queue_sum);
+  EXPECT_EQ(probe_plus_exec_sum, served_exec_sum);
+  // Roots close after fulfillment, so they cover at least the full latency.
+  std::uint64_t root_sum = 0;
+  for (const obs::SpanRecord* r : roots) root_sum += r->dur_ns;
+  EXPECT_GE(root_sum, served_latency_sum);
+}
+
+TEST(ServiceSpans, SlowRequestThresholdCountsLogsAndTraces) {
+  ObsGuard guard;
+  obs::Config config;
+  config.metrics = true;
+  config.trace = true;
+  obs::configure(config);
+  obs::Registry::instance().reset();
+  (void)obs::trace_take();
+  (void)obs::spans_drain();
+
+  const SynthesisRequest request = make_request(5);
+  const std::string expected_key = content_key(request);
+  {
+    EngineOptions options;
+    options.workers = 1;
+    options.slow_request_threshold_s = 0.0;  // everything with latency > 0
+    SynthesisEngine engine(options);
+    (void)engine.submit(request).get();
+  }
+
+  std::uint64_t slow_count = 0;
+  for (const obs::Metric& m : obs::Registry::instance().snapshot()) {
+    if (m.name == "service.slow_requests") slow_count = m.count;
+  }
+  EXPECT_EQ(slow_count, 1u);
+
+  const auto events = obs::trace_take();
+  const obs::TraceEvent* slow = nullptr;
+  for (const obs::TraceEvent& e : events) {
+    if (e.kind == obs::TraceKind::kSlowRequest) slow = &e;
+  }
+  ASSERT_NE(slow, nullptr);
+  std::string key_hex;
+  std::int64_t latency_ns = -1;
+  for (const auto& [k, v] : slow->fields) {
+    if (k == "content_key") key_hex = std::get<std::string>(v);
+    if (k == "latency_ns") latency_ns = std::get<std::int64_t>(v);
+  }
+  EXPECT_GT(latency_ns, 0);
+  // The hex key replays to the exact request bytes.
+  ASSERT_EQ(key_hex.size(), expected_key.size() * 2);
+  std::string decoded;
+  for (std::size_t i = 0; i < key_hex.size(); i += 2) {
+    decoded.push_back(static_cast<char>(
+        std::stoi(key_hex.substr(i, 2), nullptr, 16)));
+  }
+  EXPECT_EQ(decoded, expected_key);
+  obs::Registry::instance().reset();
+}
+
+TEST(ServiceSpans, SlowRequestThresholdDisabledByDefaultAndEnvStrict) {
+  ObsGuard guard;
+  obs::Config config;
+  config.metrics = true;
+  obs::configure(config);
+  obs::Registry::instance().reset();
+
+  // MSTS_SLOW_REQUEST_S unset: reporting is off, even for instant requests.
+  {
+    EngineOptions options;
+    options.workers = 1;
+    SynthesisEngine engine(options);
+    (void)engine.submit(make_request(1)).get();
+  }
+  for (const obs::Metric& m : obs::Registry::instance().snapshot()) {
+    EXPECT_NE(m.name, "service.slow_requests");
+  }
+
+  // A malformed MSTS_SLOW_REQUEST_S fails engine construction fast, with
+  // the same strict-env contract as MSTS_THREADS.
+  ASSERT_EQ(::setenv("MSTS_SLOW_REQUEST_S", "quick", 1), 0);
+  EXPECT_THROW(SynthesisEngine{}, std::invalid_argument);
+  ASSERT_EQ(::unsetenv("MSTS_SLOW_REQUEST_S"), 0);
+  obs::Registry::instance().reset();
 }
 
 }  // namespace
