@@ -11,12 +11,20 @@
 //     (speed-ups never fail);
 //   * scalars that appear or disappear are reported as explicit notes but
 //     do not fail, since benches legitimately grow new outputs.
+//   * "simd."-prefixed scalars are run metadata (lane widths), not
+//     performance; they are never gated.
+// With --baseline-dir DIR the baseline is resolved from the candidate's
+// reported SIMD backend: DIR/BENCH_<bench>.<isa>.json if present, else the
+// unsuffixed DIR/BENCH_<bench>.json with a note. This keeps the Release
+// bench gate meaningful across machines — an AVX-512 run is measured
+// against an AVX-512 baseline, a forced-scalar run against a scalar one.
 // Exit status: 0 = comparable, 1 = regression(s) found, 2 = usage/IO error.
 // The bench_smoke CTest flow runs an identity self-compare on every emitted
 // report; see README.md ("Comparing bench runs") for CI usage.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -24,8 +32,55 @@
 
 using namespace msts::benchtool;
 
+namespace {
+
+bool file_exists(const std::string& path) {
+  return static_cast<bool>(std::ifstream(path));
+}
+
+/// Resolves the per-ISA baseline for `cand` inside `dir`. Returns the empty
+/// string (after printing to stderr) when neither the ISA-suffixed nor the
+/// unsuffixed baseline exists.
+std::string resolve_baseline(const std::string& dir, const Report& cand) {
+  if (cand.bench.empty()) {
+    std::fprintf(stderr,
+                 "bench_compare: %s has no 'bench' name; cannot resolve a "
+                 "baseline in %s\n",
+                 cand.path.c_str(), dir.c_str());
+    return {};
+  }
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  prefix += "BENCH_" + cand.bench;
+
+  const std::string isa = cand.label("simd.isa");
+  if (!isa.empty()) {
+    const std::string suffixed = prefix + "." + isa + ".json";
+    if (file_exists(suffixed)) {
+      std::printf("  note: baseline %s (matched simd.isa '%s')\n",
+                  suffixed.c_str(), isa.c_str());
+      return suffixed;
+    }
+  }
+  const std::string plain = prefix + ".json";
+  if (file_exists(plain)) {
+    std::printf("  note: baseline %s (no per-ISA baseline for simd.isa '%s')\n",
+                plain.c_str(), isa.empty() ? "<unlabelled>" : isa.c_str());
+    return plain;
+  }
+  std::fprintf(stderr,
+               "bench_compare: no baseline for bench '%s' in %s (looked for "
+               "%s.%s.json and %s.json)\n",
+               cand.bench.c_str(), dir.c_str(), prefix.c_str(),
+               isa.empty() ? "<isa>" : isa.c_str(), prefix.c_str());
+  return {};
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   double threshold = 0.25;
+  std::string baseline_dir;
   std::vector<const char*> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -40,19 +95,33 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_compare: bad --threshold '%s'\n", argv[i]);
         return 2;
       }
+    } else if (arg == "--baseline-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_compare: --baseline-dir needs a directory\n");
+        return 2;
+      }
+      baseline_dir = argv[++i];
     } else {
       files.push_back(argv[i]);
     }
   }
-  if (files.size() != 2) {
+  const std::size_t want = baseline_dir.empty() ? 2u : 1u;
+  if (files.size() != want) {
     std::fprintf(stderr,
-                 "usage: bench_compare [--threshold R] BASELINE.json CANDIDATE.json\n");
+                 "usage: bench_compare [--threshold R] BASELINE.json CANDIDATE.json\n"
+                 "       bench_compare [--threshold R] --baseline-dir DIR CANDIDATE.json\n");
     return 2;
   }
 
-  const auto base = load_report(files[0], "bench_compare");
-  const auto cand = load_report(files[1], "bench_compare");
-  if (!base || !cand) return 2;
+  const auto cand = load_report(files.back(), "bench_compare");
+  if (!cand) return 2;
+  std::string base_path = files.size() == 2 ? files[0] : "";
+  if (!baseline_dir.empty()) {
+    base_path = resolve_baseline(baseline_dir, *cand);
+    if (base_path.empty()) return 2;
+  }
+  const auto base = load_report(base_path.c_str(), "bench_compare");
+  if (!base) return 2;
   if (!base->bench.empty() && !cand->bench.empty() && base->bench != cand->bench) {
     std::fprintf(stderr, "bench_compare: reports come from different benches ('%s' vs '%s')\n",
                  base->bench.c_str(), cand->bench.c_str());
@@ -63,6 +132,7 @@ int main(int argc, char** argv) {
   int compared = 0;
 
   for (const auto& [key, old_v] : base->scalars) {
+    if (is_informational(key)) continue;
     const double* new_v = find(cand->scalars, key);
     if (new_v == nullptr) {
       std::printf("  note: scalar '%s' missing from candidate\n", key.c_str());
@@ -81,6 +151,7 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& [key, v] : cand->scalars) {
+    if (is_informational(key)) continue;
     if (find(base->scalars, key) == nullptr) {
       std::printf("  note: new scalar '%s' = %.6g (no baseline)\n", key.c_str(), v);
     }
@@ -112,10 +183,10 @@ int main(int argc, char** argv) {
 
   if (regressions > 0) {
     std::printf("bench_compare: %s vs %s: %d regression(s) in %d comparison(s)\n",
-                files[0], files[1], regressions, compared);
+                base->path.c_str(), cand->path.c_str(), regressions, compared);
     return 1;
   }
   std::printf("bench_compare: %s vs %s OK (%d comparison(s), threshold %.0f%%)\n",
-              files[0], files[1], compared, 100.0 * threshold);
+              base->path.c_str(), cand->path.c_str(), compared, 100.0 * threshold);
   return 0;
 }

@@ -41,12 +41,15 @@ const char* direction_tag(Direction dir) {
 }
 
 /// Scalar keys in order of first appearance across all snapshots, so keys a
-/// bench grew later still trend over their available suffix.
+/// bench grew later still trend over their available suffix. Informational
+/// metadata ("simd." widths) never trends — backend changes are expected
+/// across snapshots and would drown real regressions in false flags.
 std::vector<std::string> scalar_keys(const std::vector<Report>& reports) {
   std::vector<std::string> keys;
   for (const Report& r : reports) {
     for (const auto& [key, v] : r.scalars) {
       (void)v;
+      if (is_informational(key)) continue;
       if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
         keys.push_back(key);
       }
@@ -132,7 +135,10 @@ int main(int argc, char** argv) {
   std::printf("bench_trend: bench '%s', %zu snapshots, threshold %.0f%%\n",
               reports.front().bench.c_str(), reports.size(), 100.0 * threshold);
   for (std::size_t i = 0; i < reports.size(); ++i) {
-    std::printf("  #%zu  %s\n", i + 1, reports[i].path.c_str());
+    const std::string isa = reports[i].label("simd.isa");
+    std::printf("  #%zu  %s%s%s%s\n", i + 1, reports[i].path.c_str(),
+                isa.empty() ? "" : "  [simd.isa ", isa.c_str(),
+                isa.empty() ? "" : "]");
   }
 
   int flagged = 0;

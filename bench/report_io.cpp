@@ -59,6 +59,12 @@ std::optional<Report> load_report(const char* path, const char* tool) {
       if (v.is_number()) r.scalars.emplace_back(key, v.number);
     }
   }
+  if (const Value* labels = doc->find("labels");
+      labels != nullptr && labels->is_object()) {
+    for (const auto& [key, v] : labels->object) {
+      if (v.is_string()) r.labels.emplace_back(key, v.string);
+    }
+  }
   if (const Value* phases = doc->find("phases"); phases != nullptr && phases->is_array()) {
     for (const Value& p : phases->array) {
       if (!p.is_object()) continue;
@@ -70,6 +76,13 @@ std::optional<Report> load_report(const char* path, const char* tool) {
     }
   }
   return r;
+}
+
+std::string Report::label(const std::string& key) const {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return {};
 }
 
 const double* find(const std::vector<std::pair<std::string, double>>& kv,
@@ -94,6 +107,10 @@ Direction scalar_direction(const std::string& key) {
     return Direction::kHigherIsWorse;
   }
   return Direction::kBoth;
+}
+
+bool is_informational(const std::string& key) {
+  return key.rfind("simd.", 0) == 0;
 }
 
 bool is_regression(Direction dir, double change, double threshold) {

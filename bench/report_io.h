@@ -23,8 +23,12 @@ struct Report {
   std::string path;   ///< Where it was loaded from (for messages).
   std::string bench;  ///< "bench" field; may be empty in synthetic fixtures.
   std::vector<std::pair<std::string, double>> scalars;
+  std::vector<std::pair<std::string, std::string>> labels;
   std::vector<std::pair<std::string, double>> phase_wall_s;
   double total_wall_s = 0.0;
+
+  /// Label value by key; empty string when absent.
+  std::string label(const std::string& key) const;
 };
 
 /// Parses `path`, validating JSON shape and schema_version == 1. On failure
@@ -47,6 +51,12 @@ enum class Direction {
 
 /// Classifies a scalar by naming convention (see the file comment).
 Direction scalar_direction(const std::string& key);
+
+/// True for identity/metadata scalars ("simd." prefix: lane widths, ISA)
+/// that describe the run's configuration rather than its performance. Both
+/// tools print them for context but never gate on them — a baseline from a
+/// different backend should fail on its *timings*, not its lane count.
+bool is_informational(const std::string& key);
 
 /// Whether `change` (a rel_change value) violates `threshold` under `dir`.
 bool is_regression(Direction dir, double change, double threshold);

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <vector>
 
 #include "base/require.h"
+#include "base/simd.h"
 #include "base/units.h"
 #include "dsp/metrics.h"
 #include "dsp/oscillator.h"
@@ -85,7 +87,38 @@ void LowPassFilter::process_into(const Signal& in, Signal& out) const {
   const double* src = in.samples.data();
   double* dst = out.samples.data();
   const std::size_t n_s = in.size();
-  if (sections == 2 && n_s > 0) {
+  const simd::Kernels& kern = simd::kernels();
+  if (kern.f64_width > 1 && n_s > 0) {
+    // SIMD path: each section's feed-forward half b0*x + b1*x[-1] + b2*x[-2]
+    // is a vectorizable sliding dot (kernel biquad_ff); only the short
+    // recurrence y = ff - a1*y1 - a2*y2 stays scalar. The split keeps the
+    // reference association ((ff - a1*y1) - a2*y2), so the only drift vs the
+    // scalar backend is FMA contraction inside the kernel — covered by the
+    // differential tolerance. The record crosses memory twice per section
+    // instead of once total, but the recurrence sweep is latency-bound on
+    // two flops either way, and the feed-forward half vectorizes fully.
+    // Ping-pong scratch: biquad_ff reads a sliding x[i-2..i] window, so it
+    // must not write over the record it is reading.
+    thread_local std::vector<double> buf_a, buf_b;
+    buf_a.resize(n_s);
+    buf_b.resize(n_s);
+    const double* cur = src;
+    double* nxt = buf_a.data();
+    for (std::size_t k = 0; k < sections; ++k) {
+      kern.biquad_ff(cur, bq[k].b0, bq[k].b1, bq[k].b2, nxt, n_s);
+      double ry1 = 0.0, ry2 = 0.0;
+      const double a1 = bq[k].a1, a2 = bq[k].a2;
+      for (std::size_t i = 0; i < n_s; ++i) {
+        const double y = nxt[i] - a1 * ry1 - a2 * ry2;
+        ry2 = ry1;
+        ry1 = y;
+        nxt[i] = y;
+      }
+      cur = nxt;
+      nxt = (cur == buf_a.data()) ? buf_b.data() : buf_a.data();
+    }
+    for (std::size_t i = 0; i < n_s; ++i) dst[i] = cur[i] * gain;
+  } else if (sections == 2 && n_s > 0) {
     // The common order-4 cascade, software-pipelined: section 1 runs one
     // sample behind section 0, so the two recurrence chains — each
     // latency-bound on its own y1/y2 feedback — overlap instead of

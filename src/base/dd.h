@@ -1,0 +1,53 @@
+// Double-double phase arithmetic shared by the recurrence oscillators.
+//
+// A rotating phasor is resynced from cos/sin of its true phase, but the true
+// phase omega * n overflows double resolution long before n reaches a million
+// samples — the *product* rounds to ~5e-10 rad even though each factor is
+// exact. Phase is therefore carried as an unevaluated hi + lo pair and
+// reduced mod 2 pi every step, which keeps it within ~1e-15 rad of exact at
+// any index. Used by dsp/oscillator.cpp and by every SIMD add_cosine backend
+// (base/simd_kernels_body.h), so all lane widths share one carrier contract.
+#pragma once
+
+#include <cmath>
+
+namespace msts::base {
+
+/// Unevaluated sum hi + lo with |lo| <= ulp(hi)/2 (double-double).
+struct Dd {
+  double hi = 0.0;
+  double lo = 0.0;
+};
+
+/// fl(2 pi) and the remainder 2 pi - fl(2 pi).
+inline constexpr double kDdTwoPiHi = 6.28318530717958647692528676655900577e+00;
+inline constexpr double kDdTwoPiLo = 2.44929359829470635445213186455000000e-16;
+
+/// Error-free sum: s + e == a + b exactly.
+inline Dd two_sum(double a, double b) {
+  const double s = a + b;
+  const double bb = s - a;
+  const double e = (a - (s - bb)) + (b - bb);
+  return {s, e};
+}
+
+/// x minus the nearest integer multiple of 2 pi, in double-double.
+inline Dd reduce_two_pi(Dd x) {
+  const double k = std::nearbyint(x.hi / kDdTwoPiHi);
+  if (k == 0.0) return x;
+  // k * 2pi as an exact product pair (FMA captures the low part).
+  const double p = k * kDdTwoPiHi;
+  const double p_err = std::fma(k, kDdTwoPiHi, -p);
+  Dd r = two_sum(x.hi, -p);
+  r.lo += x.lo - p_err - k * kDdTwoPiLo;
+  return two_sum(r.hi, r.lo);
+}
+
+/// a + b, renormalised and reduced mod 2 pi.
+inline Dd dd_add(Dd a, Dd b) {
+  Dd s = two_sum(a.hi, b.hi);
+  s.lo += a.lo + b.lo;
+  return reduce_two_pi(two_sum(s.hi, s.lo));
+}
+
+}  // namespace msts::base

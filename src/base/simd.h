@@ -1,0 +1,158 @@
+// Portable SIMD kernel layer.
+//
+// A small fixed-function kernel table compiled once per instruction set
+// (pure scalar always; AVX2, AVX-512 on x86-64; NEON on aarch64) and selected
+// at runtime: CPUID picks the widest backend the machine supports, and the
+// MSTS_SIMD environment variable (or simd::force_isa in tests) overrides the
+// choice. The kernels sit *underneath* the existing DSP / digital APIs —
+// callers (dsp/fft_plan.cpp, dsp/window.cpp, dsp/oscillator.cpp,
+// analog/lpf.cpp, digital/sim.cpp, digital/fir.cpp) fetch the table once per
+// call and stream through function pointers, so the public interfaces and
+// their contracts are unchanged.
+//
+// Correctness contract (enforced by the differential suite, see
+// check/kernel_checks.h and DESIGN.md "SIMD layer"):
+//  * logic kernels (fault_eval) and pure element-wise multiplies
+//    (apply_window) are bit-identical across every backend;
+//  * floating-point reassociating kernels (fft_pass, rfft_combine,
+//    biquad_ff, fir_dot) carry documented drift tolerances vs the forced
+//    scalar backend;
+//  * add_cosine keeps the kResyncPeriod double-double carrier contract at
+//    every lane width, so the 1e-12 / 1M-sample oscillator drift bound holds
+//    on all backends.
+//
+// The scalar backend reproduces the pre-SIMD arithmetic bit for bit, so
+// MSTS_SIMD=scalar is both the portability fallback and the golden reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace msts::simd {
+
+/// Steps between double-double carrier resyncs of the recurrence-oscillator
+/// lanes (the add_cosine kernel). dsp::kResyncPeriod aliases this so every
+/// backend and the public oscillator API share one drift contract.
+inline constexpr std::size_t kCosineResyncPeriod = 512;
+
+/// Backends the dispatcher can select. kScalar is always compiled; the
+/// others exist when the build enabled them (MSTS_SIMD CMake option) AND the
+/// running CPU supports them.
+enum class Isa : std::uint8_t {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kNeon = 3,
+};
+
+/// Lower-case stable name ("scalar", "avx2", "avx512", "neon") — the value
+/// recorded in BENCH_*.json (`labels.simd.isa`) and used to key per-ISA bench
+/// baselines (bench/baselines/BENCH_<bench>.<isa>.json).
+const char* isa_name(Isa isa);
+
+/// Parses an MSTS_SIMD-style name ("scalar", "avx2", "avx512", "neon",
+/// "auto" / "native" / "" = widest available). Unknown names throw
+/// std::invalid_argument (the strict-env contract of obs::env_flag).
+Isa parse_isa(const char* value);
+
+/// The per-ISA kernel table. All pointers are always non-null.
+struct Kernels {
+  Isa isa;
+  /// Doubles per SIMD vector (1 scalar, 4 AVX2, 8 AVX-512, 2 NEON).
+  int f64_width;
+  /// 64-bit machine words per fault-simulation vector (64 * fault_words
+  /// machines per gate evaluation): 1 scalar, 4 AVX2 (256-way), 8 AVX-512
+  /// (512-way), 2 NEON (128-way).
+  int fault_words;
+  /// Independent phasor lanes add_cosine runs (4 scalar — the pre-SIMD
+  /// arrangement — else 2 * f64_width).
+  int cosine_lanes;
+
+  /// out[i] = x[i] * w[i]. Element-wise product only: bit-identical to the
+  /// scalar loop on every backend.
+  void (*apply_window)(const double* x, const double* w, double* out,
+                       std::size_t n);
+
+  /// One radix-2 DIT stage of length `len` (>= 4) over the full record of
+  /// `n` interleaved complex doubles, twiddles `tw` interleaved re,im for
+  /// k = 0..len/2-1. Matches fft_plan.cpp's butterfly formulation.
+  void (*fft_pass)(double* d, const double* tw, std::size_t n, std::size_t len);
+
+  /// Real-split recombination for bins k = 1..m-1: out[k] = even + tw[k]*odd
+  /// with even/odd derived from z[k] and conj(z[m-k]); z, tw and out are
+  /// interleaved complex doubles of m, m+1 and m+1 complex entries.
+  void (*rfft_combine)(const double* z, const double* tw, double* out,
+                       std::size_t m);
+
+  /// dst[i] += amp * cos(omega * i + phase), `cosine_lanes` independent
+  /// resynced phasors (see dsp/oscillator.h for the drift contract).
+  void (*add_cosine)(double* dst, std::size_t n, double omega, double phase,
+                     double amp);
+
+  /// Feed-forward biquad half: out[i] = b0*x[i] + b1*x[i-1] + b2*x[i-2] with
+  /// x[-1] = x[-2] = 0. The recurrence half stays with the caller.
+  void (*biquad_ff)(const double* x, double b0, double b1, double b2,
+                    double* out, std::size_t n);
+
+  /// Dense integer FIR dot: acc = sum_k coeffs[k] * x[-k] (x points at the
+  /// newest sample; history runs backwards). Exact int64 arithmetic.
+  std::int64_t (*fir_dot)(const std::int32_t* coeffs, std::size_t taps,
+                          const std::int64_t* x);
+
+  /// Whole-netlist word-parallel gate sweep for digital::ParallelSimulator:
+  /// per op, values[out..out+words) = eval(type, a, b) masked by
+  /// (v & and_masks) | or_masks. Offsets in SimOp are pre-multiplied by
+  /// `words`, which must equal this backend's fault_words (the scalar
+  /// backend accepts any width and is the arbitrary-width fallback).
+  void (*fault_eval)(const struct SimOp* ops, std::size_t nops,
+                     std::uint64_t* values, const std::uint64_t* and_masks,
+                     const std::uint64_t* or_masks, std::size_t words);
+};
+
+/// One evaluated gate for Kernels::fault_eval, emitted in topological order
+/// by digital::ParallelSimulator. `type` holds a digital::GateType restricted
+/// to the 1- and 2-input logic gates (sources are written by the caller).
+struct SimOp {
+  std::uint32_t out;   ///< values offset of the driven net (net * words).
+  std::uint32_t a;     ///< values offset of fanin 0.
+  std::uint32_t b;     ///< values offset of fanin 1 (== a for 1-input types).
+  std::uint32_t type;  ///< static_cast<uint32_t>(digital::GateType).
+};
+
+/// True when the backend was compiled into this binary.
+bool isa_compiled(Isa isa);
+
+/// True when the running CPU can execute the backend (kScalar always).
+bool isa_supported(Isa isa);
+
+/// The active kernel table. First call resolves MSTS_SIMD (throws
+/// std::invalid_argument on an unknown name or on requesting a backend that
+/// is not compiled/supported) and falls back to the widest supported backend
+/// when the variable is unset/auto. Afterwards: one relaxed atomic load.
+const Kernels& kernels();
+
+/// Shorthand for kernels().isa.
+Isa active_isa();
+
+/// The table of a specific compiled+supported backend (for differential
+/// fast-vs-reference pairs). Throws std::invalid_argument otherwise.
+const Kernels& kernels_for(Isa isa);
+
+/// Replaces the active table (kScalar is always available). NOT thread-safe
+/// against concurrent kernel users — tests and the differential harness only,
+/// on quiescent threads. Returns the previously active ISA.
+Isa force_isa(Isa isa);
+
+/// RAII force_isa for test scopes.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(Isa isa) : prev_(force_isa(isa)) {}
+  ~ScopedIsa() { force_isa(prev_); }
+  ScopedIsa(const ScopedIsa&) = delete;
+  ScopedIsa& operator=(const ScopedIsa&) = delete;
+
+ private:
+  Isa prev_;
+};
+
+}  // namespace msts::simd

@@ -1,0 +1,7 @@
+// AVX2 + FMA backend: 4 doubles / 4 u64 words per vector. Compiled with
+// -mavx2 -mfma (see src/base/CMakeLists.txt); only ever executed after
+// runtime CPUID dispatch confirms avx2+fma support.
+#define MSTS_SIMD_BACKEND_NS backend_avx2
+#define MSTS_SIMD_BACKEND_ISA Isa::kAvx2
+#define MSTS_SIMD_WIDTH 4
+#include "base/simd_kernels_body.h"

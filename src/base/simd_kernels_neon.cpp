@@ -1,0 +1,7 @@
+// NEON backend: 2 doubles / 2 u64 words per vector. NEON is architectural
+// baseline on aarch64, so no extra compile flags; the TU is only added to
+// the build on aarch64 targets (see src/base/CMakeLists.txt).
+#define MSTS_SIMD_BACKEND_NS backend_neon
+#define MSTS_SIMD_BACKEND_ISA Isa::kNeon
+#define MSTS_SIMD_WIDTH 2
+#include "base/simd_kernels_body.h"

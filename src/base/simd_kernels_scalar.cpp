@@ -1,0 +1,6 @@
+// Pure scalar backend — always compiled, no ISA flags. Reproduces the
+// pre-SIMD kernel arithmetic bit for bit (see simd_kernels_body.h).
+#define MSTS_SIMD_BACKEND_NS backend_scalar
+#define MSTS_SIMD_BACKEND_ISA Isa::kScalar
+#define MSTS_SIMD_WIDTH 1
+#include "base/simd_kernels_body.h"

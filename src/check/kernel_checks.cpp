@@ -6,12 +6,17 @@
 #include <memory>
 #include <vector>
 
+#include "analog/lpf.h"
+#include "base/simd.h"
 #include "base/units.h"
 #include "check/generators.h"
+#include "digital/fault_sim.h"
+#include "digital/faults.h"
 #include "dsp/fft.h"
 #include "dsp/fft_plan.h"
 #include "dsp/oscillator.h"
 #include "dsp/tonegen.h"
+#include "dsp/window.h"
 #include "path/workspace.h"
 #include "stats/yield.h"
 
@@ -365,6 +370,238 @@ Report check_guard_band_analytic_vs_mc(const RunOptions& opts) {
       Tolerance::abs_only(8e-3), opts);
 }
 
+// ---------------------------------------------------------------------------
+// SIMD backend vs forced-scalar pairs. Each reference closure re-runs the
+// identical public API inside simd::ScopedIsa(kScalar); the fast side uses
+// whatever backend the run dispatched to (see kernel_checks.h).
+// ---------------------------------------------------------------------------
+
+Report check_simd_window_vs_scalar(const RunOptions& opts) {
+  using Case = RecordCase;
+  return differential<Case>(
+      "simd_window_vs_scalar",
+      [](stats::Rng& rng) { return random_record(rng, /*min_log2=*/4, /*max_log2=*/12); },
+      [](const Case& c, stats::Rng&) {
+        const auto w = dsp::make_window(c.samples.size(), c.window);
+        std::vector<double> out(c.samples.size());
+        dsp::apply_window(c.samples.data(), w.data(), out.data(), out.size());
+        return out;
+      },
+      [](const Case& c, stats::Rng&) {
+        simd::ScopedIsa scalar(simd::Isa::kScalar);
+        const auto w = dsp::make_window(c.samples.size(), c.window);
+        std::vector<double> out(c.samples.size());
+        dsp::apply_window(c.samples.data(), w.data(), out.data(), out.size());
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) { describe(c, w); },
+      // Elementwise IEEE multiply: no contraction opportunity at any width.
+      Tolerance::bit_identical(), opts);
+}
+
+Report check_simd_rfft_vs_scalar(const RunOptions& opts) {
+  using Case = RecordCase;
+  return differential<Case>(
+      "simd_rfft_vs_scalar",
+      [](stats::Rng& rng) { return random_record(rng, /*min_log2=*/4, /*max_log2=*/12); },
+      [](const Case& c, stats::Rng&) {
+        std::vector<double> out;
+        const auto bins = dsp::rfft(c.samples);
+        out.reserve(2 * bins.size());
+        for (const auto& b : bins) push_complex(out, b);
+        return out;
+      },
+      [](const Case& c, stats::Rng&) {
+        simd::ScopedIsa scalar(simd::Isa::kScalar);
+        std::vector<double> out;
+        const auto bins = dsp::rfft(c.samples);
+        out.reserve(2 * bins.size());
+        for (const auto& b : bins) push_complex(out, b);
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) { describe(c, w); },
+      // FMA contraction plus reassociated butterflies: a handful of ulps on
+      // loaded bins, cancellation noise (absorbed by the abs bound) on empty
+      // ones. Far tighter than the naive-DFT pair — same algorithm, same
+      // twiddles, only the contraction pattern differs.
+      Tolerance::abs_or_ulp(1e-9, 64), opts);
+}
+
+namespace {
+
+struct BiquadCase {
+  analog::LpfParams params;
+  RecordCase rec;
+};
+
+}  // namespace
+
+Report check_simd_biquad_vs_scalar(const RunOptions& opts) {
+  using Case = BiquadCase;
+  return differential<Case>(
+      "simd_biquad_vs_scalar",
+      [](stats::Rng& rng) {
+        Case c;
+        c.rec = random_record(rng, /*min_log2=*/8, /*max_log2=*/12);
+        c.params.order = 2 * (1 + static_cast<int>(rng.uniform_int(3)));  // 2/4/6
+        c.params.cutoff_hz =
+            stats::Uncertain::exact(rng.uniform(0.05, 0.2) * c.rec.fs);
+        c.params.clock_hz = 0.4 * c.rec.fs;
+        return c;
+      },
+      [](const Case& c, stats::Rng& rng) {
+        const auto f = analog::LowPassFilter::sampled(c.params, rng);
+        analog::Signal in{c.rec.fs, c.rec.samples};
+        return f.process(in).samples;
+      },
+      [](const Case& c, stats::Rng& rng) {
+        simd::ScopedIsa scalar(simd::Isa::kScalar);
+        const auto f = analog::LowPassFilter::sampled(c.params, rng);
+        analog::Signal in{c.rec.fs, c.rec.samples};
+        return f.process(in).samples;
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        w.kv("order", c.params.order);
+        w.kv("cutoff_hz", c.params.cutoff_hz.nominal);
+        describe(c.rec, w);
+      },
+      // The vector feed-forward taps contract to FMA; the recurrence keeps
+      // reference order. Unit-scale records stay within a few hundred ulps
+      // even through a 6th-order cascade.
+      Tolerance::abs_or_ulp(1e-10, 1e3), opts);
+}
+
+Report check_simd_add_cosine_vs_scalar(const RunOptions& opts) {
+  struct Case {
+    double omega = 0.0;
+    double phase = 0.0;
+    double amp = 1.0;
+    std::size_t n = 0;
+  };
+  return differential<Case>(
+      "simd_add_cosine_vs_scalar",
+      [](stats::Rng& rng) {
+        Case c;
+        c.omega = rng.uniform(1e-4, 0.99 * kPi);
+        c.phase = rng.uniform(0.0, kTwoPi);
+        c.amp = rng.uniform(0.1, 2.0);
+        c.n = std::size_t{1} << (10 + rng.uniform_int(5));  // 1k .. 16k
+        return c;
+      },
+      [](const Case& c, stats::Rng&) {
+        std::vector<double> out(c.n, 0.0);
+        dsp::add_cosine(out.data(), c.n, c.omega, c.phase, c.amp);
+        return out;
+      },
+      [](const Case& c, stats::Rng&) {
+        simd::ScopedIsa scalar(simd::Isa::kScalar);
+        std::vector<double> out(c.n, 0.0);
+        dsp::add_cosine(out.data(), c.n, c.omega, c.phase, c.amp);
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        w.kv("omega", c.omega);
+        w.kv("phase", c.phase);
+        w.kv("amp", c.amp);
+        w.kv("n", static_cast<std::uint64_t>(c.n));
+      },
+      // Every backend reseeds its phasors from the same double-double carrier
+      // each kCosineResyncPeriod samples; between resyncs the lane recurrences
+      // accumulate at most a couple of ulps relative to each other.
+      Tolerance::abs_only(1e-12), opts);
+}
+
+namespace {
+
+struct FaultSimCase {
+  digital::Netlist nl;
+  digital::Bus in;
+  digital::Bus out;
+  std::vector<std::int64_t> stimulus;
+  std::vector<digital::Fault> faults;
+};
+
+// Random DAG of gates with a few DFFs, same shape as the randomized property
+// tests (tests/test_random_circuits.cpp).
+FaultSimCase random_fault_sim_case(stats::Rng& rng) {
+  FaultSimCase c;
+  const std::size_t inputs = 4 + rng.uniform_int(3);
+  const std::size_t gates = 40 + rng.uniform_int(81);
+  std::vector<digital::NetId> pool;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    const digital::NetId n = c.nl.add_input("i" + std::to_string(i));
+    c.in.bits.push_back(n);
+    pool.push_back(n);
+  }
+  const digital::GateType kinds[] = {
+      digital::GateType::kAnd, digital::GateType::kOr,  digital::GateType::kNand,
+      digital::GateType::kNor, digital::GateType::kXor, digital::GateType::kXnor,
+      digital::GateType::kNot, digital::GateType::kBuf};
+  for (std::size_t g = 0; g < gates; ++g) {
+    if (rng.uniform() < 0.12) {
+      pool.push_back(c.nl.add_dff(pool[rng.uniform_int(pool.size())]));
+      continue;
+    }
+    const digital::GateType t = kinds[rng.uniform_int(8)];
+    const digital::NetId a = pool[rng.uniform_int(pool.size())];
+    const digital::NetId b = pool[rng.uniform_int(pool.size())];
+    pool.push_back(c.nl.add_gate(t, a, b));
+  }
+  for (std::size_t o = 0; o < 3; ++o) {
+    const digital::NetId n = pool[pool.size() - 1 - o];
+    c.nl.mark_output(n);
+    c.out.bits.push_back(n);
+  }
+  const std::int64_t hi = 1ll << (inputs - 1);
+  const std::size_t cycles = 24 + rng.uniform_int(41);
+  for (std::size_t i = 0; i < cycles; ++i) {
+    c.stimulus.push_back(static_cast<std::int64_t>(rng.uniform_int(2 * hi)) - hi);
+  }
+  c.faults = digital::collapsed_faults(c.nl);
+  return c;
+}
+
+// Detection verdicts (0/1) followed by the good-machine waveform, so both
+// the exact-compare logic and the captured stream are pinned.
+std::vector<double> flatten_fault_sim(const digital::FaultSimResult& r) {
+  std::vector<double> out;
+  out.reserve(r.detected.size() + r.good_waveform.size());
+  for (const bool d : r.detected) out.push_back(d ? 1.0 : 0.0);
+  for (const std::int64_t v : r.good_waveform) out.push_back(static_cast<double>(v));
+  return out;
+}
+
+}  // namespace
+
+Report check_simd_fault_sim_wide_vs_64(const RunOptions& opts) {
+  using Case = FaultSimCase;
+  return differential<Case>(
+      "simd_fault_sim_wide_vs_64",
+      [](stats::Rng& rng) { return random_fault_sim_case(rng); },
+      [](const Case& c, stats::Rng&) {
+        digital::FaultSimOptions fo;
+        fo.machine_words = 0;  // active backend width (8 words on AVX-512)
+        fo.threads = 1;
+        return flatten_fault_sim(
+            digital::simulate_faults(c.nl, c.in, c.out, c.stimulus, c.faults, fo));
+      },
+      [](const Case& c, stats::Rng&) {
+        digital::FaultSimOptions fo;
+        fo.machine_words = 1;  // the classic 64-machine batches
+        fo.threads = 1;
+        return flatten_fault_sim(
+            digital::simulate_faults(c.nl, c.in, c.out, c.stimulus, c.faults, fo));
+      },
+      [](const Case& c, obs::json::Writer& w) {
+        w.kv("nets", static_cast<std::uint64_t>(c.nl.num_nets()));
+        w.kv("faults", static_cast<std::uint64_t>(c.faults.size()));
+        w.kv("cycles", static_cast<std::uint64_t>(c.stimulus.size()));
+        w.kv("inputs", static_cast<std::uint64_t>(c.in.bits.size()));
+      },
+      // Exact logic: any width disagreement is a real bug, never drift.
+      Tolerance::bit_identical(), opts);
+}
+
 std::vector<Report> run_all_kernel_checks(const RunOptions& opts) {
   return {
       check_fft_plan_vs_naive_dft(opts),
@@ -373,6 +610,11 @@ std::vector<Report> run_all_kernel_checks(const RunOptions& opts) {
       check_path_workspace_vs_allocating_run(opts),
       check_parallel_mc_vs_serial(opts),
       check_guard_band_analytic_vs_mc(opts),
+      check_simd_window_vs_scalar(opts),
+      check_simd_rfft_vs_scalar(opts),
+      check_simd_biquad_vs_scalar(opts),
+      check_simd_add_cosine_vs_scalar(opts),
+      check_simd_fault_sim_wide_vs_64(opts),
   };
 }
 

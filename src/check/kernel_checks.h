@@ -35,6 +35,26 @@ Report check_path_workspace_vs_allocating_run(const RunOptions& opts = {});
 Report check_parallel_mc_vs_serial(const RunOptions& opts = {});
 Report check_guard_band_analytic_vs_mc(const RunOptions& opts = {});
 
+// SIMD backend vs forced-scalar pairs (base/simd.h). The reference side runs
+// the SAME public API under simd::ScopedIsa(kScalar) — the scalar backend is
+// the pre-SIMD arithmetic verbatim — so these pin the vector backends to the
+// legacy numerics on whatever ISA the host dispatches to. When the run is
+// already forced scalar they degenerate to an identity check and stay green.
+//   * window application is elementwise multiply: bit-identical at any width;
+//   * the FFT carries documented few-ulp drift from FMA contraction and
+//     reassociated butterflies;
+//   * the biquad cascade's feed-forward taps vectorize (FMA), the recurrence
+//     stays in reference order: a few ulps on unit-scale audio;
+//   * add_cosine resyncs both backends to the same double-double carrier
+//     every kCosineResyncPeriod samples, bounding the gap near one ulp;
+//   * fault simulation is exact logic: detection verdicts and the good
+//     waveform must be bit-identical between 64-way and 64*fault_words-way.
+Report check_simd_window_vs_scalar(const RunOptions& opts = {});
+Report check_simd_rfft_vs_scalar(const RunOptions& opts = {});
+Report check_simd_biquad_vs_scalar(const RunOptions& opts = {});
+Report check_simd_add_cosine_vs_scalar(const RunOptions& opts = {});
+Report check_simd_fault_sim_wide_vs_64(const RunOptions& opts = {});
+
 /// Runs every pair above with the same options.
 std::vector<Report> run_all_kernel_checks(const RunOptions& opts = {});
 

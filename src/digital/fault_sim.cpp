@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "base/require.h"
+#include "base/simd.h"
 #include "obs/registry.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
@@ -39,7 +40,7 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
   // on batch 0, so every faulty batch is independent of the others and may
   // run concurrently (and end early under stop_at_first_detection).
   {
-    ParallelSimulator sim(nl);
+    ParallelSimulator sim(nl, 1);  // one machine suffices for the reference
     result.good_waveform.reserve(stimulus.size());
     for (std::int64_t x : stimulus) {
       sim.set_bus(input, x);
@@ -50,23 +51,31 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
   }
   if (faults.empty()) return result;
 
-  const std::size_t nbatches = (faults.size() + 62) / 63;
+  // Machines per simulator word group: 64 * W machines, machine 0 good,
+  // machines 1..64W-1 carrying one fault each. W defaults to the active SIMD
+  // backend's vector width (512-way batches on AVX-512).
+  const std::size_t mwords =
+      options.machine_words > 0
+          ? static_cast<std::size_t>(options.machine_words)
+          : static_cast<std::size_t>(simd::kernels().fault_words);
+  const std::size_t per_batch = 64 * mwords - 1;
+  const std::size_t nbatches = (faults.size() + per_batch - 1) / per_batch;
   // vector<bool> packs adjacent flags into shared words, so batches record
   // their verdicts in per-batch masks and the flags are unpacked serially.
-  std::vector<std::uint64_t> batch_masks(nbatches, 0);
+  std::vector<std::uint64_t> batch_masks(nbatches * mwords, 0);
 
-  // Tracing observes each 63-fault batch (range, wall time) without touching
-  // the batch partition or the serial unpack below, so traced runs detect the
+  // Tracing observes each batch (range, wall time) without touching the
+  // batch partition or the serial unpack below, so traced runs detect the
   // exact same fault set.
   const bool traced = obs::trace_enabled();
 
   stats::parallel_for_index(nbatches, options.threads, [&](std::size_t bi) {
     const auto t0 = traced ? std::chrono::steady_clock::now()
                            : std::chrono::steady_clock::time_point{};
-    const std::size_t base = bi * 63;
-    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+    const std::size_t base = bi * per_batch;
+    const std::size_t batch = std::min<std::size_t>(per_batch, faults.size() - base);
 
-    ParallelSimulator sim(nl);
+    ParallelSimulator sim(nl, mwords);
     for (std::size_t i = 0; i < batch; ++i) {
       sim.inject(faults[base + i], static_cast<int>(i + 1));
     }
@@ -76,19 +85,27 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
       }
     }
 
-    std::uint64_t detected_mask = 0;
+    // Bits of machines 1..batch across the word group — the "every fault
+    // detected" early-exit target.
+    std::vector<std::uint64_t> all_mask(mwords, 0);
+    for (std::size_t m = 1; m <= batch; ++m) {
+      all_mask[m / 64] |= 1ull << (m % 64);
+    }
+
+    std::vector<std::uint64_t> detected_mask(mwords, 0);
     for (std::int64_t x : stimulus) {
       sim.set_bus(input, x);
       sim.eval();
 
-      // Exact compare: any output bit differing from machine 0.
-      std::uint64_t mismatch = 0;
+      // Exact compare: any output bit differing from machine 0 (bit 0 of
+      // word 0, broadcast across the whole word group).
       for (NetId bit : output.bits) {
-        const std::uint64_t w = sim.value(bit);
-        const std::uint64_t good = (w & 1ull) ? ~0ull : 0ull;
-        mismatch |= w ^ good;
+        const std::uint64_t* w = sim.value_words(bit);
+        const std::uint64_t good = (w[0] & 1ull) ? ~0ull : 0ull;
+        for (std::size_t wi = 0; wi < mwords; ++wi) {
+          detected_mask[wi] |= w[wi] ^ good;
+        }
       }
-      detected_mask |= mismatch;
 
       if (options.capture_waveforms) {
         for (std::size_t i = 0; i < batch; ++i) {
@@ -101,11 +118,15 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
 
       if (options.stop_at_first_detection && !options.capture_waveforms) {
         // All faults in this batch already detected: nothing more to learn.
-        const std::uint64_t all = ((batch == 63) ? ~0ull : ((1ull << (batch + 1)) - 1)) & ~1ull;
-        if ((detected_mask & all) == all) break;
+        bool all = true;
+        for (std::size_t wi = 0; wi < mwords; ++wi) {
+          all = all && (detected_mask[wi] & all_mask[wi]) == all_mask[wi];
+        }
+        if (all) break;
       }
     }
-    batch_masks[bi] = detected_mask;
+    std::copy(detected_mask.begin(), detected_mask.end(),
+              batch_masks.begin() + bi * mwords);
     if (traced) {
       const auto wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                                std::chrono::steady_clock::now() - t0)
@@ -121,10 +142,12 @@ FaultSimResult simulate_faults(const Netlist& nl, const Bus& input, const Bus& o
   });
 
   for (std::size_t bi = 0; bi < nbatches; ++bi) {
-    const std::size_t base = bi * 63;
-    const std::size_t batch = std::min<std::size_t>(63, faults.size() - base);
+    const std::size_t base = bi * per_batch;
+    const std::size_t batch = std::min<std::size_t>(per_batch, faults.size() - base);
+    const std::uint64_t* masks = batch_masks.data() + bi * mwords;
     for (std::size_t i = 0; i < batch; ++i) {
-      result.detected[base + i] = ((batch_masks[bi] >> (i + 1)) & 1ull) != 0;
+      const std::size_t m = i + 1;
+      result.detected[base + i] = ((masks[m / 64] >> (m % 64)) & 1ull) != 0;
     }
   }
 

@@ -30,6 +30,12 @@ struct FaultSimOptions {
   /// fixed and there is no randomness). > 0 forces a count; 0 defers to
   /// MSTS_THREADS / hardware concurrency; 1 is the serial path.
   int threads = 0;
+  /// 64-bit words per net: each batch simulates 64*machine_words - 1 faults
+  /// beside the good machine (bit 0). 0 defers to the active SIMD backend's
+  /// fault_words (1 scalar, 4 AVX2, 8 AVX-512). Detection is exact logic,
+  /// so the verdicts are bit-identical at every width — only the batch
+  /// partition (and the speed) changes.
+  int machine_words = 0;
 };
 
 /// Result of a fault-simulation campaign.

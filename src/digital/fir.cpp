@@ -1,6 +1,7 @@
 #include "digital/fir.h"
 
 #include "base/require.h"
+#include "base/simd.h"
 
 namespace msts::digital {
 
@@ -109,12 +110,11 @@ void fir_block_into(std::span<const std::int32_t> coeffs, int input_width,
     for (std::size_t k = 0; k <= i; ++k) acc += coeffs[k] * x[i - k];
     y[i] = acc;
   }
-  // Steady state: full-length dot product against the record itself.
+  // Steady state: full-length dot product against the record itself, through
+  // the per-ISA kernel. Exact int64 arithmetic — identical on every backend.
+  const simd::Kernels& kern = simd::kernels();
   for (std::size_t i = head; i < n; ++i) {
-    const std::int64_t* xp = x.data() + i;
-    std::int64_t acc = 0;
-    for (std::size_t k = 0; k < taps; ++k) acc += coeffs[k] * xp[-static_cast<std::ptrdiff_t>(k)];
-    y[i] = acc;
+    y[i] = kern.fir_dot(coeffs.data(), taps, x.data() + i);
   }
 }
 

@@ -1,21 +1,71 @@
 #include "digital/sim.h"
 
+#include <algorithm>
+
 #include "base/require.h"
 
 namespace msts::digital {
 
-ParallelSimulator::ParallelSimulator(const Netlist& nl)
+namespace {
+
+// The fault_eval kernel whose native width matches `words`: the active
+// backend when it agrees, any other compiled+supported backend that does,
+// else the scalar backend (which accepts arbitrary widths).
+const simd::Kernels* kernels_for_words(std::size_t words) {
+  const simd::Kernels& active = simd::kernels();
+  if (static_cast<std::size_t>(active.fault_words) == words) return &active;
+  for (simd::Isa isa : {simd::Isa::kAvx512, simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::isa_compiled(isa) && simd::isa_supported(isa) &&
+        static_cast<std::size_t>(simd::kernels_for(isa).fault_words) == words) {
+      return &simd::kernels_for(isa);
+    }
+  }
+  return &simd::kernels_for(simd::Isa::kScalar);
+}
+
+bool is_source(GateType t) {
+  return t == GateType::kInput || t == GateType::kDff ||
+         t == GateType::kConst0 || t == GateType::kConst1;
+}
+
+}  // namespace
+
+ParallelSimulator::ParallelSimulator(const Netlist& nl, std::size_t machine_words)
     : netlist_(nl),
-      order_(nl.topo_order()),
-      values_(nl.num_nets(), 0),
-      and_masks_(nl.num_nets(), ~0ull),
-      or_masks_(nl.num_nets(), 0),
+      words_(machine_words != 0
+                 ? machine_words
+                 : static_cast<std::size_t>(simd::kernels().fault_words)),
+      kern_(kernels_for_words(words_)),
+      values_(nl.num_nets() * words_, 0),
+      and_masks_(nl.num_nets() * words_, ~0ull),
+      or_masks_(nl.num_nets() * words_, 0),
       input_index_(nl.num_nets(), 0) {
   dff_index_.assign(nl.num_nets(), 0);
-  state_.assign(nl.dffs().size(), 0);
+  state_.assign(nl.dffs().size() * words_, 0);
   for (std::uint32_t i = 0; i < nl.dffs().size(); ++i) dff_index_[nl.dffs()[i]] = i;
-  input_words_.assign(nl.inputs().size(), 0);
+  input_words_.assign(nl.inputs().size() * words_, 0);
   for (std::uint32_t i = 0; i < nl.inputs().size(); ++i) input_index_[nl.inputs()[i]] = i;
+
+  // Split the topo order into source writes and the logic-gate sweep the
+  // fault_eval kernel runs. Sources have no fanins, so evaluating all of
+  // them before all gates preserves topological correctness.
+  const auto order = nl.topo_order();
+  const std::uint32_t w32 = static_cast<std::uint32_t>(words_);
+  for (NetId id : order) {
+    const Gate& g = nl.gate(id);
+    if (is_source(g.type)) {
+      std::uint32_t src = 0;
+      if (g.type == GateType::kInput) src = input_index_[id] * w32;
+      if (g.type == GateType::kDff) src = dff_index_[id] * w32;
+      sources_.push_back({static_cast<std::uint32_t>(id) * w32, src,
+                          static_cast<std::uint32_t>(g.type)});
+    } else {
+      gate_ops_.push_back({static_cast<std::uint32_t>(id) * w32,
+                           static_cast<std::uint32_t>(g.fanin0) * w32,
+                           static_cast<std::uint32_t>(g.fanin1) * w32,
+                           static_cast<std::uint32_t>(g.type)});
+    }
+  }
 }
 
 void ParallelSimulator::clear_faults() {
@@ -25,12 +75,14 @@ void ParallelSimulator::clear_faults() {
 
 void ParallelSimulator::inject(const Fault& fault, int machine) {
   MSTS_REQUIRE(fault.net < netlist_.num_nets(), "fault net out of range");
-  MSTS_REQUIRE(machine >= 0 && machine < 64, "machine must be in [0, 64)");
-  const std::uint64_t bit = 1ull << machine;
+  MSTS_REQUIRE(machine >= 0 && machine < static_cast<int>(machines()),
+               "machine out of range");
+  const std::size_t word = static_cast<std::size_t>(machine) / 64;
+  const std::uint64_t bit = 1ull << (static_cast<std::size_t>(machine) % 64);
   if (fault.stuck_at_one) {
-    or_masks_[fault.net] |= bit;
+    or_masks_[fault.net * words_ + word] |= bit;
   } else {
-    and_masks_[fault.net] &= ~bit;
+    and_masks_[fault.net * words_ + word] &= ~bit;
   }
 }
 
@@ -40,7 +92,8 @@ void ParallelSimulator::set_input(NetId input, bool value) {
   MSTS_REQUIRE(input < netlist_.num_nets() &&
                    netlist_.gate(input).type == GateType::kInput,
                "net is not a primary input");
-  input_words_[input_index_[input]] = value ? ~0ull : 0ull;
+  const std::size_t base = input_index_[input] * words_;
+  std::fill_n(input_words_.begin() + base, words_, value ? ~0ull : 0ull);
 }
 
 void ParallelSimulator::set_bus(const Bus& bus, std::int64_t value) {
@@ -50,40 +103,48 @@ void ParallelSimulator::set_bus(const Bus& bus, std::int64_t value) {
 }
 
 void ParallelSimulator::eval() {
-  for (NetId id : order_) {
-    const Gate& g = netlist_.gate(id);
-    std::uint64_t v;
-    switch (g.type) {
-      case GateType::kInput:
-        v = input_words_[input_index_[id]];
+  const std::size_t w = words_;
+  for (const SrcOp& s : sources_) {
+    std::uint64_t* out = values_.data() + s.out;
+    const std::uint64_t* am = and_masks_.data() + s.out;
+    const std::uint64_t* om = or_masks_.data() + s.out;
+    switch (static_cast<GateType>(s.type)) {
+      case GateType::kInput: {
+        const std::uint64_t* in = input_words_.data() + s.src;
+        for (std::size_t i = 0; i < w; ++i) out[i] = (in[i] & am[i]) | om[i];
         break;
-      case GateType::kDff:
-        v = state_[dff_index_[id]];
+      }
+      case GateType::kDff: {
+        const std::uint64_t* q = state_.data() + s.src;
+        for (std::size_t i = 0; i < w; ++i) out[i] = (q[i] & am[i]) | om[i];
         break;
+      }
       case GateType::kConst0:
-        v = 0;
+        for (std::size_t i = 0; i < w; ++i) out[i] = om[i];
         break;
-      case GateType::kConst1:
-        v = ~0ull;
-        break;
-      default:
-        v = eval_gate(g.type, values_[g.fanin0], values_[g.fanin1]);
+      default:  // kConst1
+        for (std::size_t i = 0; i < w; ++i) out[i] = am[i] | om[i];
         break;
     }
-    values_[id] = (v & and_masks_[id]) | or_masks_[id];
   }
+  kern_->fault_eval(gate_ops_.data(), gate_ops_.size(), values_.data(),
+                    and_masks_.data(), or_masks_.data(), w);
 }
 
 void ParallelSimulator::clock() {
   const auto& dffs = netlist_.dffs();
   for (std::size_t i = 0; i < dffs.size(); ++i) {
-    state_[i] = values_[netlist_.gate(dffs[i]).fanin0];
+    const std::size_t src = netlist_.gate(dffs[i]).fanin0 * words_;
+    std::copy_n(values_.begin() + src, words_, state_.begin() + i * words_);
   }
 }
 
 bool ParallelSimulator::value_in_machine(NetId net, int machine) const {
-  MSTS_REQUIRE(machine >= 0 && machine < 64, "machine must be in [0, 64)");
-  return ((values_[net] >> machine) & 1ull) != 0;
+  MSTS_REQUIRE(machine >= 0 && machine < static_cast<int>(machines()),
+               "machine out of range");
+  const std::size_t word = static_cast<std::size_t>(machine) / 64;
+  const std::size_t bit = static_cast<std::size_t>(machine) % 64;
+  return ((values_[net * words_ + word] >> bit) & 1ull) != 0;
 }
 
 std::int64_t ParallelSimulator::bus_value(const Bus& bus, int machine) const {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "base/require.h"
+#include "base/simd.h"
 #include "base/units.h"
 #include "dsp/fft.h"
 #include "obs/registry.h"
@@ -52,46 +53,18 @@ void FftPlan::forward(std::complex<double>* x) const {
     std::swap(x[lo[s]], x[hi[s]]);
   }
 
-  // len = 2: all twiddles are 1, a pure add/sub sweep.
-  for (std::size_t i = 0; i + 1 < n; i += 2) {
-    const std::complex<double> u = x[i];
-    const std::complex<double> v = x[i + 1];
-    x[i] = u + v;
-    x[i + 1] = u - v;
-  }
-
-  // Remaining stages read their twiddles from the precomputed table. The
-  // butterflies are written on raw components so the compiler sees plain
-  // mul/add chains with no complex-multiply special-case branches.
+  // All butterfly stages run through the per-ISA kernel table. len = 2 is
+  // the twiddle-free add/sub sweep; the remaining stages read their twiddles
+  // from the precomputed per-stage table (fft_pass matches the pre-SIMD raw
+  // component butterfly formulation; the scalar backend is bit-identical to
+  // it, vector backends carry the documented few-ulp drift).
+  const simd::Kernels& kern = simd::kernels();
   double* d = reinterpret_cast<double*>(x);
+  kern.fft_pass(d, nullptr, n, 2);
   const std::complex<double>* tw = twiddles_.data();
   for (std::size_t len = 4; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    for (std::size_t i = 0; i < n; i += len) {
-      {
-        const std::complex<double> u = x[i];
-        const std::complex<double> v = x[i + half];
-        x[i] = u + v;
-        x[i + half] = u - v;
-      }
-      for (std::size_t k = 1; k < half; ++k) {
-        const double wr = tw[k].real();
-        const double wi = tw[k].imag();
-        double* a = d + 2 * (i + k);
-        double* b = d + 2 * (i + k + half);
-        const double br = b[0];
-        const double bi = b[1];
-        const double vr = br * wr - bi * wi;
-        const double vi = br * wi + bi * wr;
-        const double ur = a[0];
-        const double ui = a[1];
-        a[0] = ur + vr;
-        a[1] = ui + vi;
-        b[0] = ur - vr;
-        b[1] = ui - vi;
-      }
-    }
-    tw += half;
+    kern.fft_pass(d, reinterpret_cast<const double*>(tw), n, len);
+    tw += len / 2;
   }
 }
 
@@ -138,13 +111,12 @@ void RfftPlan::forward(const double* x, std::complex<double>* out) const {
 
   out[0] = std::complex<double>(z[0].real() + z[0].imag(), 0.0);
   out[m] = std::complex<double>(z[0].real() - z[0].imag(), 0.0);
-  for (std::size_t k = 1; k < m; ++k) {
-    const std::complex<double> a = z[k];
-    const std::complex<double> b = std::conj(z[m - k]);
-    const std::complex<double> even = 0.5 * (a + b);
-    const std::complex<double> odd = std::complex<double>(0.0, -0.5) * (a - b);
-    out[k] = even + split_tw_[k] * odd;
-  }
+  // Bins 1..m-1 recombine through the per-ISA kernel (even/odd split plus
+  // one twiddle rotation per bin, vectorized over runs of adjacent bins).
+  simd::kernels().rfft_combine(
+      reinterpret_cast<const double*>(z.data()),
+      reinterpret_cast<const double*>(split_tw_.data()),
+      reinterpret_cast<double*>(out), m);
 }
 
 namespace {
@@ -159,7 +131,17 @@ struct PlanCaches {
 };
 
 PlanCaches& caches() {
-  static PlanCaches* c = new PlanCaches;
+  static PlanCaches* c = [] {
+    // One-time registry stamp of the SIMD backend every dsp kernel call will
+    // dispatch to: dsp.simd.isa.<name> = 1 plus the lane widths, so metric
+    // snapshots (MSTS_METRICS) identify the backend a run used.
+    const simd::Kernels& k = simd::kernels();
+    obs::counter_add(std::string("dsp.simd.isa.") + simd::isa_name(k.isa));
+    obs::counter_add("dsp.simd.f64_width", k.f64_width);
+    obs::counter_add("dsp.simd.fault_words", k.fault_words);
+    obs::counter_add("dsp.simd.cosine_lanes", k.cosine_lanes);
+    return new PlanCaches;
+  }();
   return *c;
 }
 

@@ -3,51 +3,15 @@
 #include <cmath>
 #include <cstddef>
 
+#include "base/dd.h"
+#include "base/simd.h"
+
 namespace msts::dsp {
 
-namespace {
-
-// Double-double helpers for the carrier-phase accumulator. A rotating phasor
-// is resynced from cos/sin of its true phase, but the true phase omega * n
-// overflows double resolution long before n reaches a million samples — the
-// *product* rounds to ~5e-10 rad even though each factor is exact. Phase is
-// therefore carried as an unevaluated hi + lo pair and reduced mod 2 pi every
-// step, which keeps it within ~1e-15 rad of exact at any index.
-
-using detail::Dd;
-
-// fl(2 pi) and the remainder 2 pi - fl(2 pi).
-constexpr double kTwoPiHi = 6.28318530717958647692528676655900577e+00;
-constexpr double kTwoPiLo = 2.44929359829470635445213186455000000e-16;
-
-// Error-free sum: s + e == a + b exactly.
-inline Dd two_sum(double a, double b) {
-  const double s = a + b;
-  const double bb = s - a;
-  const double e = (a - (s - bb)) + (b - bb);
-  return {s, e};
-}
-
-// x minus the nearest integer multiple of 2 pi, in double-double.
-Dd reduce_two_pi(Dd x) {
-  const double k = std::nearbyint(x.hi / kTwoPiHi);
-  if (k == 0.0) return x;
-  // k * 2pi as an exact product pair (FMA captures the low part).
-  const double p = k * kTwoPiHi;
-  const double p_err = std::fma(k, kTwoPiHi, -p);
-  Dd r = two_sum(x.hi, -p);
-  r.lo += x.lo - p_err - k * kTwoPiLo;
-  return two_sum(r.hi, r.lo);
-}
-
-// a + b, renormalised and reduced mod 2 pi.
-Dd dd_add(Dd a, Dd b) {
-  Dd s = two_sum(a.hi, b.hi);
-  s.lo += a.lo + b.lo;
-  return reduce_two_pi(two_sum(s.hi, s.lo));
-}
-
-}  // namespace
+// The double-double carrier-phase arithmetic lives in base/dd.h (shared with
+// the SIMD add_cosine backends); see that header for the error analysis.
+using base::dd_add;
+using base::reduce_two_pi;
 
 PhasorOscillator::PhasorOscillator(double omega, double phase)
     : omega_(omega),
@@ -68,56 +32,10 @@ void PhasorOscillator::resync() {
 }
 
 void add_cosine(double* dst, std::size_t n, double omega, double phase, double amp) {
-  constexpr std::size_t kLanes = 4;
-  if (n < kLanes) {
-    for (std::size_t i = 0; i < n; ++i) {
-      dst[i] += amp * std::cos(omega * static_cast<double>(i) + phase);
-    }
-    return;
-  }
-
-  // Four phasors amp*exp(j(phase + omega*(i + lane))) advancing by 4*omega
-  // per step: the four rotation chains are independent, so the multiplies
-  // pipeline instead of serialising on one chain's latency. Each lane is
-  // reseeded every kResyncPeriod of its own steps (kLanes*kResyncPeriod
-  // samples) from the double-double carrier phase.
-  const double rr = std::cos(4.0 * omega);
-  const double ri = std::sin(4.0 * omega);
-  // kLanes * kResyncPeriod is a power of two: the step product is exact.
-  const Dd step =
-      reduce_two_pi({omega * static_cast<double>(kLanes * kResyncPeriod), 0.0});
-  Dd carrier{0.0, 0.0};
-  bool seeded = false;
-
-  std::size_t i = 0;
-  double pr[kLanes];
-  double pi[kLanes];
-  std::size_t since_sync = kResyncPeriod;  // force initial seed
-  while (i + kLanes <= n) {
-    if (since_sync >= kResyncPeriod) {
-      if (seeded) carrier = dd_add(carrier, step);
-      seeded = true;
-      const double base = carrier.hi + (carrier.lo + phase);
-      for (std::size_t l = 0; l < kLanes; ++l) {
-        const double ph = base + omega * static_cast<double>(l);
-        pr[l] = amp * std::cos(ph);
-        pi[l] = amp * std::sin(ph);
-      }
-      since_sync = 0;
-    }
-    for (std::size_t l = 0; l < kLanes; ++l) {
-      dst[i + l] += pr[l];
-      const double r = pr[l];
-      pr[l] = r * rr - pi[l] * ri;
-      pi[l] = r * ri + pi[l] * rr;
-    }
-    i += kLanes;
-    ++since_sync;
-  }
-  // At loop exit the lanes hold the values for samples i .. i+3.
-  for (std::size_t l = 0; i < n; ++i, ++l) {
-    dst[i] += pr[l];
-  }
+  // Dispatched per ISA: the scalar backend is the pre-SIMD four-phasor
+  // arrangement; vector backends run 2 vectors of lanes. All share the
+  // kResyncPeriod double-double carrier (base/simd_kernels_body.h).
+  simd::kernels().add_cosine(dst, n, omega, phase, amp);
 }
 
 }  // namespace msts::dsp

@@ -24,8 +24,7 @@ Spectrum::Spectrum(std::span<const double> x, double fs, WindowType window)
 
   thread_local std::vector<double> xw;  // per-thread scratch, fully rewritten
   xw.resize(n_);
-  const double* w = wp->samples.data();
-  for (std::size_t i = 0; i < n_; ++i) xw[i] = x[i] * w[i];
+  apply_window(x.data(), wp->samples.data(), xw.data(), n_);
   bins_.resize(rp->num_bins());
   rp->forward(xw.data(), bins_.data());
 }

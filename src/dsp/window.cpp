@@ -4,10 +4,15 @@
 #include <span>
 
 #include "base/require.h"
+#include "base/simd.h"
 #include "base/units.h"
 #include "dsp/fft_plan.h"
 
 namespace msts::dsp {
+
+void apply_window(const double* x, const double* w, double* out, std::size_t n) {
+  simd::kernels().apply_window(x, w, out, n);
+}
 
 std::string to_string(WindowType type) {
   switch (type) {

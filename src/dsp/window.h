@@ -28,6 +28,10 @@ std::string to_string(WindowType type);
 /// Returns the N window samples w[0..N-1].
 std::vector<double> make_window(std::size_t n, WindowType type);
 
+/// out[i] = x[i] * w[i] for i = 0..n-1, through the per-ISA SIMD kernel.
+/// Pure element-wise products: bit-identical on every backend.
+void apply_window(const double* x, const double* w, double* out, std::size_t n);
+
 /// Coherent gain: mean of the window samples. Dividing a windowed DFT bin by
 /// N*cg/2 recovers the amplitude of a bin-centred tone.
 double coherent_gain(WindowType type, std::size_t n = 4096);

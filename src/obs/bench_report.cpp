@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "base/require.h"
+#include "base/simd.h"
 #include "obs/config.h"
 #include "obs/json.h"
 #include "obs/registry.h"
@@ -62,6 +63,14 @@ BenchReport::BenchReport(std::string name)
       threads_(resolved_thread_count()),
       start_(std::chrono::steady_clock::now()) {
   MSTS_REQUIRE(!name_.empty(), "bench report needs a name");
+  // Every report carries the active SIMD backend so per-ISA baselines can be
+  // matched (bench_compare) and cross-host bench_trend series segmented.
+  // "simd."-prefixed scalars are informational: the compare/trend tools skip
+  // them when hunting regressions.
+  const simd::Kernels& k = simd::kernels();
+  add_label("simd.isa", simd::isa_name(k.isa));
+  add_scalar("simd.f64_width", static_cast<std::int64_t>(k.f64_width));
+  add_scalar("simd.fault_words", static_cast<std::int64_t>(k.fault_words));
 }
 
 BenchReport::~BenchReport() {

@@ -1,7 +1,8 @@
 // Tests for the golden-model differential harness (src/check): ulp metric,
 // comparator semantics, reproducer format, determinism, registry publishing,
-// and the six shipped kernel-pair checks. The binary carries the ctest label
-// "differential" so the sanitizer leg can run exactly this suite.
+// and the shipped kernel-pair checks (six golden-model pairs plus the five
+// SIMD-vs-scalar pairs). The binary carries the ctest label "differential"
+// so the sanitizer leg can run exactly this suite.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -307,11 +308,45 @@ TEST(KernelChecks, GuardBandedAnalyticMatchesMonteCarlo) {
   EXPECT_TRUE(r.passed()) << r.reproducer;
 }
 
+// ---------------------------------------------------------------------------
+// The SIMD-vs-scalar pairs (green on every backend: when the run is already
+// forced scalar they degenerate to an identity check)
+// ---------------------------------------------------------------------------
+
+TEST(KernelChecks, SimdWindowBitIdenticalToScalar) {
+  const check::Report r = check::check_simd_window_vs_scalar();
+  EXPECT_TRUE(r.passed()) << r.reproducer;
+  EXPECT_EQ(r.worst.max_abs, 0.0);
+  EXPECT_EQ(r.worst.max_ulp, 0.0);
+}
+
+TEST(KernelChecks, SimdRfftWithinUlpsOfScalar) {
+  const check::Report r = check::check_simd_rfft_vs_scalar();
+  EXPECT_TRUE(r.passed()) << r.reproducer;
+}
+
+TEST(KernelChecks, SimdBiquadWithinUlpsOfScalar) {
+  const check::Report r = check::check_simd_biquad_vs_scalar();
+  EXPECT_TRUE(r.passed()) << r.reproducer;
+}
+
+TEST(KernelChecks, SimdAddCosineWithinResyncBoundOfScalar) {
+  const check::Report r = check::check_simd_add_cosine_vs_scalar();
+  EXPECT_TRUE(r.passed()) << r.reproducer;
+}
+
+TEST(KernelChecks, SimdFaultSimBitIdenticalAcrossWidths) {
+  const check::Report r = check::check_simd_fault_sim_wide_vs_64();
+  EXPECT_TRUE(r.passed()) << r.reproducer;
+  EXPECT_EQ(r.worst.max_abs, 0.0);
+  EXPECT_EQ(r.worst.max_ulp, 0.0);
+}
+
 TEST(KernelChecks, RunAllCoversEveryPair) {
   check::RunOptions opts;
-  opts.cases = 2;  // smoke pass over all six pairs
+  opts.cases = 2;  // smoke pass over all eleven pairs
   const std::vector<check::Report> reports = check::run_all_kernel_checks(opts);
-  ASSERT_EQ(reports.size(), 6u);
+  ASSERT_EQ(reports.size(), 11u);
   for (const check::Report& r : reports) {
     EXPECT_TRUE(r.passed()) << r.name << ": " << r.reproducer;
     EXPECT_EQ(r.cases, 2);

@@ -179,8 +179,15 @@ TEST(ParallelSimulator, RejectsBadUsage) {
   ParallelSimulator sim(nl);
   EXPECT_THROW(sim.set_input(g, true), std::invalid_argument);
   EXPECT_THROW(sim.inject(Fault{99, false}, 0), std::invalid_argument);
-  EXPECT_THROW(sim.inject(Fault{a, false}, 64), std::invalid_argument);
+  const int machines = static_cast<int>(sim.machines());
+  EXPECT_THROW(sim.inject(Fault{a, false}, machines), std::invalid_argument);
+  EXPECT_THROW(sim.value_in_machine(a, machines), std::invalid_argument);
   EXPECT_THROW(sim.value_in_machine(a, -1), std::invalid_argument);
+
+  // A one-word simulator keeps the classic 64-machine bound.
+  ParallelSimulator narrow(nl, 1);
+  EXPECT_EQ(narrow.machines(), 64u);
+  EXPECT_THROW(narrow.inject(Fault{a, false}, 64), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,220 @@
+// Tests for the portable SIMD layer (base/simd.h): backend dispatch and
+// override plumbing, per-backend kernel-table invariants, the forced-scalar
+// vs native drift contracts, and thread-count independence of the
+// Monte-Carlo reduction with vector kernels active. The binary carries the
+// ctest label "simd" so the forced-scalar tier-1 leg can rerun exactly the
+// SIMD-sensitive suites (see ROADMAP.md).
+#include "base/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "digital/fault_sim.h"
+#include "digital/faults.h"
+#include "digital/netlist.h"
+#include "dsp/oscillator.h"
+#include "dsp/tonegen.h"
+#include "stats/rng.h"
+#include "stats/yield.h"
+
+namespace msts {
+namespace {
+
+using simd::Isa;
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, IsaNamesRoundTripThroughParse) {
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    EXPECT_EQ(simd::parse_isa(simd::isa_name(isa)), isa);
+  }
+}
+
+TEST(SimdDispatch, ParseRejectsUnknownNames) {
+  EXPECT_THROW(simd::parse_isa("sse9"), std::invalid_argument);
+  EXPECT_THROW(simd::parse_isa("AVX2"), std::invalid_argument);  // case-exact
+  // Empty / auto / native all mean "widest compiled backend this CPU runs".
+  EXPECT_EQ(simd::parse_isa(""), simd::parse_isa("auto"));
+  EXPECT_EQ(simd::parse_isa(nullptr), simd::parse_isa("native"));
+}
+
+TEST(SimdDispatch, ScalarBackendAlwaysAvailable) {
+  EXPECT_TRUE(simd::isa_compiled(Isa::kScalar));
+  EXPECT_TRUE(simd::isa_supported(Isa::kScalar));
+}
+
+TEST(SimdDispatch, ActiveBackendIsCompiledAndSupported) {
+  const Isa isa = simd::active_isa();
+  EXPECT_TRUE(simd::isa_compiled(isa));
+  EXPECT_TRUE(simd::isa_supported(isa));
+  EXPECT_EQ(simd::kernels().isa, isa);
+}
+
+TEST(SimdDispatch, KernelTableWidthsAreConsistent) {
+  for (const Isa isa : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512, Isa::kNeon}) {
+    if (!simd::isa_compiled(isa)) continue;
+    const simd::Kernels& k = simd::kernels_for(isa);
+    EXPECT_EQ(k.isa, isa);
+    EXPECT_TRUE(k.f64_width == 1 || k.f64_width == 2 || k.f64_width == 4 ||
+                k.f64_width == 8)
+        << simd::isa_name(isa);
+    EXPECT_EQ(k.fault_words, k.f64_width);
+    // The scalar backend keeps the legacy 4-lane add_cosine; vector backends
+    // run two phasor vectors of W lanes each.
+    EXPECT_EQ(k.cosine_lanes, k.f64_width == 1 ? 4u : 2 * k.f64_width);
+    EXPECT_NE(k.apply_window, nullptr);
+    EXPECT_NE(k.fft_pass, nullptr);
+    EXPECT_NE(k.rfft_combine, nullptr);
+    EXPECT_NE(k.add_cosine, nullptr);
+    EXPECT_NE(k.biquad_ff, nullptr);
+    EXPECT_NE(k.fir_dot, nullptr);
+    EXPECT_NE(k.fault_eval, nullptr);
+  }
+}
+
+TEST(SimdDispatch, ScopedIsaForcesAndRestores) {
+  const Isa before = simd::active_isa();
+  {
+    simd::ScopedIsa scalar(Isa::kScalar);
+    EXPECT_EQ(simd::active_isa(), Isa::kScalar);
+    EXPECT_EQ(simd::kernels().f64_width, 1u);
+  }
+  EXPECT_EQ(simd::active_isa(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Forced-scalar vs native drift contracts
+// ---------------------------------------------------------------------------
+
+TEST(SimdDrift, AddCosineNativeVsScalarOverMillionSamples) {
+  // Both backends reseed from the same double-double carrier every
+  // dsp::kResyncPeriod samples, so the gap never accumulates past ~1 ulp of
+  // the amplitude even over a million samples.
+  constexpr std::size_t kN = 1u << 20;
+  const double omega = 2.0 * 3.14159265358979 * 0.1234567;
+  const double phase = 0.321;
+  const double amp = 0.5;
+  std::vector<double> native(kN, 0.0);
+  dsp::add_cosine(native.data(), kN, omega, phase, amp);
+  std::vector<double> scalar(kN, 0.0);
+  {
+    simd::ScopedIsa forced(Isa::kScalar);
+    dsp::add_cosine(scalar.data(), kN, omega, phase, amp);
+  }
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    max_abs = std::max(max_abs, std::abs(native[i] - scalar[i]));
+  }
+  EXPECT_LE(max_abs, 1e-12);
+}
+
+TEST(SimdDrift, PhasorOscillatorIdenticalUnderForcedScalar) {
+  // The streaming LO phasor is plain scalar code on every backend; forcing
+  // the ISA must not change a single bit of its output.
+  const double omega = 0.05;
+  dsp::PhasorOscillator native_osc(omega, 0.1);
+  std::vector<double> native;
+  for (int i = 0; i < 4096; ++i) native.push_back(native_osc.cos_next());
+  simd::ScopedIsa forced(Isa::kScalar);
+  dsp::PhasorOscillator scalar_osc(omega, 0.1);
+  for (int i = 0; i < 4096; ++i) {
+    const double v = scalar_osc.cos_next();
+    EXPECT_EQ(std::memcmp(&v, &native[static_cast<std::size_t>(i)], sizeof v), 0)
+        << "sample " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count independence with vector kernels active
+// ---------------------------------------------------------------------------
+
+TEST(SimdParallel, McEvaluationBitIdenticalAcrossThreadCounts) {
+  // The Monte-Carlo reduction partitions trials deterministically; with the
+  // SIMD backends active underneath (spectrum, transient, fault kernels all
+  // dispatch) the outcome must still be a pure function of the seed, not of
+  // the thread count.
+  const stats::Normal param{0.0, 1.0};
+  const auto spec = stats::SpecLimits::window(-1.8, 1.8);
+  const auto threshold = spec.tightened(0.12);
+  const auto error = stats::ErrorModel::gaussian(0.05);
+  constexpr int kTrials = 60000;
+
+  auto run = [&](int threads) {
+    stats::Rng rng(0x51D5EEDull);
+    return stats::evaluate_test_mc(param, spec, threshold, error, rng, kTrials,
+                                   threads);
+  };
+  const stats::TestOutcome one = run(1);
+  for (const int threads : {2, 8}) {
+    const stats::TestOutcome many = run(threads);
+    EXPECT_EQ(std::memcmp(&many.yield, &one.yield, sizeof(double)), 0) << threads;
+    EXPECT_EQ(std::memcmp(&many.accept_rate, &one.accept_rate, sizeof(double)), 0)
+        << threads;
+    EXPECT_EQ(std::memcmp(&many.yield_loss, &one.yield_loss, sizeof(double)), 0)
+        << threads;
+    EXPECT_EQ(
+        std::memcmp(&many.fault_coverage_loss, &one.fault_coverage_loss, sizeof(double)),
+        0)
+        << threads;
+  }
+}
+
+TEST(SimdParallel, FaultCampaignBitIdenticalAcrossThreadCounts) {
+  // Wide-word batches split across worker threads must land the exact same
+  // verdicts as the serial sweep (the batch partition is fixed).
+  digital::Netlist nl;
+  digital::Bus in, out;
+  stats::Rng rng(77);
+  std::vector<digital::NetId> pool;
+  for (int i = 0; i < 5; ++i) {
+    const digital::NetId n = nl.add_input("i" + std::to_string(i));
+    in.bits.push_back(n);
+    pool.push_back(n);
+  }
+  const digital::GateType kinds[] = {digital::GateType::kAnd, digital::GateType::kOr,
+                                     digital::GateType::kXor, digital::GateType::kNand};
+  for (int g = 0; g < 120; ++g) {
+    if (rng.uniform() < 0.1) {
+      pool.push_back(nl.add_dff(pool[rng.uniform_int(pool.size())]));
+      continue;
+    }
+    pool.push_back(nl.add_gate(kinds[rng.uniform_int(4)],
+                               pool[rng.uniform_int(pool.size())],
+                               pool[rng.uniform_int(pool.size())]));
+  }
+  for (int o = 0; o < 3; ++o) {
+    const digital::NetId n = pool[pool.size() - 1 - static_cast<std::size_t>(o)];
+    nl.mark_output(n);
+    out.bits.push_back(n);
+  }
+  std::vector<std::int64_t> stim;
+  for (int c = 0; c < 48; ++c) {
+    stim.push_back(static_cast<std::int64_t>(rng.uniform_int(32)) - 16);
+  }
+  const auto faults = digital::collapsed_faults(nl);
+
+  auto run = [&](int threads) {
+    digital::FaultSimOptions fo;
+    fo.threads = threads;
+    return digital::simulate_faults(nl, in, out, stim, faults, fo);
+  };
+  const auto serial = run(1);
+  for (const int threads : {2, 8}) {
+    const auto parallel = run(threads);
+    ASSERT_EQ(parallel.detected.size(), serial.detected.size()) << threads;
+    for (std::size_t f = 0; f < serial.detected.size(); ++f) {
+      EXPECT_EQ(parallel.detected[f], serial.detected[f])
+          << "fault " << f << " threads " << threads;
+    }
+    EXPECT_EQ(parallel.good_waveform, serial.good_waveform) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace msts
