@@ -20,7 +20,7 @@ int main() {
 
   // Every fault at full scale; MSTS_BENCH_SCALE thins each cell's universe.
   const std::size_t stride = obs::scaled_stride(1);
-  for (const std::size_t taps : {8u, 13u, 16u, 21u}) {
+  for (const std::size_t taps : {9u, 13u, 17u, 21u}) {
     for (const int bits : {8, 12}) {
       auto config = path::reference_path_config();
       config.fir_taps = taps;

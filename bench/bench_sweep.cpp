@@ -1,0 +1,80 @@
+// Scenario sweep throughput: the topology/parameter sweep engine (src/sweep)
+// ranking a scenario matrix over the parallel MC machinery.
+//
+// Three phases:
+//   * expand — the scenario matrix (4 topologies x 3 LPF orders x 2 IF
+//     plans = 24 scenarios) crossed and validated;
+//   * sweep — run_sweep iterated; every iteration synthesizes, scores and
+//     ranks all scenarios (headline: scenarios_per_sec);
+//   * verify — the sweep repeated at 1 thread and at the full pool; the
+//     ranking fingerprint must be bit-identical (fingerprint_mismatches
+//     must be 0), which is the determinism contract of sweep.h.
+//
+// bench_compare gates scenarios_per_sec on decrease and sweep_s_per_iter on
+// increase (see its direction rules).
+#include <cstdint>
+#include <cstdio>
+
+#include "obs/bench_report.h"
+#include "path/receiver_path.h"
+#include "stats/parallel.h"
+#include "sweep/sweep.h"
+
+using namespace msts;
+
+int main() {
+  std::printf("== Sweep: topology/scenario ranking over the parallel MC engine ==\n\n");
+  obs::BenchReport report("sweep");
+
+  sweep::SweepOptions opts;
+  opts.mc_trials = static_cast<int>(obs::scaled_trials(20000, 1000));
+  const std::size_t iters = obs::scaled_trials(20, 2);
+
+  // Phase 1: cross the matrix. Two IF plans on top of the default grid.
+  report.phase_start("expand");
+  sweep::ScenarioMatrix matrix;
+  matrix.base = path::reference_path_config();
+  matrix.lo_freqs_hz = {9.5e6, 10.0e6};
+  const std::vector<sweep::Scenario> scenarios = matrix.expand();
+  report.phase_end();
+  std::printf("expand: %zu scenarios (%.3fs)\n", scenarios.size(),
+              report.last_phase_wall_s());
+
+  // Phase 2: the headline sweep loop on the full thread pool.
+  report.phase_start("sweep");
+  sweep::SweepResult result;
+  for (std::size_t i = 0; i < iters; ++i) {
+    result = sweep::run_sweep(scenarios, opts);
+  }
+  report.phase_end();
+  const double sweep_wall = report.last_phase_wall_s();
+  const double per_iter = sweep_wall / static_cast<double>(iters);
+  const double scenarios_per_sec =
+      static_cast<double>(scenarios.size() * iters) / std::max(sweep_wall, 1e-9);
+  std::printf("sweep: %zu iterations x %zu scenarios in %.3fs (%.1f scenarios/s)\n",
+              iters, scenarios.size(), sweep_wall, scenarios_per_sec);
+  std::printf("\n%s\n", sweep::format_ranking(result).c_str());
+
+  // Phase 3: thread-count determinism — serial vs full pool, bit-identical.
+  report.phase_start("verify");
+  sweep::SweepOptions serial = opts;
+  serial.threads = 1;
+  const sweep::SweepResult ref = sweep::run_sweep(scenarios, serial);
+  const std::size_t mismatches = (ref.fingerprint == result.fingerprint) ? 0u : 1u;
+  report.phase_end();
+  std::printf("verify: fingerprint %016llx at 1 thread vs %016llx at %d, "
+              "%zu mismatch(es)\n\n",
+              static_cast<unsigned long long>(ref.fingerprint),
+              static_cast<unsigned long long>(result.fingerprint),
+              stats::max_threads(), mismatches);
+
+  report.add_scalar("scenarios", static_cast<std::int64_t>(scenarios.size()));
+  report.add_scalar("sweep_iters", static_cast<std::int64_t>(iters));
+  report.add_scalar("mc_trials", static_cast<std::int64_t>(opts.mc_trials));
+  report.add_scalar("scenarios_per_sec", scenarios_per_sec);
+  report.add_scalar("sweep_s_per_iter", per_iter);
+  report.add_scalar("best_testability", result.ranking.front().testability);
+  report.add_scalar("best_yield_loss", result.ranking.front().total_yield_loss);
+  report.add_scalar("fingerprint_mismatches", static_cast<std::int64_t>(mismatches));
+  return mismatches == 0 ? 0 : 1;
+}

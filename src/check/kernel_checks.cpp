@@ -209,6 +209,37 @@ struct PathCase {
   std::vector<dsp::Tone> rf_tones;
 };
 
+PathCase random_path_case(stats::Rng& rng) {
+  PathCase c;
+  c.cfg = random_path_config(rng);
+  c.digital_record = std::size_t{1} << (8 + rng.uniform_int(3));  // 256..1024
+  const double digital_fs = c.cfg.digital_fs();
+  const std::size_t ntones = 1 + static_cast<std::size_t>(rng.uniform_int(2));
+  for (std::size_t t = 0; t < ntones; ++t) {
+    dsp::Tone tone;
+    const double if_freq = dsp::coherent_frequency(
+        digital_fs, c.digital_record, rng.uniform(0.05, 0.3) * digital_fs);
+    tone.freq = c.cfg.lo.freq_hz + if_freq;
+    tone.amplitude = rng.uniform(0.001, 0.008);
+    tone.phase = 0.0;
+    c.rf_tones.push_back(tone);
+  }
+  return c;
+}
+
+void describe_path_case(const PathCase& c, obs::json::Writer& w) {
+  describe(c.cfg, w);
+  w.kv("digital_record", static_cast<std::uint64_t>(c.digital_record));
+  w.key("rf_tones").begin_array();
+  for (const dsp::Tone& t : c.rf_tones) {
+    w.begin_object();
+    w.kv("freq", t.freq);
+    w.kv("amplitude", t.amplitude);
+    w.end_object();
+  }
+  w.end_array();
+}
+
 // RF stimulus of a PathCase (deterministic; both sides build the same one).
 analog::Signal make_case_rf(const PathCase& c) {
   analog::Signal rf;
@@ -240,23 +271,7 @@ Report check_path_workspace_vs_allocating_run(const RunOptions& opts) {
   auto ws = std::make_shared<path::PathWorkspace>();
   return differential<Case>(
       "path_workspace_vs_allocating_run",
-      [](stats::Rng& rng) {
-        Case c;
-        c.cfg = random_path_config(rng);
-        c.digital_record = std::size_t{1} << (8 + rng.uniform_int(3));  // 256..1024
-        const double digital_fs = c.cfg.digital_fs();
-        const std::size_t ntones = 1 + static_cast<std::size_t>(rng.uniform_int(2));
-        for (std::size_t t = 0; t < ntones; ++t) {
-          dsp::Tone tone;
-          const double if_freq = dsp::coherent_frequency(
-              digital_fs, c.digital_record, rng.uniform(0.05, 0.3) * digital_fs);
-          tone.freq = c.cfg.lo.freq_hz + if_freq;
-          tone.amplitude = rng.uniform(0.001, 0.008);
-          tone.phase = 0.0;
-          c.rf_tones.push_back(tone);
-        }
-        return c;
-      },
+      [](stats::Rng& rng) { return random_path_case(rng); },
       [ws](const Case& c, stats::Rng& rng) {
         const path::ReceiverPath p = path::ReceiverPath::sampled(c.cfg, rng);
         const analog::Signal rf = make_case_rf(c);
@@ -271,18 +286,57 @@ Report check_path_workspace_vs_allocating_run(const RunOptions& opts) {
         const std::vector<double> volts = p.filter_output_volts(trace);
         return flatten_trace(p, trace, volts);
       },
-      [](const Case& c, obs::json::Writer& w) {
-        describe(c.cfg, w);
-        w.kv("digital_record", static_cast<std::uint64_t>(c.digital_record));
-        w.key("rf_tones").begin_array();
-        for (const dsp::Tone& t : c.rf_tones) {
-          w.begin_object();
-          w.kv("freq", t.freq);
-          w.kv("amplitude", t.amplitude);
-          w.end_object();
-        }
-        w.end_array();
+      [](const Case& c, obs::json::Writer& w) { describe_path_case(c, w); },
+      Tolerance::bit_identical(), opts);
+}
+
+// ---------------------------------------------------------------------------
+// Generic path-graph walk vs the legacy ReceiverPath transient. The fast side
+// runs the canonical instance through PathGraph::run (the generic stage
+// walker any topology uses); the golden side is the historical hand-rolled
+// amp→mixer→lpf→adc→fir body. Both sample the same manufactured path from
+// the same stream, so every output — ADC codes, full-precision FIR words,
+// the volts conversion and the FIR response — must be bit-identical. This is
+// the canonical-instance equivalence contract of path/path_graph.h.
+// ---------------------------------------------------------------------------
+
+Report check_path_graph_vs_receiver_path(const RunOptions& opts) {
+  using Case = PathCase;
+  auto flatten_graph = [](const path::PathGraph& g,
+                          const path::PathGraph::Trace& t,
+                          const std::vector<double>& volts) {
+    std::vector<double> out;
+    out.reserve(t.adc_codes.size() + t.filter_out.size() + volts.size() + 1);
+    for (std::int64_t v : t.adc_codes) out.push_back(static_cast<double>(v));
+    for (std::int64_t v : t.filter_out) out.push_back(static_cast<double>(v));
+    out.insert(out.end(), volts.begin(), volts.end());
+    out.push_back(g.fir_magnitude_at(0.1 * g.config().digital_fs()));
+    return out;
+  };
+  return differential<Case>(
+      "path_graph_vs_receiver_path",
+      [](stats::Rng& rng) { return random_path_case(rng); },
+      [flatten_graph](const Case& c, stats::Rng& rng) {
+        const path::ReceiverPath p = path::ReceiverPath::sampled(c.cfg, rng);
+        const analog::Signal rf = make_case_rf(c);
+        const path::PathGraph::Trace trace = p.graph().run(rf, rng);
+        return flatten_graph(p.graph(), trace, p.graph().output_volts(trace));
       },
+      [](const Case& c, stats::Rng& rng) {
+        const path::ReceiverPath p = path::ReceiverPath::sampled(c.cfg, rng);
+        const analog::Signal rf = make_case_rf(c);
+        const path::ReceiverPath::Trace trace = p.run(rf, rng);
+        const std::vector<double> volts = p.filter_output_volts(trace);
+        std::vector<double> out;
+        out.reserve(trace.adc_codes.size() + trace.filter_out.size() +
+                    volts.size() + 1);
+        for (std::int64_t v : trace.adc_codes) out.push_back(static_cast<double>(v));
+        for (std::int64_t v : trace.filter_out) out.push_back(static_cast<double>(v));
+        out.insert(out.end(), volts.begin(), volts.end());
+        out.push_back(p.fir_magnitude_at(0.1 * c.cfg.digital_fs()));
+        return out;
+      },
+      [](const Case& c, obs::json::Writer& w) { describe_path_case(c, w); },
       Tolerance::bit_identical(), opts);
 }
 
@@ -608,6 +662,7 @@ std::vector<Report> run_all_kernel_checks(const RunOptions& opts) {
       check_goertzel_vs_direct_correlation(opts),
       check_oscillator_vs_libm_trig(opts),
       check_path_workspace_vs_allocating_run(opts),
+      check_path_graph_vs_receiver_path(opts),
       check_parallel_mc_vs_serial(opts),
       check_guard_band_analytic_vs_mc(opts),
       check_simd_window_vs_scalar(opts),

@@ -12,6 +12,8 @@
 //   recurrence oscillator (tonegen) | long-double libm cos per sample
 //   ReceiverPath::run into a reused | allocating ReceiverPath::run
 //     PathWorkspace                 |
+//   generic PathGraph walk over the | legacy ReceiverPath::run body
+//     canonical receiver graph      |
 //   evaluate_test_mc on 4 threads   | evaluate_test_mc on 1 thread
 //   analytic evaluate_test at       | evaluate_test_mc (large trial count)
 //     guard-banded thresholds       |
@@ -32,6 +34,7 @@ Report check_fft_plan_vs_naive_dft(const RunOptions& opts = {});
 Report check_goertzel_vs_direct_correlation(const RunOptions& opts = {});
 Report check_oscillator_vs_libm_trig(const RunOptions& opts = {});
 Report check_path_workspace_vs_allocating_run(const RunOptions& opts = {});
+Report check_path_graph_vs_receiver_path(const RunOptions& opts = {});
 Report check_parallel_mc_vs_serial(const RunOptions& opts = {});
 Report check_guard_band_analytic_vs_mc(const RunOptions& opts = {});
 

@@ -334,20 +334,39 @@ SignalAttributes FirAttrModel::forward(const SignalAttributes& in) const {
 // Path cascade
 // --------------------------------------------------------------------------
 
-PathAttrModel::PathAttrModel(const path::PathConfig& config) : config_(config) {
-  blocks_.push_back(std::make_unique<AmpAttrModel>(config.amp));
-  blocks_.push_back(std::make_unique<MixerAttrModel>(config.mixer, config.lo));
-  blocks_.push_back(std::make_unique<LpfAttrModel>(config.lpf));
-  blocks_.push_back(std::make_unique<AdcAttrModel>(config.adc, config.adc_decimation));
-  const auto h = dsp::design_lowpass(config.fir_taps, config.fir_cutoff_norm);
-  blocks_.push_back(std::make_unique<FirAttrModel>(
-      dsp::quantize_coefficients(h, config.fir_coeff_frac_bits),
-      config.fir_coeff_frac_bits));
+PathAttrModel::PathAttrModel(const path::PathConfig& config)
+    : PathAttrModel(path::graph_from_config(config)) {}
+
+PathAttrModel::PathAttrModel(const path::PathGraphConfig& graph) : graph_(graph) {
+  path::validate(graph_);
+  for (const path::BlockConfig& b : graph_.blocks) {
+    switch (b.kind) {
+      case path::BlockKind::kAmp:
+        blocks_.push_back(std::make_unique<AmpAttrModel>(b.amp));
+        break;
+      case path::BlockKind::kMixer:
+        blocks_.push_back(std::make_unique<MixerAttrModel>(b.mixer, b.lo));
+        break;
+      case path::BlockKind::kLpf:
+        blocks_.push_back(std::make_unique<LpfAttrModel>(b.lpf));
+        break;
+      case path::BlockKind::kAdc:
+        blocks_.push_back(std::make_unique<AdcAttrModel>(b.adc, b.adc_decimation));
+        break;
+      case path::BlockKind::kFir: {
+        const auto h = dsp::design_lowpass(b.fir_taps, b.fir_cutoff_norm);
+        blocks_.push_back(std::make_unique<FirAttrModel>(
+            dsp::quantize_coefficients(h, b.fir_coeff_frac_bits),
+            b.fir_coeff_frac_bits));
+        break;
+      }
+    }
+  }
 }
 
 SignalAttributes PathAttrModel::forward_upto(const SignalAttributes& rf,
                                              std::size_t nblocks) const {
-  MSTS_REQUIRE(nblocks <= kNumBlocks, "block index out of range");
+  MSTS_REQUIRE(nblocks <= blocks_.size(), "block index out of range");
   // With tracing on, every propagation step records what the SignalAttributes
   // look like after each block (tone/spur census, strongest tone, DC, noise),
   // keyed by block index so a drained trace reads in cascade order.
@@ -381,9 +400,9 @@ SignalAttributes PathAttrModel::forward_upto(const SignalAttributes& rf,
 }
 
 stats::Uncertain PathAttrModel::gain_db_to(std::size_t block_index, double f_rf) const {
-  MSTS_REQUIRE(block_index <= kNumBlocks, "block index out of range");
+  MSTS_REQUIRE(block_index <= blocks_.size(), "block index out of range");
   SignalAttributes probe = make_stimulus(
-      config_.analog_fs, {ToneAttr{stats::Uncertain::exact(f_rf),
+      graph_.analog_fs, {ToneAttr{stats::Uncertain::exact(f_rf),
                                    stats::Uncertain::exact(1e-3),
                                    stats::Uncertain::exact(0.0)}});
   const SignalAttributes at = forward_upto(probe, block_index);
@@ -393,14 +412,14 @@ stats::Uncertain PathAttrModel::gain_db_to(std::size_t block_index, double f_rf)
 
 stats::Uncertain PathAttrModel::gain_db_from(std::size_t block_index,
                                              double f_rf) const {
-  MSTS_REQUIRE(block_index <= kNumBlocks, "block index out of range");
+  MSTS_REQUIRE(block_index <= blocks_.size(), "block index out of range");
   // Find the tone frequency and rate context at the input of `block_index`
   // with a nominal forward pass, then propagate a *fresh* exact probe from
   // there so only the tolerances of blocks block_index..end accumulate
   // (subtracting gain_db_to from the path gain would double-count the
   // front-end tolerances in worst-case arithmetic).
   SignalAttributes sig = make_stimulus(
-      config_.analog_fs, {ToneAttr{stats::Uncertain::exact(f_rf),
+      graph_.analog_fs, {ToneAttr{stats::Uncertain::exact(f_rf),
                                    stats::Uncertain::exact(1e-3),
                                    stats::Uncertain::exact(0.0)}});
   for (std::size_t i = 0; i < block_index; ++i) sig = blocks_[i]->forward(sig);
@@ -410,7 +429,7 @@ stats::Uncertain PathAttrModel::gain_db_from(std::size_t block_index,
       sig.fs, {ToneAttr{stats::Uncertain::exact(sig.tones.front().freq.nominal),
                         stats::Uncertain::exact(1e-3),
                         stats::Uncertain::exact(0.0)}});
-  for (std::size_t i = block_index; i < kNumBlocks; ++i) {
+  for (std::size_t i = block_index; i < blocks_.size(); ++i) {
     probe = blocks_[i]->forward(probe);
   }
   MSTS_REQUIRE(!probe.tones.empty(), "probe tone vanished during propagation");
@@ -418,7 +437,7 @@ stats::Uncertain PathAttrModel::gain_db_from(std::size_t block_index,
 }
 
 stats::Uncertain PathAttrModel::path_gain_db(double f_rf) const {
-  return gain_db_to(kNumBlocks, f_rf);
+  return gain_db_to(blocks_.size(), f_rf);
 }
 
 double PathAttrModel::pi_amplitude_for(std::size_t block_index, double f_rf,

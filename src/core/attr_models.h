@@ -101,10 +101,12 @@ class FirAttrModel : public AttrModel {
   int frac_bits_;
 };
 
-/// The whole path in the attribute domain.
+/// The whole path in the attribute domain: one attribute model per block of
+/// a PathGraphConfig, cascaded in graph order.
 class PathAttrModel {
  public:
-  /// Block indices in path order.
+  /// Block indices of the *canonical* receiver graph (graph_from_config).
+  /// Generic graphs address blocks by position; use num_blocks() for bounds.
   static constexpr std::size_t kAmp = 0;
   static constexpr std::size_t kMixer = 1;
   static constexpr std::size_t kLpf = 2;
@@ -112,15 +114,23 @@ class PathAttrModel {
   static constexpr std::size_t kFir = 4;
   static constexpr std::size_t kNumBlocks = 5;
 
+  /// Canonical chain of a flat config (equivalent to the graph constructor
+  /// on graph_from_config(config)).
   explicit PathAttrModel(const path::PathConfig& config);
 
+  /// Attribute cascade of an arbitrary (validated) path graph.
+  explicit PathAttrModel(const path::PathGraphConfig& graph);
+
+  /// Number of blocks in the cascade.
+  std::size_t num_blocks() const { return blocks_.size(); }
+
   /// Propagates an RF-input description through the first `nblocks` blocks
-  /// (kNumBlocks = the full path).
+  /// (num_blocks() = the full path).
   SignalAttributes forward_upto(const SignalAttributes& rf, std::size_t nblocks) const;
 
   /// Full-path propagation.
   SignalAttributes forward(const SignalAttributes& rf) const {
-    return forward_upto(rf, kNumBlocks);
+    return forward_upto(rf, blocks_.size());
   }
 
   /// Toleranced voltage gain (dB) from the primary input to the *input* of
@@ -141,10 +151,11 @@ class PathAttrModel {
                           double target_vpeak) const;
 
   const AttrModel& block(std::size_t i) const { return *blocks_[i]; }
-  const path::PathConfig& config() const { return config_; }
+  /// The graph description this cascade was built from.
+  const path::PathGraphConfig& graph() const { return graph_; }
 
  private:
-  path::PathConfig config_;
+  path::PathGraphConfig graph_;
   std::vector<std::unique_ptr<AttrModel>> blocks_;
 };
 

@@ -44,6 +44,13 @@ class TestSynthesizer {
   explicit TestSynthesizer(const path::PathConfig& config, bool adaptive = true,
                            double spec_sigmas = 2.0);
 
+  /// Synthesis over an arbitrary (validated) path graph: the plan walks the
+  /// block list in graph order, emitting each block's Table 1 rows; repeated
+  /// kinds get "#2", "#3"... module suffixes. The canonical graph reproduces
+  /// the flat-config plan byte-for-byte.
+  explicit TestSynthesizer(const path::PathGraphConfig& graph, bool adaptive = true,
+                           double spec_sigmas = 2.0);
+
   /// The full plan (Table 1 parameter set).
   std::vector<PlannedTest> synthesize() const;
 
@@ -56,7 +63,7 @@ class TestSynthesizer {
   bool adaptive() const { return adaptive_; }
 
  private:
-  path::PathConfig config_;
+  path::PathGraphConfig graph_;
   Translator translator_;
   bool adaptive_;
   double spec_sigmas_;

@@ -50,28 +50,55 @@ TranslationAnalysis traced(const char* attr, TranslationAnalysis a,
 }  // namespace
 
 Translator::Translator(const path::PathConfig& config)
-    : config_(config), model_(config) {}
+    : Translator(path::graph_from_config(config)) {}
+
+Translator::Translator(const path::PathGraphConfig& graph)
+    : graph_(graph),
+      model_(graph_),
+      amp_idx_(graph_.index_of(path::BlockKind::kAmp)),
+      mixer_idx_(graph_.index_of(path::BlockKind::kMixer)),
+      lpf_idx_(graph_.index_of(path::BlockKind::kLpf)) {}
+
+double Translator::pre_mixer_gain_db() const {
+  MSTS_REQUIRE(mixer_idx_.has_value(), "analysis needs a mixer block");
+  double g = 0.0;
+  for (std::size_t i = 0; i < *mixer_idx_; ++i) {
+    if (graph_.blocks[i].kind == path::BlockKind::kAmp) {
+      g += graph_.blocks[i].amp.gain_db.nominal;
+    }
+  }
+  return g;
+}
+
+double Translator::lo_freq() const {
+  return mixer_idx_ ? graph_.blocks[*mixer_idx_].lo.freq_hz : 0.0;
+}
 
 double Translator::test_if_freq(const path::MeasureOptions& opts) const {
-  return path::coherent_if_freq(config_, opts, 0.4 * config_.lpf.cutoff_hz.nominal);
+  MSTS_REQUIRE(lpf_idx_.has_value(), "stimulus placement needs an LPF block");
+  return dsp::coherent_frequency(
+      graph_.digital_fs(), opts.digital_record,
+      0.4 * graph_.blocks[*lpf_idx_].lpf.cutoff_hz.nominal);
 }
 
 std::pair<double, double> Translator::test_two_tone(
     const path::MeasureOptions& opts) const {
+  MSTS_REQUIRE(lpf_idx_.has_value(), "stimulus placement needs an LPF block");
   // Both tones in the LPF and FIR pass-band, placed so their IM3 products
   // stay in-band and off the fundamental bins.
-  const double fs_d = config_.digital_fs();
-  const auto tones = dsp::place_test_tones(
-      fs_d, opts.digital_record, 0.25 * config_.lpf.cutoff_hz.nominal,
-      0.55 * config_.lpf.cutoff_hz.nominal, 2);
+  const double fs_d = graph_.digital_fs();
+  const double cutoff = graph_.blocks[*lpf_idx_].lpf.cutoff_hz.nominal;
+  const auto tones = dsp::place_test_tones(fs_d, opts.digital_record,
+                                           0.25 * cutoff, 0.55 * cutoff, 2);
   return {tones[0], tones[1]};
 }
 
 double Translator::linear_drive_vpeak() const {
   // 15 dB below the path's compression-limited region: the mixer P1dB
   // referred to the primary input, minus margin.
+  MSTS_REQUIRE(mixer_idx_.has_value(), "drive-level choice needs a mixer block");
   const double p1db_pi_dbm =
-      config_.mixer.p1db_in_dbm.nominal - config_.amp.gain_db.nominal;
+      graph_.blocks[*mixer_idx_].mixer.p1db_in_dbm.nominal - pre_mixer_gain_db();
   return vpeak_from_dbm(p1db_pi_dbm - 15.0);
 }
 
@@ -90,17 +117,18 @@ TranslationAnalysis Translator::analyze_path_gain() const {
 TranslationAnalysis Translator::analyze_mixer_iip3(bool adaptive) const {
   TranslationAnalysis a;
   a.method = TranslationMethod::kPropagation;
-  const double f_rf = config_.lo.freq_hz + test_if_freq();
+  MSTS_REQUIRE(mixer_idx_.has_value(), "mixer analysis needs a mixer block");
+  const double f_rf = lo_freq() + test_if_freq();
   if (adaptive) {
     // IIP3 = X + (X - Y)/2 - G_path + G_A: the only tolerance left is G_A
     // (plus the path-gain measurement floor). Fig. 4b.
-    const Uncertain g_a = model_.gain_db_to(PathAttrModel::kMixer, f_rf);
+    const Uncertain g_a = model_.gain_db_to(*mixer_idx_, f_rf);
     a.error = Uncertain(0.0, g_a.wc, g_a.sigma) + measurement_floor_db();
     a.formula = "IIP3 = X + (X-Y)/2 - G_path(measured) + G_A(nominal)";
   } else {
     // IIP3 = X + (X - Y)/2 - (G_M + G_B) at nominal gains. Fig. 4a, no
     // access: the mixer and every block after it contribute tolerance.
-    const Uncertain g_mb = model_.gain_db_from(PathAttrModel::kMixer, f_rf);
+    const Uncertain g_mb = model_.gain_db_from(*mixer_idx_, f_rf);
     a.error = Uncertain(0.0, g_mb.wc, g_mb.sigma);
     a.formula = "IIP3 = X + (X-Y)/2 - (G_M + G_B)(nominal)";
   }
@@ -110,8 +138,9 @@ TranslationAnalysis Translator::analyze_mixer_iip3(bool adaptive) const {
 TranslationAnalysis Translator::analyze_mixer_p1db() const {
   TranslationAnalysis a;
   a.method = TranslationMethod::kPropagation;
-  const double f_rf = config_.lo.freq_hz + test_if_freq();
-  const Uncertain g_a = model_.gain_db_to(PathAttrModel::kMixer, f_rf);
+  MSTS_REQUIRE(mixer_idx_.has_value(), "mixer analysis needs a mixer block");
+  const double f_rf = lo_freq() + test_if_freq();
+  const Uncertain g_a = model_.gain_db_to(*mixer_idx_, f_rf);
   a.error = Uncertain(0.0, g_a.wc, g_a.sigma) + measurement_floor_db();
   a.formula = "P1dB(mixer,in) = P1dB(path,PI measured) + G_A(nominal)";
   return traced("mixer_p1db", std::move(a));
@@ -120,10 +149,12 @@ TranslationAnalysis Translator::analyze_mixer_p1db() const {
 TranslationAnalysis Translator::analyze_lpf_cutoff() const {
   TranslationAnalysis a;
   a.method = TranslationMethod::kPropagation;
+  MSTS_REQUIRE(lpf_idx_.has_value(), "cutoff analysis needs an LPF block");
   // The -3 dB crossing moves by (flatness error) / (response slope at fc).
-  const analog::LowPassFilter nominal(config_.lpf);
-  const double fc = config_.lpf.cutoff_hz.nominal;
-  const double fs = config_.analog_fs;
+  const analog::LpfParams& lpf = graph_.blocks[*lpf_idx_].lpf;
+  const analog::LowPassFilter nominal(lpf);
+  const double fc = lpf.cutoff_hz.nominal;
+  const double fs = graph_.analog_fs;
   const double df = fc * 1e-3;
   const double slope_db_per_hz =
       (db_from_amplitude_ratio(nominal.magnitude_at(fc + df, fs)) -
@@ -131,7 +162,7 @@ TranslationAnalysis Translator::analyze_lpf_cutoff() const {
       (2.0 * df);
   MSTS_REQUIRE(slope_db_per_hz < 0.0, "filter response must fall at the cutoff");
   const double hz_per_db = 1.0 / std::abs(slope_db_per_hz);
-  const Uncertain flat = config_.analog_flatness_db + measurement_floor_db();
+  const Uncertain flat = graph_.analog_flatness_db + measurement_floor_db();
   a.error = Uncertain(0.0, flat.wc * hz_per_db, flat.sigma * hz_per_db);
   a.formula = "f_c from -3 dB crossing of G(f)/G(f_ref); FIR response divided out";
   return traced("lpf_cutoff", std::move(a));
@@ -151,9 +182,10 @@ TranslationAnalysis Translator::analyze_mixer_lo_isolation() const {
   TranslationAnalysis a;
   // Propagate the feedthrough spur to the output and compare with the
   // minimum detectable level there.
+  MSTS_REQUIRE(mixer_idx_.has_value(), "mixer analysis needs a mixer block");
   SignalAttributes probe = make_stimulus(
-      config_.analog_fs,
-      {ToneAttr{Uncertain::exact(config_.lo.freq_hz + test_if_freq()),
+      graph_.analog_fs,
+      {ToneAttr{Uncertain::exact(lo_freq() + test_if_freq()),
                 Uncertain::exact(linear_drive_vpeak()), Uncertain::exact(0.0)}});
   const SignalAttributes out = model_.forward(probe);
   double feedthrough = 0.0;
@@ -170,9 +202,9 @@ TranslationAnalysis Translator::analyze_mixer_lo_isolation() const {
                 std::to_string(feedthrough * 1e9) + " nV < " +
                 std::to_string(min_det * 1e9) + " nV): untranslatable";
   } else {
+    const analog::MixerParams& mixer = graph_.blocks[*mixer_idx_].mixer;
     a.method = TranslationMethod::kPropagation;
-    a.error = Uncertain(0.0, config_.mixer.conv_gain_db.wc,
-                        config_.mixer.conv_gain_db.sigma);
+    a.error = Uncertain(0.0, mixer.conv_gain_db.wc, mixer.conv_gain_db.sigma);
     a.formula = "isolation = LO level - feedthrough at PO + G_B";
   }
   return traced("mixer_lo_isolation", std::move(a),
@@ -184,9 +216,11 @@ TranslationAnalysis Translator::analyze_amp_offset() const {
   // A multiplying mixer up-converts DC, so an amp offset cannot reach the
   // PO: inject a large probe offset and confirm the propagated output DC is
   // insensitive to it (it carries only the ADC offset).
-  SignalAttributes probe_zero = make_stimulus(config_.analog_fs, {});
+  MSTS_REQUIRE(amp_idx_.has_value(), "amp analysis needs an amplifier block");
+  SignalAttributes probe_zero = make_stimulus(graph_.analog_fs, {});
   SignalAttributes probe_big = probe_zero;
-  probe_big.dc = Uncertain::exact(config_.amp.dc_offset_v.upper() + 10e-3);
+  probe_big.dc =
+      Uncertain::exact(graph_.blocks[*amp_idx_].amp.dc_offset_v.upper() + 10e-3);
   const double dc_zero = model_.forward(probe_zero).dc.nominal;
   const double dc_big = model_.forward(probe_big).dc.nominal;
   MSTS_REQUIRE(std::abs(dc_big - dc_zero) < 1e-9,
@@ -202,9 +236,10 @@ TranslationAnalysis Translator::analyze_amp_hd3() const {
   TranslationAnalysis a;
   // HD3 of the RF tone sits at 3*f_rf; after down-conversion it is at
   // |3 f_rf - f_lo| ≈ 2 f_lo, far outside the LPF. Verify via propagation.
+  MSTS_REQUIRE(amp_idx_.has_value(), "amp analysis needs an amplifier block");
   SignalAttributes probe = make_stimulus(
-      config_.analog_fs,
-      {ToneAttr{Uncertain::exact(config_.lo.freq_hz + test_if_freq()),
+      graph_.analog_fs,
+      {ToneAttr{Uncertain::exact(lo_freq() + test_if_freq()),
                 Uncertain::exact(linear_drive_vpeak()), Uncertain::exact(0.0)}});
   const SignalAttributes out = model_.forward(probe);
   double hd3_at_po = 0.0;
@@ -218,8 +253,9 @@ TranslationAnalysis Translator::analyze_amp_hd3() const {
     a.formula = "amp HD3 falls outside the LPF after down-conversion: "
                 "untranslatable; covered indirectly by the path IIP3 test";
   } else {
+    const analog::AmpParams& amp = graph_.blocks[*amp_idx_].amp;
     a.method = TranslationMethod::kPropagation;
-    a.error = Uncertain(0.0, config_.amp.gain_db.wc, config_.amp.gain_db.sigma);
+    a.error = Uncertain(0.0, amp.gain_db.wc, amp.gain_db.sigma);
     a.formula = "HD3 measured at PO corrected by G_path";
   }
   return traced("amp_hd3", std::move(a),
@@ -243,7 +279,7 @@ TranslationAnalysis Translator::analyze_path_nf() const {
   // apportioning it to blocks is impossible without test points, which is
   // exactly why the paper composes it. Error: gain tolerances entering the
   // input-referral of the measured noise.
-  const double f_rf = config_.lo.freq_hz + test_if_freq();
+  const double f_rf = lo_freq() + test_if_freq();
   const Uncertain g = model_.path_gain_db(f_rf);
   a.error = Uncertain(0.0, g.wc, g.sigma) + measurement_floor_db();
   a.formula = "NF_path from SNR(PO) with known input level, referred by G_path";
@@ -284,9 +320,9 @@ double Translator::measure_mixer_iip3_dbm(const path::ReceiverPath& p, stats::Rn
   }
   const auto [f1, f2] = test_two_tone(opts);
   const auto resp = path::measure_two_tone(p, f1, f2, linear_drive_vpeak(), rng, opts);
-  const double f_rf = config_.lo.freq_hz + 0.5 * (f1 + f2);
-  return iip3_from_response(
-      resp, model_.gain_db_from(PathAttrModel::kMixer, f_rf).nominal);
+  const double f_rf = lo_freq() + 0.5 * (f1 + f2);
+  return iip3_from_response(resp,
+                            model_.gain_db_from(*mixer_idx_, f_rf).nominal);
 }
 
 double Translator::measure_mixer_iip3_dbm_with_gain(
@@ -294,17 +330,17 @@ double Translator::measure_mixer_iip3_dbm_with_gain(
     const path::MeasureOptions& opts) const {
   const auto [f1, f2] = test_two_tone(opts);
   const auto resp = path::measure_two_tone(p, f1, f2, linear_drive_vpeak(), rng, opts);
-  const double f_rf = config_.lo.freq_hz + 0.5 * (f1 + f2);
-  const double g_a = model_.gain_db_to(PathAttrModel::kMixer, f_rf).nominal;
+  const double f_rf = lo_freq() + 0.5 * (f1 + f2);
+  const double g_a = model_.gain_db_to(*mixer_idx_, f_rf).nominal;
   return iip3_from_response(resp, path_gain_db - g_a);
 }
 
 double Translator::measure_mixer_p1db_dbm(const path::ReceiverPath& p, stats::Rng& rng,
                                           const path::MeasureOptions& opts) const {
-  const double f_rf = config_.lo.freq_hz + test_if_freq(opts);
+  const double f_rf = lo_freq() + test_if_freq(opts);
   const double p1db_pi =
       path::measure_path_p1db_dbm(p, test_if_freq(opts), rng, opts);
-  const double g_a = model_.gain_db_to(PathAttrModel::kMixer, f_rf).nominal;
+  const double g_a = model_.gain_db_to(*mixer_idx_, f_rf).nominal;
   return p1db_pi + g_a;
 }
 

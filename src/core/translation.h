@@ -19,6 +19,7 @@
 // concrete (simulated) path through its primary ports only.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "core/attr_models.h"
@@ -50,10 +51,13 @@ struct TranslationAnalysis {
   std::string formula;
 };
 
-/// Translation engine for the reference path topology.
+/// Translation engine over a path graph (canonically, the reference
+/// receiver topology; any validated PathGraphConfig works — block-specific
+/// analyses key off the first block of the matching kind).
 class Translator {
  public:
   explicit Translator(const path::PathConfig& config);
+  explicit Translator(const path::PathGraphConfig& graph);
 
   const PathAttrModel& model() const { return model_; }
 
@@ -137,8 +141,18 @@ class Translator {
   double linear_drive_vpeak() const;
 
  private:
-  path::PathConfig config_;
+  /// Cumulative nominal gain (dB) of the blocks in front of the mixer.
+  double pre_mixer_gain_db() const;
+  /// LO frequency of the first mixer stage (0 when the graph has none).
+  double lo_freq() const;
+
+  path::PathGraphConfig graph_;
   PathAttrModel model_;
+  /// First block of each kind the analyses reason about (graph index; the
+  /// canonical chain has mixer at PathAttrModel::kMixer).
+  std::optional<std::size_t> amp_idx_;
+  std::optional<std::size_t> mixer_idx_;
+  std::optional<std::size_t> lpf_idx_;
 };
 
 }  // namespace msts::core

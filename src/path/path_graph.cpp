@@ -1,0 +1,376 @@
+#include "path/path_graph.h"
+
+#include <cmath>
+#include <utility>
+
+#include "base/require.h"
+#include "digital/fir.h"
+#include "dsp/fir_design.h"
+#include "obs/registry.h"
+
+namespace msts::path {
+
+std::string to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kAmp: return "amp";
+    case BlockKind::kMixer: return "mixer";
+    case BlockKind::kLpf: return "lpf";
+    case BlockKind::kAdc: return "adc";
+    case BlockKind::kFir: return "fir";
+  }
+  return "?";
+}
+
+BlockConfig BlockConfig::make_amp(const analog::AmpParams& params) {
+  BlockConfig b;
+  b.kind = BlockKind::kAmp;
+  b.amp = params;
+  return b;
+}
+
+BlockConfig BlockConfig::make_mixer(const analog::MixerParams& params,
+                                    const analog::LoParams& lo) {
+  BlockConfig b;
+  b.kind = BlockKind::kMixer;
+  b.mixer = params;
+  b.lo = lo;
+  return b;
+}
+
+BlockConfig BlockConfig::make_lpf(const analog::LpfParams& params) {
+  BlockConfig b;
+  b.kind = BlockKind::kLpf;
+  b.lpf = params;
+  return b;
+}
+
+BlockConfig BlockConfig::make_adc(const analog::AdcParams& params,
+                                  std::size_t decimation) {
+  BlockConfig b;
+  b.kind = BlockKind::kAdc;
+  b.adc = params;
+  b.adc_decimation = decimation;
+  return b;
+}
+
+BlockConfig BlockConfig::make_fir(std::size_t taps, double cutoff_norm,
+                                  int frac_bits) {
+  BlockConfig b;
+  b.kind = BlockKind::kFir;
+  b.fir_taps = taps;
+  b.fir_cutoff_norm = cutoff_norm;
+  b.fir_coeff_frac_bits = frac_bits;
+  return b;
+}
+
+std::optional<std::size_t> PathGraphConfig::index_of(BlockKind kind) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].kind == kind) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t PathGraphConfig::count(BlockKind kind) const {
+  std::size_t n = 0;
+  for (const BlockConfig& b : blocks) {
+    if (b.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::size_t PathGraphConfig::adc_decimation() const {
+  const auto adc = index_of(BlockKind::kAdc);
+  MSTS_REQUIRE(adc.has_value(), "path graph needs an ADC block");
+  return blocks[*adc].adc_decimation;
+}
+
+namespace {
+
+// Per-block parameter rules shared by validate(PathConfig) and
+// validate(PathGraphConfig). Kept here so the two descriptions can never
+// drift apart.
+void validate_adc_block(const analog::AdcParams& adc, std::size_t decimation) {
+  MSTS_REQUIRE(decimation >= 1, "decimation must be >= 1");
+  MSTS_REQUIRE(adc.bits >= 2 && adc.bits <= 24,
+               "adc bits must be in [2, 24] (digital filter input-width budget)");
+  MSTS_REQUIRE(adc.vref > 0.0, "adc vref must be > 0");
+}
+
+void validate_lpf_block(const analog::LpfParams& lpf) {
+  MSTS_REQUIRE(lpf.order >= 2 && lpf.order % 2 == 0,
+               "lpf order must be a positive even biquad-cascade order");
+  MSTS_REQUIRE(lpf.cutoff_hz.nominal > 0.0, "lpf cutoff must be > 0");
+}
+
+void validate_fir_block(std::size_t taps, double cutoff_norm, int frac_bits) {
+  MSTS_REQUIRE(taps >= 3 && taps % 2 == 1,
+               "fir_taps must be odd and >= 3 (type-I linear-phase design)");
+  MSTS_REQUIRE(cutoff_norm > 0.0 && cutoff_norm < 0.5,
+               "fir_cutoff_norm must lie in (0, 0.5)");
+  MSTS_REQUIRE(frac_bits >= 1 && frac_bits <= 30,
+               "fir_coeff_frac_bits must be in [1, 30] (int32 coefficient budget)");
+}
+
+std::vector<std::int32_t> design_fir(std::size_t taps, double cutoff_norm,
+                                     int frac_bits) {
+  return dsp::quantize_coefficients(dsp::design_lowpass(taps, cutoff_norm),
+                                    frac_bits);
+}
+
+}  // namespace
+
+void validate(const PathConfig& config) {
+  MSTS_REQUIRE(std::isfinite(config.analog_fs) && config.analog_fs > 0.0,
+               "analog_fs must be a positive, finite rate");
+  validate_adc_block(config.adc, config.adc_decimation);
+  validate_lpf_block(config.lpf);
+  validate_fir_block(config.fir_taps, config.fir_cutoff_norm,
+                     config.fir_coeff_frac_bits);
+}
+
+void validate(const PathGraphConfig& graph) {
+  MSTS_REQUIRE(std::isfinite(graph.analog_fs) && graph.analog_fs > 0.0,
+               "analog_fs must be a positive, finite rate");
+  MSTS_REQUIRE(!graph.blocks.empty(), "path graph needs at least one block");
+  MSTS_REQUIRE(graph.count(BlockKind::kAdc) == 1,
+               "path graph needs exactly one ADC block");
+  MSTS_REQUIRE(graph.count(BlockKind::kFir) <= 1,
+               "path graph supports at most one FIR block");
+  const std::size_t adc = *graph.index_of(BlockKind::kAdc);
+  for (std::size_t i = 0; i < graph.blocks.size(); ++i) {
+    const BlockConfig& b = graph.blocks[i];
+    switch (b.kind) {
+      case BlockKind::kAmp:
+      case BlockKind::kMixer:
+        MSTS_REQUIRE(i < adc, "analog blocks must precede the ADC");
+        break;
+      case BlockKind::kLpf:
+        MSTS_REQUIRE(i < adc, "analog blocks must precede the ADC");
+        validate_lpf_block(b.lpf);
+        break;
+      case BlockKind::kAdc:
+        validate_adc_block(b.adc, b.adc_decimation);
+        break;
+      case BlockKind::kFir:
+        MSTS_REQUIRE(i > adc, "digital FIR blocks must follow the ADC");
+        validate_fir_block(b.fir_taps, b.fir_cutoff_norm, b.fir_coeff_frac_bits);
+        break;
+    }
+  }
+}
+
+PathGraphConfig graph_from_config(const PathConfig& config) {
+  validate(config);
+  PathGraphConfig g;
+  g.analog_fs = config.analog_fs;
+  g.analog_flatness_db = config.analog_flatness_db;
+  g.blocks.push_back(BlockConfig::make_amp(config.amp));
+  g.blocks.push_back(BlockConfig::make_mixer(config.mixer, config.lo));
+  g.blocks.push_back(BlockConfig::make_lpf(config.lpf));
+  g.blocks.push_back(BlockConfig::make_adc(config.adc, config.adc_decimation));
+  g.blocks.push_back(BlockConfig::make_fir(config.fir_taps, config.fir_cutoff_norm,
+                                           config.fir_coeff_frac_bits));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// PathGraph
+// ---------------------------------------------------------------------------
+
+namespace {
+
+PathGraph::Stage manufacture(const BlockConfig& b, int adc_bits,
+                             stats::Rng* rng) {
+  switch (b.kind) {
+    case BlockKind::kAmp:
+      return rng ? analog::Amplifier::sampled(b.amp, *rng) : analog::Amplifier(b.amp);
+    case BlockKind::kMixer: {
+      if (rng) {
+        // Sampling order within the stage is part of the graph contract:
+        // mixer first, then its LO.
+        analog::Mixer mixer = analog::Mixer::sampled(b.mixer, *rng);
+        analog::LocalOscillator lo = analog::LocalOscillator::sampled(b.lo, *rng);
+        return PathGraph::MixerStage{std::move(mixer), std::move(lo)};
+      }
+      return PathGraph::MixerStage{analog::Mixer(b.mixer),
+                                   analog::LocalOscillator(b.lo)};
+    }
+    case BlockKind::kLpf:
+      return rng ? analog::LowPassFilter::sampled(b.lpf, *rng)
+                 : analog::LowPassFilter(b.lpf);
+    case BlockKind::kAdc:
+      return PathGraph::AdcStage{
+          rng ? analog::Adc::sampled(b.adc, *rng) : analog::Adc(b.adc),
+          b.adc_decimation};
+    case BlockKind::kFir:
+      return PathGraph::FirStage{
+          design_fir(b.fir_taps, b.fir_cutoff_norm, b.fir_coeff_frac_bits),
+          b.fir_coeff_frac_bits, adc_bits};
+  }
+  MSTS_REQUIRE(false, "unknown block kind");
+  return PathGraph::FirStage{};
+}
+
+std::vector<PathGraph::Stage> manufacture_all(const PathGraphConfig& config,
+                                              stats::Rng* rng) {
+  const int adc_bits = config.blocks[*config.index_of(BlockKind::kAdc)].adc.bits;
+  std::vector<PathGraph::Stage> stages;
+  stages.reserve(config.blocks.size());
+  for (const BlockConfig& b : config.blocks) {
+    stages.push_back(manufacture(b, adc_bits, rng));
+  }
+  return stages;
+}
+
+BlockKind kind_of_stage(const PathGraph::Stage& s) {
+  if (std::holds_alternative<analog::Amplifier>(s)) return BlockKind::kAmp;
+  if (std::holds_alternative<PathGraph::MixerStage>(s)) return BlockKind::kMixer;
+  if (std::holds_alternative<analog::LowPassFilter>(s)) return BlockKind::kLpf;
+  if (std::holds_alternative<PathGraph::AdcStage>(s)) return BlockKind::kAdc;
+  return BlockKind::kFir;
+}
+
+}  // namespace
+
+PathGraph::PathGraph(PathGraphConfig config, std::vector<Stage> stages)
+    : config_(std::move(config)), stages_(std::move(stages)) {
+  validate(config_);
+  MSTS_REQUIRE(stages_.size() == config_.blocks.size(),
+               "stage list must match the graph block-for-block");
+  for (std::size_t i = 0; i < stages_.size(); ++i) {
+    MSTS_REQUIRE(kind_of_stage(stages_[i]) == config_.blocks[i].kind,
+                 "stage kind must match the graph block kind");
+  }
+  adc_index_ = *config_.index_of(BlockKind::kAdc);
+}
+
+PathGraph::PathGraph(const PathGraphConfig& config)
+    : PathGraph(config, (validate(config), manufacture_all(config, nullptr))) {}
+
+PathGraph PathGraph::sampled(const PathGraphConfig& config, stats::Rng& rng) {
+  validate(config);
+  return PathGraph(config, manufacture_all(config, &rng));
+}
+
+PathGraph PathGraph::from_stages(const PathGraphConfig& config,
+                                 std::vector<Stage> stages) {
+  return PathGraph(config, std::move(stages));
+}
+
+const analog::Amplifier& PathGraph::amp_at(std::size_t i) const {
+  MSTS_REQUIRE(i < stages_.size(), "stage index out of range");
+  const auto* s = std::get_if<analog::Amplifier>(&stages_[i]);
+  MSTS_REQUIRE(s != nullptr, "stage is not an amplifier");
+  return *s;
+}
+
+const PathGraph::MixerStage& PathGraph::mixer_at(std::size_t i) const {
+  MSTS_REQUIRE(i < stages_.size(), "stage index out of range");
+  const auto* s = std::get_if<MixerStage>(&stages_[i]);
+  MSTS_REQUIRE(s != nullptr, "stage is not a mixer");
+  return *s;
+}
+
+const analog::LowPassFilter& PathGraph::lpf_at(std::size_t i) const {
+  MSTS_REQUIRE(i < stages_.size(), "stage index out of range");
+  const auto* s = std::get_if<analog::LowPassFilter>(&stages_[i]);
+  MSTS_REQUIRE(s != nullptr, "stage is not a low-pass filter");
+  return *s;
+}
+
+const PathGraph::AdcStage& PathGraph::adc_at(std::size_t i) const {
+  MSTS_REQUIRE(i < stages_.size(), "stage index out of range");
+  const auto* s = std::get_if<AdcStage>(&stages_[i]);
+  MSTS_REQUIRE(s != nullptr, "stage is not an ADC");
+  return *s;
+}
+
+const PathGraph::FirStage& PathGraph::fir_at(std::size_t i) const {
+  MSTS_REQUIRE(i < stages_.size(), "stage index out of range");
+  const auto* s = std::get_if<FirStage>(&stages_[i]);
+  MSTS_REQUIRE(s != nullptr, "stage is not a FIR filter");
+  return *s;
+}
+
+PathGraph::Trace PathGraph::run(const analog::Signal& rf,
+                                stats::Rng& noise_rng) const {
+  GraphWorkspace ws;
+  run(rf, noise_rng, ws);
+  return std::move(ws.trace);
+}
+
+const PathGraph::Trace& PathGraph::run(const analog::Signal& rf,
+                                       stats::Rng& noise_rng,
+                                       GraphWorkspace& ws) const {
+  MSTS_REQUIRE(rf.fs == config_.analog_fs, "RF input must use the analog rate");
+  Trace& t = ws.trace;
+  const bool warm = !t.analog_stages.empty() &&
+                    t.analog_stages.front().samples.capacity() >= rf.size();
+  obs::counter_add(warm ? "path.graph.workspace.reuse"
+                        : "path.graph.workspace.grow");
+  t.analog_stages.resize(adc_index_);
+
+  // The stage walk mirrors ReceiverPath::run operation-for-operation on the
+  // canonical graph, including the RNG draw order (amp noise, LO waveform,
+  // mixer noise) — that is the bit-identity contract the differential pair
+  // in src/check enforces.
+  const analog::Signal* cur = &rf;
+  for (std::size_t i = 0; i < adc_index_; ++i) {
+    analog::Signal& out = t.analog_stages[i];
+    if (const auto* amp = std::get_if<analog::Amplifier>(&stages_[i])) {
+      amp->process_into(*cur, noise_rng, out);
+    } else if (const auto* mx = std::get_if<MixerStage>(&stages_[i])) {
+      mx->lo.generate_into(cur->fs, cur->size(), noise_rng, ws.lo_wave);
+      mx->mixer.process_into(*cur, ws.lo_wave, noise_rng, out);
+    } else {
+      std::get<analog::LowPassFilter>(stages_[i]).process_into(*cur, out);
+    }
+    cur = &out;
+  }
+
+  const AdcStage& adc = std::get<AdcStage>(stages_[adc_index_]);
+  adc.adc.digitize_into(*cur, adc.decimation, t.adc_codes);
+
+  if (adc_index_ + 1 < stages_.size()) {
+    const FirStage& fir = std::get<FirStage>(stages_[adc_index_ + 1]);
+    digital::fir_block_into(fir.coeffs, fir.input_bits, t.adc_codes, t.filter_out);
+  } else {
+    t.filter_out.clear();
+  }
+  t.digital_fs = config_.digital_fs();
+  return t;
+}
+
+std::vector<double> PathGraph::output_volts(const Trace& trace) const {
+  std::vector<double> out;
+  output_volts_into(trace, out);
+  return out;
+}
+
+void PathGraph::output_volts_into(const Trace& trace,
+                                  std::vector<double>& out) const {
+  const AdcStage& adc = std::get<AdcStage>(stages_[adc_index_]);
+  if (adc_index_ + 1 < stages_.size()) {
+    const FirStage& fir = std::get<FirStage>(stages_[adc_index_ + 1]);
+    const double scale = adc.adc.lsb() / static_cast<double>(1 << fir.frac_bits);
+    out.resize(trace.filter_out.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<double>(trace.filter_out[i]) * scale;
+    }
+    return;
+  }
+  const double lsb = adc.adc.lsb();
+  out.resize(trace.adc_codes.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<double>(trace.adc_codes[i]) * lsb;
+  }
+}
+
+double PathGraph::fir_magnitude_at(double f) const {
+  if (adc_index_ + 1 >= stages_.size()) return 1.0;
+  const FirStage& fir = std::get<FirStage>(stages_[adc_index_ + 1]);
+  return std::abs(dsp::frequency_response_fixed(fir.coeffs, fir.frac_bits,
+                                                f / config_.digital_fs()));
+}
+
+}  // namespace msts::path

@@ -69,14 +69,12 @@ ReceiverPath::ReceiverPath(const PathConfig& config, analog::Amplifier amp,
                            analog::Mixer mixer, analog::LocalOscillator lo,
                            analog::LowPassFilter lpf, analog::Adc adc)
     : config_(config),
-      amp_(amp),
-      mixer_(mixer),
-      lo_(lo),
-      lpf_(lpf),
-      adc_(adc),
-      fir_coeffs_(design_path_fir(config)) {
-  MSTS_REQUIRE(config.adc_decimation >= 1, "decimation must be >= 1");
-}
+      graph_(PathGraph::from_stages(
+          graph_from_config(config),
+          {std::move(amp), PathGraph::MixerStage{std::move(mixer), std::move(lo)},
+           std::move(lpf), PathGraph::AdcStage{std::move(adc), config.adc_decimation},
+           PathGraph::FirStage{design_path_fir(config), config.fir_coeff_frac_bits,
+                               config.adc.bits}})) {}
 
 ReceiverPath::ReceiverPath(const PathConfig& c)
     : ReceiverPath(c, analog::Amplifier(c.amp), analog::Mixer(c.mixer),
@@ -84,6 +82,8 @@ ReceiverPath::ReceiverPath(const PathConfig& c)
                    analog::Adc(c.adc)) {}
 
 ReceiverPath ReceiverPath::sampled(const PathConfig& c, stats::Rng& rng) {
+  // The draw order of this constructor-argument list is a historical
+  // bit-identity contract; PathGraph::sampled draws in graph order instead.
   return ReceiverPath(c, analog::Amplifier::sampled(c.amp, rng),
                       analog::Mixer::sampled(c.mixer, rng),
                       analog::LocalOscillator::sampled(c.lo, rng),
@@ -106,12 +106,12 @@ const ReceiverPath::Trace& ReceiverPath::run(const analog::Signal& rf,
   obs::counter_add(t.after_amp.samples.capacity() >= rf.size()
                        ? "path.workspace.reuse"
                        : "path.workspace.grow");
-  amp_.process_into(rf, noise_rng, t.after_amp);
-  lo_.generate_into(rf.fs, rf.size(), noise_rng, ws.lo_wave);
-  mixer_.process_into(t.after_amp, ws.lo_wave, noise_rng, t.after_mixer);
-  lpf_.process_into(t.after_mixer, t.after_lpf);
-  adc_.digitize_into(t.after_lpf, config_.adc_decimation, t.adc_codes);
-  digital::fir_block_into(fir_coeffs_, adc_.bits(), t.adc_codes, t.filter_out);
+  amp().process_into(rf, noise_rng, t.after_amp);
+  lo().generate_into(rf.fs, rf.size(), noise_rng, ws.lo_wave);
+  mixer().process_into(t.after_amp, ws.lo_wave, noise_rng, t.after_mixer);
+  lpf().process_into(t.after_mixer, t.after_lpf);
+  adc().digitize_into(t.after_lpf, config_.adc_decimation, t.adc_codes);
+  digital::fir_block_into(fir_coeffs(), adc().bits(), t.adc_codes, t.filter_out);
   t.digital_fs = config_.digital_fs();
   return t;
 }
@@ -125,7 +125,7 @@ std::vector<double> ReceiverPath::filter_output_volts(const Trace& trace) const 
 void ReceiverPath::filter_output_volts_into(const Trace& trace,
                                             std::vector<double>& out) const {
   const double scale =
-      adc_.lsb() / static_cast<double>(1 << config_.fir_coeff_frac_bits);
+      adc().lsb() / static_cast<double>(1 << config_.fir_coeff_frac_bits);
   out.resize(trace.filter_out.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = static_cast<double>(trace.filter_out[i]) * scale;
@@ -135,13 +135,13 @@ void ReceiverPath::filter_output_volts_into(const Trace& trace,
 std::vector<double> ReceiverPath::adc_output_volts(const Trace& trace) const {
   std::vector<double> out;
   out.reserve(trace.adc_codes.size());
-  for (std::int64_t v : trace.adc_codes) out.push_back(static_cast<double>(v) * adc_.lsb());
+  for (std::int64_t v : trace.adc_codes) out.push_back(static_cast<double>(v) * adc().lsb());
   return out;
 }
 
 double ReceiverPath::fir_magnitude_at(double f) const {
   return std::abs(dsp::frequency_response_fixed(
-      fir_coeffs_, config_.fir_coeff_frac_bits, f / config_.digital_fs()));
+      fir_coeffs(), config_.fir_coeff_frac_bits, f / config_.digital_fs()));
 }
 
 }  // namespace msts::path

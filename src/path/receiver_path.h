@@ -5,6 +5,13 @@
 // the digital filter's coefficient set, and runs transient simulations from
 // the primary RF input to the digital filter output — the only two points a
 // translated test may touch.
+//
+// Since the path-graph layer landed (path/path_graph.h), ReceiverPath is the
+// canonical instance of a composable PathGraph: it holds the graph built by
+// graph_from_config() and its run() is bit-identical to the generic graph
+// walk (enforced by a differential pair in src/check). The class survives as
+// the ergonomic front door for the Fig. 6 chain — its named Trace fields and
+// block accessors — while new topologies use PathGraph directly.
 #pragma once
 
 #include <cstdint>
@@ -16,40 +23,13 @@
 #include "analog/lpf.h"
 #include "analog/mixer.h"
 #include "analog/signal.h"
+#include "path/path_config.h"
+#include "path/path_graph.h"
 #include "stats/rng.h"
 
 namespace msts::path {
 
 struct PathWorkspace;  // path/workspace.h
-
-/// Full configuration of the reference path (nominals + tolerances).
-struct PathConfig {
-  double analog_fs = 32.0e6;        ///< Analog simulation rate.
-  std::size_t adc_decimation = 8;   ///< Digital rate = analog_fs / this.
-
-  analog::AmpParams amp;
-  analog::MixerParams mixer;
-  analog::LoParams lo;
-  analog::LpfParams lpf;
-  analog::AdcParams adc;
-
-  std::size_t fir_taps = 13;
-  double fir_cutoff_norm = 0.3;     ///< Digital cutoff as fraction of digital fs.
-  int fir_coeff_frac_bits = 10;
-
-  /// Pass-band gain flatness allowance of the analog chain (dB): how much
-  /// the amp+mixer gain may tilt between two in-band frequencies. The
-  /// behavioral blocks are frequency-flat, but the attribute model budgets
-  /// this when a translated test compares gains at two frequencies (e.g.
-  /// the cutoff measurement referencing a low-frequency gain).
-  stats::Uncertain analog_flatness_db = stats::Uncertain::from_tolerance(0.0, 0.3);
-
-  double digital_fs() const { return analog_fs / static_cast<double>(adc_decimation); }
-};
-
-/// The communication-path configuration used throughout the experiments
-/// (values recorded in DESIGN.md section 5).
-PathConfig reference_path_config();
 
 /// One manufactured path.
 class ReceiverPath {
@@ -94,12 +74,16 @@ class ReceiverPath {
   std::vector<double> adc_output_volts(const Trace& trace) const;
 
   const PathConfig& config() const { return config_; }
-  const analog::Amplifier& amp() const { return amp_; }
-  const analog::Mixer& mixer() const { return mixer_; }
-  const analog::LocalOscillator& lo() const { return lo_; }
-  const analog::LowPassFilter& lpf() const { return lpf_; }
-  const analog::Adc& adc() const { return adc_; }
-  const std::vector<std::int32_t>& fir_coeffs() const { return fir_coeffs_; }
+  /// The canonical graph this path is an instance of.
+  const PathGraph& graph() const { return graph_; }
+  const analog::Amplifier& amp() const { return graph_.amp_at(0); }
+  const analog::Mixer& mixer() const { return graph_.mixer_at(1).mixer; }
+  const analog::LocalOscillator& lo() const { return graph_.mixer_at(1).lo; }
+  const analog::LowPassFilter& lpf() const { return graph_.lpf_at(2); }
+  const analog::Adc& adc() const { return graph_.adc_at(3).adc; }
+  const std::vector<std::int32_t>& fir_coeffs() const {
+    return graph_.fir_at(4).coeffs;
+  }
 
   /// Known magnitude response of the digital filter at frequency f (digital
   /// rate); deterministic, so measurements can divide it out — the paper's
@@ -111,12 +95,7 @@ class ReceiverPath {
                analog::LocalOscillator lo, analog::LowPassFilter lpf, analog::Adc adc);
 
   PathConfig config_;
-  analog::Amplifier amp_;
-  analog::Mixer mixer_;
-  analog::LocalOscillator lo_;
-  analog::LowPassFilter lpf_;
-  analog::Adc adc_;
-  std::vector<std::int32_t> fir_coeffs_;
+  PathGraph graph_;
 };
 
 }  // namespace msts::path

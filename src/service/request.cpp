@@ -46,45 +46,59 @@ void put_spec(std::string& out, const stats::SpecLimits& s) {
   put_double(out, s.hi);
 }
 
-void put_config(std::string& out, const path::PathConfig& c) {
-  put_double(out, c.analog_fs);
-  put_u64(out, c.adc_decimation);
+// One block of the effective graph: the kind tag first (so reordered blocks
+// always produce different bytes), then exactly the fields that kind uses.
+void put_block(std::string& out, const path::BlockConfig& b) {
+  put_i64(out, static_cast<std::int64_t>(b.kind));
+  switch (b.kind) {
+    case path::BlockKind::kAmp:
+      put_uncertain(out, b.amp.gain_db);
+      put_uncertain(out, b.amp.iip3_dbm);
+      put_uncertain(out, b.amp.iip2_dbm);
+      put_uncertain(out, b.amp.p1db_in_dbm);
+      put_uncertain(out, b.amp.nf_db);
+      put_uncertain(out, b.amp.dc_offset_v);
+      break;
+    case path::BlockKind::kMixer:
+      put_uncertain(out, b.mixer.conv_gain_db);
+      put_uncertain(out, b.mixer.iip3_dbm);
+      put_uncertain(out, b.mixer.p1db_in_dbm);
+      put_uncertain(out, b.mixer.lo_isolation_db);
+      put_uncertain(out, b.mixer.nf_db);
+      put_double(out, b.lo.freq_hz);
+      put_uncertain(out, b.lo.freq_error_ppm);
+      put_uncertain(out, b.lo.phase_noise_rad);
+      put_double(out, b.lo.amplitude);
+      break;
+    case path::BlockKind::kLpf:
+      put_uncertain(out, b.lpf.cutoff_hz);
+      put_uncertain(out, b.lpf.passband_gain_db);
+      put_i64(out, b.lpf.order);
+      put_double(out, b.lpf.clock_hz);
+      put_uncertain(out, b.lpf.clock_spur_v);
+      break;
+    case path::BlockKind::kAdc:
+      put_i64(out, b.adc.bits);
+      put_double(out, b.adc.vref);
+      put_uncertain(out, b.adc.offset_error_v);
+      put_uncertain(out, b.adc.gain_error);
+      put_uncertain(out, b.adc.inl_peak_lsb);
+      put_uncertain(out, b.adc.dnl_sigma_lsb);
+      put_u64(out, b.adc_decimation);
+      break;
+    case path::BlockKind::kFir:
+      put_u64(out, b.fir_taps);
+      put_double(out, b.fir_cutoff_norm);
+      put_i64(out, b.fir_coeff_frac_bits);
+      break;
+  }
+}
 
-  put_uncertain(out, c.amp.gain_db);
-  put_uncertain(out, c.amp.iip3_dbm);
-  put_uncertain(out, c.amp.iip2_dbm);
-  put_uncertain(out, c.amp.p1db_in_dbm);
-  put_uncertain(out, c.amp.nf_db);
-  put_uncertain(out, c.amp.dc_offset_v);
-
-  put_uncertain(out, c.mixer.conv_gain_db);
-  put_uncertain(out, c.mixer.iip3_dbm);
-  put_uncertain(out, c.mixer.p1db_in_dbm);
-  put_uncertain(out, c.mixer.lo_isolation_db);
-  put_uncertain(out, c.mixer.nf_db);
-
-  put_double(out, c.lo.freq_hz);
-  put_uncertain(out, c.lo.freq_error_ppm);
-  put_uncertain(out, c.lo.phase_noise_rad);
-  put_double(out, c.lo.amplitude);
-
-  put_uncertain(out, c.lpf.cutoff_hz);
-  put_uncertain(out, c.lpf.passband_gain_db);
-  put_i64(out, c.lpf.order);
-  put_double(out, c.lpf.clock_hz);
-  put_uncertain(out, c.lpf.clock_spur_v);
-
-  put_i64(out, c.adc.bits);
-  put_double(out, c.adc.vref);
-  put_uncertain(out, c.adc.offset_error_v);
-  put_uncertain(out, c.adc.gain_error);
-  put_uncertain(out, c.adc.inl_peak_lsb);
-  put_uncertain(out, c.adc.dnl_sigma_lsb);
-
-  put_u64(out, c.fir_taps);
-  put_double(out, c.fir_cutoff_norm);
-  put_i64(out, c.fir_coeff_frac_bits);
-  put_uncertain(out, c.analog_flatness_db);
+void put_graph(std::string& out, const path::PathGraphConfig& g) {
+  put_double(out, g.analog_fs);
+  put_uncertain(out, g.analog_flatness_db);
+  put_u64(out, g.blocks.size());
+  for (const path::BlockConfig& b : g.blocks) put_block(out, b);
 }
 
 void put_study(std::string& out, const core::ParameterStudy& s) {
@@ -118,13 +132,17 @@ std::uint64_t fnv1a(std::string_view bytes) {
 
 }  // namespace
 
-MeasurementSetup make_measurement_setup(const path::PathConfig& config,
+path::PathGraphConfig effective_graph(const SynthesisRequest& request) {
+  return request.graph ? *request.graph : path::graph_from_config(request.config);
+}
+
+MeasurementSetup make_measurement_setup(const path::PathGraphConfig& graph,
                                         const path::MeasureOptions& opts) {
-  const core::Translator translator(config);
+  const core::Translator translator(graph);
   MeasurementSetup setup;
   setup.record = opts;
-  setup.analog_fs_hz = config.analog_fs;
-  setup.digital_fs_hz = config.digital_fs();
+  setup.analog_fs_hz = graph.analog_fs;
+  setup.digital_fs_hz = graph.digital_fs();
   setup.if_freq_hz = translator.test_if_freq(opts);
   const auto [f1, f2] = translator.test_two_tone(opts);
   setup.two_tone_f1_hz = f1;
@@ -133,19 +151,25 @@ MeasurementSetup make_measurement_setup(const path::PathConfig& config,
   return setup;
 }
 
+MeasurementSetup make_measurement_setup(const path::PathConfig& config,
+                                        const path::MeasureOptions& opts) {
+  return make_measurement_setup(path::graph_from_config(config), opts);
+}
+
 SynthesisResult synthesize_direct(const SynthesisRequest& request) {
-  const core::TestSynthesizer synth(request.config, request.options.adaptive,
+  const path::PathGraphConfig graph = effective_graph(request);
+  const core::TestSynthesizer synth(graph, request.options.adaptive,
                                     request.options.spec_sigmas);
   SynthesisResult result;
   result.plan = synth.synthesize();
-  result.setup = make_measurement_setup(request.config, request.options.measure);
+  result.setup = make_measurement_setup(graph, request.options.measure);
   return result;
 }
 
 std::string content_key(const SynthesisRequest& request) {
   std::string key;
-  key.reserve(512);
-  put_config(key, request.config);
+  key.reserve(768);
+  put_graph(key, effective_graph(request));
   put_bool(key, request.options.adaptive);
   put_double(key, request.options.spec_sigmas);
   put_u64(key, request.options.measure.digital_record);

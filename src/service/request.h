@@ -17,11 +17,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/synthesizer.h"
 #include "path/measurements.h"
+#include "path/path_graph.h"
 #include "path/receiver_path.h"
 
 namespace msts::service {
@@ -39,10 +41,23 @@ struct RequestOptions {
 };
 
 /// One unit of service work: synthesize the plan for this path.
+///
+/// A request describes its path either as the flat canonical `config` or as
+/// an explicit `graph` (any validated topology). When `graph` is set it
+/// takes precedence and `config` is ignored; when absent the path is
+/// graph_from_config(config). The content key always serializes the
+/// *effective graph*, so a flat request and its explicit canonical-graph
+/// form share one cache entry — and two topologies that differ only in
+/// block arrangement can never collide.
 struct SynthesisRequest {
   path::PathConfig config;
+  std::optional<path::PathGraphConfig> graph;
   RequestOptions options;
 };
+
+/// The graph the request describes: `graph` if set, else the canonical
+/// graph of `config`.
+path::PathGraphConfig effective_graph(const SynthesisRequest& request);
 
 /// The measurement setup a tester needs to execute the plan: coherent
 /// stimulus placement and drive level derived from the config (shared by
@@ -66,6 +81,11 @@ struct SynthesisResult {
 
 /// Derives the measurement setup for a config (deterministic).
 MeasurementSetup make_measurement_setup(const path::PathConfig& config,
+                                        const path::MeasureOptions& opts = {});
+
+/// Measurement setup for an arbitrary path graph (the canonical graph
+/// reproduces the flat-config setup exactly).
+MeasurementSetup make_measurement_setup(const path::PathGraphConfig& graph,
                                         const path::MeasureOptions& opts = {});
 
 /// Executes the request synchronously on the calling thread, exactly as a

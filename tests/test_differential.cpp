@@ -292,6 +292,16 @@ TEST(KernelChecks, WorkspaceRunBitIdenticalToAllocatingRun) {
   EXPECT_EQ(r.worst.max_ulp, 0.0);
 }
 
+TEST(KernelChecks, GraphWalkBitIdenticalToReceiverPath) {
+  // The canonical-instance equivalence contract: the generic PathGraph stage
+  // walker over the canonical receiver graph reproduces the legacy
+  // ReceiverPath::run body bit-for-bit (codes, FIR words, volts, response).
+  const check::Report r = check::check_path_graph_vs_receiver_path();
+  EXPECT_TRUE(r.passed()) << r.reproducer;
+  EXPECT_EQ(r.worst.max_abs, 0.0);
+  EXPECT_EQ(r.worst.max_ulp, 0.0);
+}
+
 TEST(KernelChecks, ParallelMcBitIdenticalToSerial) {
   const check::Report r = check::check_parallel_mc_vs_serial();
   EXPECT_TRUE(r.passed()) << r.reproducer;
@@ -344,9 +354,9 @@ TEST(KernelChecks, SimdFaultSimBitIdenticalAcrossWidths) {
 
 TEST(KernelChecks, RunAllCoversEveryPair) {
   check::RunOptions opts;
-  opts.cases = 2;  // smoke pass over all eleven pairs
+  opts.cases = 2;  // smoke pass over all twelve pairs
   const std::vector<check::Report> reports = check::run_all_kernel_checks(opts);
-  ASSERT_EQ(reports.size(), 11u);
+  ASSERT_EQ(reports.size(), 12u);
   for (const check::Report& r : reports) {
     EXPECT_TRUE(r.passed()) << r.name << ": " << r.reproducer;
     EXPECT_EQ(r.cases, 2);

@@ -1,0 +1,308 @@
+// Tests for the composable path-graph layer (path/path_graph.h): the
+// centralized construction-time validation rules, canonical graph
+// derivation, composition of non-canonical topologies, and the runtime
+// contracts (workspace identity, volts conversion, from_stages checks).
+// The bit-identity of the graph walk against ReceiverPath::run is covered
+// by the differential pair in src/check (test_differential.cpp).
+#include "path/path_graph.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "dsp/tonegen.h"
+#include "path/receiver_path.h"
+
+namespace msts::path {
+namespace {
+
+analog::Signal rf_tone(const PathGraphConfig& g, double freq, double amp,
+                       std::size_t digital_n) {
+  const dsp::Tone t{freq, amp, 0.0};
+  analog::Signal s;
+  s.fs = g.analog_fs;
+  s.samples =
+      dsp::generate_tones(std::span(&t, 1), 0.0, g.analog_fs,
+                          digital_n * g.adc_decimation());
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Flat PathConfig validation (centralized construction-time rules)
+// ---------------------------------------------------------------------------
+
+TEST(PathConfigValidation, ReferenceConfigIsValid) {
+  EXPECT_NO_THROW(validate(reference_path_config()));
+}
+
+TEST(PathConfigValidation, RejectsNonPositiveOrNonFiniteAnalogFs) {
+  for (const double bad : {0.0, -1.0e6, std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    PathConfig c = reference_path_config();
+    c.analog_fs = bad;
+    EXPECT_THROW(validate(c), std::invalid_argument) << bad;
+    EXPECT_THROW(ReceiverPath{c}, std::invalid_argument) << bad;
+  }
+}
+
+TEST(PathConfigValidation, RejectsZeroDecimation) {
+  PathConfig c = reference_path_config();
+  c.adc_decimation = 0;
+  EXPECT_THROW(validate(c), std::invalid_argument);
+}
+
+TEST(PathConfigValidation, RejectsEvenZeroOrTooShortFirTaps) {
+  for (const std::size_t bad : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                                std::size_t{16}}) {
+    PathConfig c = reference_path_config();
+    c.fir_taps = bad;
+    EXPECT_THROW(validate(c), std::invalid_argument) << bad;
+    EXPECT_THROW(ReceiverPath{c}, std::invalid_argument) << bad;
+  }
+}
+
+TEST(PathConfigValidation, RejectsFirCutoffOutsideOpenInterval) {
+  for (const double bad : {0.0, -0.1, 0.5, 0.7}) {
+    PathConfig c = reference_path_config();
+    c.fir_cutoff_norm = bad;
+    EXPECT_THROW(validate(c), std::invalid_argument) << bad;
+  }
+}
+
+TEST(PathConfigValidation, RejectsFracBitsOutsideInt32Budget) {
+  for (const int bad : {0, -3, 31, 64}) {
+    PathConfig c = reference_path_config();
+    c.fir_coeff_frac_bits = bad;
+    EXPECT_THROW(validate(c), std::invalid_argument) << bad;
+  }
+}
+
+TEST(PathConfigValidation, RejectsAdcBitsOutsideFilterBudget) {
+  for (const int bad : {0, 1, 25, 40}) {
+    PathConfig c = reference_path_config();
+    c.adc.bits = bad;
+    EXPECT_THROW(validate(c), std::invalid_argument) << bad;
+  }
+}
+
+TEST(PathConfigValidation, RejectsOddOrNonPositiveLpfOrder) {
+  for (const int bad : {0, -2, 3, 5}) {
+    PathConfig c = reference_path_config();
+    c.lpf.order = bad;
+    EXPECT_THROW(validate(c), std::invalid_argument) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural graph validation
+// ---------------------------------------------------------------------------
+
+PathGraphConfig canonical_graph() {
+  return graph_from_config(reference_path_config());
+}
+
+TEST(PathGraphValidation, CanonicalGraphIsValidAndOrdered) {
+  const PathGraphConfig g = canonical_graph();
+  EXPECT_NO_THROW(validate(g));
+  ASSERT_EQ(g.blocks.size(), 5u);
+  EXPECT_EQ(g.blocks[0].kind, BlockKind::kAmp);
+  EXPECT_EQ(g.blocks[1].kind, BlockKind::kMixer);
+  EXPECT_EQ(g.blocks[2].kind, BlockKind::kLpf);
+  EXPECT_EQ(g.blocks[3].kind, BlockKind::kAdc);
+  EXPECT_EQ(g.blocks[4].kind, BlockKind::kFir);
+  EXPECT_EQ(g.index_of(BlockKind::kAdc), std::optional<std::size_t>{3});
+  EXPECT_EQ(g.count(BlockKind::kLpf), 1u);
+  EXPECT_EQ(g.adc_decimation(), 8u);
+  EXPECT_DOUBLE_EQ(g.digital_fs(), 4.0e6);
+}
+
+TEST(PathGraphValidation, RejectsEmptyGraph) {
+  PathGraphConfig g = canonical_graph();
+  g.blocks.clear();
+  EXPECT_THROW(validate(g), std::invalid_argument);
+}
+
+TEST(PathGraphValidation, RequiresExactlyOneAdc) {
+  PathGraphConfig none = canonical_graph();
+  none.blocks.erase(none.blocks.begin() + 3);
+  none.blocks.pop_back();  // the FIR would dangle without the ADC anyway
+  EXPECT_THROW(validate(none), std::invalid_argument);
+
+  PathGraphConfig two = canonical_graph();
+  two.blocks.insert(two.blocks.begin() + 3, two.blocks[3]);
+  EXPECT_THROW(validate(two), std::invalid_argument);
+}
+
+TEST(PathGraphValidation, RejectsAnalogBlocksBehindTheAdc) {
+  PathGraphConfig g = canonical_graph();
+  std::swap(g.blocks[2], g.blocks[3]);  // lpf behind the adc
+  EXPECT_THROW(validate(g), std::invalid_argument);
+}
+
+TEST(PathGraphValidation, RejectsFirInFrontOfTheAdcOrRepeated) {
+  PathGraphConfig front = canonical_graph();
+  std::swap(front.blocks[3], front.blocks[4]);  // fir before the adc
+  EXPECT_THROW(validate(front), std::invalid_argument);
+
+  PathGraphConfig twice = canonical_graph();
+  twice.blocks.push_back(twice.blocks[4]);
+  EXPECT_THROW(validate(twice), std::invalid_argument);
+}
+
+TEST(PathGraphValidation, PerBlockRulesApplyInsideTheGraph) {
+  PathGraphConfig g = canonical_graph();
+  g.blocks[4].fir_taps = 12;  // even
+  EXPECT_THROW(validate(g), std::invalid_argument);
+
+  g = canonical_graph();
+  g.blocks[3].adc_decimation = 0;
+  EXPECT_THROW(validate(g), std::invalid_argument);
+
+  g = canonical_graph();
+  g.blocks[2].lpf.order = 3;
+  EXPECT_THROW(validate(g), std::invalid_argument);
+
+  g = canonical_graph();
+  g.analog_fs = -1.0;
+  EXPECT_THROW(validate(g), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Composition and runtime
+// ---------------------------------------------------------------------------
+
+TEST(PathGraph, NominalRunHasConsistentDimensions) {
+  const PathGraphConfig cfg = canonical_graph();
+  const PathGraph g(cfg);
+  stats::Rng rng(1);
+  const auto trace = g.run(rf_tone(cfg, 10.5e6, 1e-3, 1024), rng);
+  ASSERT_EQ(trace.analog_stages.size(), 3u);  // amp, mixer, lpf outputs
+  EXPECT_EQ(trace.analog_stages[0].size(), 1024u * cfg.adc_decimation());
+  EXPECT_EQ(trace.adc_codes.size(), 1024u);
+  EXPECT_EQ(trace.filter_out.size(), 1024u);
+  EXPECT_DOUBLE_EQ(trace.digital_fs, 4.0e6);
+}
+
+TEST(PathGraph, NonCanonicalTopologiesComposeAndRun) {
+  const PathConfig base = reference_path_config();
+  // Amp at IF: same block multiset as canonical, different arrangement.
+  PathGraphConfig if_amp;
+  if_amp.analog_fs = base.analog_fs;
+  if_amp.blocks = {BlockConfig::make_mixer(base.mixer, base.lo),
+                   BlockConfig::make_amp(base.amp),
+                   BlockConfig::make_lpf(base.lpf),
+                   BlockConfig::make_adc(base.adc, base.adc_decimation),
+                   BlockConfig::make_fir(base.fir_taps, base.fir_cutoff_norm,
+                                         base.fir_coeff_frac_bits)};
+  // Passive front end, no digital filter.
+  PathGraphConfig no_amp;
+  no_amp.analog_fs = base.analog_fs;
+  no_amp.blocks = {BlockConfig::make_mixer(base.mixer, base.lo),
+                   BlockConfig::make_lpf(base.lpf),
+                   BlockConfig::make_adc(base.adc, base.adc_decimation)};
+
+  for (const PathGraphConfig& cfg : {if_amp, no_amp}) {
+    const PathGraph g(cfg);
+    stats::Rng rng(2);
+    const auto trace = g.run(rf_tone(cfg, 10.5e6, 1e-3, 512), rng);
+    EXPECT_EQ(trace.adc_codes.size(), 512u);
+    const auto volts = g.output_volts(trace);
+    if (cfg.count(BlockKind::kFir) == 0) {
+      EXPECT_TRUE(trace.filter_out.empty());
+      EXPECT_EQ(volts.size(), trace.adc_codes.size());
+      EXPECT_DOUBLE_EQ(g.fir_magnitude_at(0.4e6), 1.0);
+    } else {
+      EXPECT_EQ(volts.size(), trace.filter_out.size());
+    }
+    // The tone got through: some code is nonzero.
+    bool nonzero = false;
+    for (const std::int64_t c : trace.adc_codes) nonzero |= (c != 0);
+    EXPECT_TRUE(nonzero);
+  }
+}
+
+TEST(PathGraph, WorkspaceRunIsBitIdenticalToAllocatingRun) {
+  const PathGraphConfig cfg = canonical_graph();
+  const PathGraph g(cfg);
+  const auto rf = rf_tone(cfg, 10.4e6, 1e-3, 512);
+
+  stats::Rng rng_a(42);
+  const auto fresh = g.run(rf, rng_a);
+
+  GraphWorkspace ws;
+  for (int round = 0; round < 3; ++round) {
+    stats::Rng rng_b(42);
+    const auto& reused = g.run(rf, rng_b, ws);
+    ASSERT_EQ(reused.adc_codes, fresh.adc_codes) << "round " << round;
+    ASSERT_EQ(reused.filter_out, fresh.filter_out) << "round " << round;
+    for (std::size_t s = 0; s < fresh.analog_stages.size(); ++s) {
+      ASSERT_EQ(reused.analog_stages[s].samples, fresh.analog_stages[s].samples)
+          << "round " << round << " stage " << s;
+    }
+  }
+}
+
+TEST(PathGraph, OutputVoltsIntoMatchesValueForm) {
+  const PathGraphConfig cfg = canonical_graph();
+  const PathGraph g(cfg);
+  stats::Rng rng(3);
+  const auto trace = g.run(rf_tone(cfg, 10.4e6, 1e-3, 256), rng);
+  const auto by_value = g.output_volts(trace);
+  std::vector<double> into(7, -99.0);
+  g.output_volts_into(trace, into);
+  EXPECT_EQ(into, by_value);
+}
+
+TEST(PathGraph, SampledIsDeterministicPerSeed) {
+  const PathGraphConfig cfg = canonical_graph();
+  stats::Rng mc_a(9), mc_b(9), mc_c(10);
+  const PathGraph a = PathGraph::sampled(cfg, mc_a);
+  const PathGraph b = PathGraph::sampled(cfg, mc_b);
+  const PathGraph c = PathGraph::sampled(cfg, mc_c);
+
+  const auto rf = rf_tone(cfg, 10.4e6, 1e-3, 256);
+  stats::Rng na(5), nb(5), nc(5);
+  const auto ta = a.run(rf, na);
+  const auto tb = b.run(rf, nb);
+  const auto tc = c.run(rf, nc);
+  EXPECT_EQ(ta.filter_out, tb.filter_out);
+  EXPECT_NE(ta.filter_out, tc.filter_out);
+}
+
+TEST(PathGraph, RejectsWrongSampleRateAndMismatchedStages) {
+  const PathGraphConfig cfg = canonical_graph();
+  const PathGraph g(cfg);
+  stats::Rng rng(1);
+  analog::Signal bad;
+  bad.fs = 1.0e6;
+  bad.samples.assign(64, 0.0);
+  EXPECT_THROW(g.run(bad, rng), std::invalid_argument);
+
+  // from_stages is kind-checked against the block list.
+  std::vector<PathGraph::Stage> too_few;
+  too_few.emplace_back(analog::Amplifier(cfg.blocks[0].amp));
+  EXPECT_THROW(PathGraph::from_stages(cfg, std::move(too_few)),
+               std::invalid_argument);
+
+  std::vector<PathGraph::Stage> wrong_kind;
+  wrong_kind.emplace_back(analog::LowPassFilter(cfg.blocks[2].lpf));  // not an amp
+  wrong_kind.emplace_back(PathGraph::MixerStage{
+      analog::Mixer(cfg.blocks[1].mixer), analog::LocalOscillator(cfg.blocks[1].lo)});
+  wrong_kind.emplace_back(analog::LowPassFilter(cfg.blocks[2].lpf));
+  wrong_kind.emplace_back(
+      PathGraph::AdcStage{analog::Adc(cfg.blocks[3].adc), cfg.blocks[3].adc_decimation});
+  wrong_kind.emplace_back(PathGraph::FirStage{{1, 2, 1}, 10, 12});
+  EXPECT_THROW(PathGraph::from_stages(cfg, std::move(wrong_kind)),
+               std::invalid_argument);
+}
+
+TEST(PathGraph, ReceiverPathExposesItsGraph) {
+  const ReceiverPath p(reference_path_config());
+  EXPECT_EQ(p.graph().size(), 5u);
+  EXPECT_EQ(p.graph().kind_at(0), BlockKind::kAmp);
+  EXPECT_EQ(p.graph().kind_at(4), BlockKind::kFir);
+  EXPECT_EQ(p.fir_coeffs().size(), p.graph().fir_at(4).coeffs.size());
+}
+
+}  // namespace
+}  // namespace msts::path

@@ -80,6 +80,104 @@ TEST(ServiceRequest, ContentKeyDistinguishesConfigsAndOptions) {
   EXPECT_EQ(content_key(uncached), key);
 }
 
+// The content key always serializes the *effective graph*, so the flat
+// canonical request and its explicit-graph form are one cache entry.
+TEST(ServiceRequest, FlatAndCanonicalGraphRequestsShareOneKey) {
+  const SynthesisRequest flat = make_request();
+  SynthesisRequest graphed = flat;
+  graphed.graph = path::graph_from_config(flat.config);
+  EXPECT_EQ(content_key(graphed), content_key(flat));
+  EXPECT_EQ(content_hash(graphed), content_hash(flat));
+
+  // ...and the served payloads are bit-identical too.
+  EXPECT_EQ(result_content(synthesize_direct(graphed)),
+            result_content(synthesize_direct(flat)));
+}
+
+// Key sensitivity over the graph description: block order and every
+// per-block field must feed the key (mirror of the flat-config cases in
+// ContentKeyDistinguishesConfigsAndOptions).
+TEST(ServiceRequest, ContentKeyCoversGraphArrangementAndBlockFields) {
+  SynthesisRequest base = make_request();
+  base.graph = path::graph_from_config(base.config);
+  const std::string key = content_key(base);
+
+  // An explicit graph takes precedence: once set, the flat config is inert.
+  {
+    SynthesisRequest r = base;
+    r.config.amp.gain_db.nominal += 1.0;
+    EXPECT_EQ(content_key(r), key);
+  }
+
+  // Block arrangement: amp at RF vs amp at IF is a different path even
+  // though the multiset of blocks is identical.
+  {
+    SynthesisRequest r = base;
+    std::swap(r.graph->blocks[0], r.graph->blocks[1]);  // amp <-> mixer
+    EXPECT_NE(content_key(r), key);
+  }
+  // A repeated block is a different path as well.
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks.insert(r.graph->blocks.begin() + 2, r.graph->blocks[2]);
+    EXPECT_NE(content_key(r), key);
+  }
+
+  // Graph-level fields.
+  {
+    SynthesisRequest r = base;
+    r.graph->analog_fs *= 1.0000001;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->analog_flatness_db.wc += 1e-9;
+    EXPECT_NE(content_key(r), key);
+  }
+
+  // One representative field per block kind, bit-level deltas.
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[0].amp.gain_db.nominal += 1e-12;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[1].mixer.iip3_dbm.sigma *= 1.0000001;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[1].lo.freq_hz += 1.0;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[2].lpf.order = 6;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[3].adc.bits = 10;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[3].adc_decimation = 4;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[4].fir_taps = 17;
+    EXPECT_NE(content_key(r), key);
+  }
+  {
+    SynthesisRequest r = base;
+    r.graph->blocks[4].fir_coeff_frac_bits = 12;
+    EXPECT_NE(content_key(r), key);
+  }
+}
+
 TEST(ServiceRequest, MeasurementSetupIsCoherentAndDeterministic) {
   const auto config = path::reference_path_config();
   const MeasurementSetup a = make_measurement_setup(config);
@@ -459,10 +557,13 @@ TEST(ServiceSpans, SlowRequestThresholdDisabledByDefaultAndEnvStrict) {
     EXPECT_NE(m.name, "service.slow_requests");
   }
 
-  // A malformed MSTS_SLOW_REQUEST_S fails engine construction fast, with
-  // the same strict-env contract as MSTS_THREADS.
-  ASSERT_EQ(::setenv("MSTS_SLOW_REQUEST_S", "quick", 1), 0);
-  EXPECT_THROW(SynthesisEngine{}, std::invalid_argument);
+  // A malformed or out-of-range MSTS_SLOW_REQUEST_S fails engine
+  // construction fast, with the same strict-env contract as MSTS_THREADS
+  // and MSTS_BENCH_SCALE — never silently clamped or ignored.
+  for (const char* bad : {"quick", "-2", "1e10", "nan"}) {
+    ASSERT_EQ(::setenv("MSTS_SLOW_REQUEST_S", bad, 1), 0);
+    EXPECT_THROW(SynthesisEngine{}, std::invalid_argument) << bad;
+  }
   ASSERT_EQ(::unsetenv("MSTS_SLOW_REQUEST_S"), 0);
   obs::Registry::instance().reset();
 }
