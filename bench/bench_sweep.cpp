@@ -8,10 +8,15 @@
 //     ranks all scenarios (headline: scenarios_per_sec);
 //   * verify — the sweep repeated at 1 thread and at the full pool; the
 //     ranking fingerprint must be bit-identical (fingerprint_mismatches
-//     must be 0), which is the determinism contract of sweep.h.
+//     must be 0), which is the determinism contract of sweep.h;
+//   * imbalanced — a skewed matrix (16x MC budget) scored with nested inner
+//     MC (mc_threads = 0): the work-stealing scheduler backfills idle
+//     workers with stolen MC blocks, and the fingerprint is re-verified
+//     against the fully serial evaluation.
 //
 // bench_compare gates scenarios_per_sec on decrease and sweep_s_per_iter on
 // increase (see its direction rules).
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 
@@ -60,13 +65,43 @@ int main() {
   sweep::SweepOptions serial = opts;
   serial.threads = 1;
   const sweep::SweepResult ref = sweep::run_sweep(scenarios, serial);
-  const std::size_t mismatches = (ref.fingerprint == result.fingerprint) ? 0u : 1u;
+  std::size_t mismatches = (ref.fingerprint == result.fingerprint) ? 0u : 1u;
   report.phase_end();
   std::printf("verify: fingerprint %016llx at 1 thread vs %016llx at %d, "
               "%zu mismatch(es)\n\n",
               static_cast<unsigned long long>(ref.fingerprint),
               static_cast<unsigned long long>(result.fingerprint),
               stats::max_threads(), mismatches);
+
+  // Phase 4: imbalanced matrix — one scenario carries a 16x MC budget, the
+  // work-stealing scheduler backfills the idle workers with nested MC
+  // blocks (mc_threads = 0). Its fingerprint is verified against the same
+  // matrix scored serially with serial inner evaluation: nested stealing
+  // must not move a bit.
+  report.phase_start("imbalanced");
+  std::vector<sweep::Scenario> skewed(scenarios.begin(),
+                                      scenarios.begin() +
+                                          std::min<std::size_t>(8, scenarios.size()));
+  sweep::SweepOptions heavy = opts;
+  heavy.mc_trials = opts.mc_trials * 16;
+  heavy.mc_threads = 0;
+  const sweep::SweepResult heavy_nested = sweep::run_sweep(skewed, heavy);
+  report.phase_end();
+  const double imbalanced_s = report.last_phase_wall_s();
+  std::printf("imbalanced: %zu scenarios at 16x MC budget, nested inner MC "
+              "(%.3fs)\n",
+              skewed.size(), imbalanced_s);
+
+  sweep::SweepOptions heavy_serial = heavy;
+  heavy_serial.threads = 1;
+  heavy_serial.mc_threads = 1;
+  const sweep::SweepResult heavy_ref = sweep::run_sweep(skewed, heavy_serial);
+  if (heavy_ref.fingerprint != heavy_nested.fingerprint) ++mismatches;
+  std::printf("imbalanced verify: fingerprint %016llx nested vs %016llx "
+              "serial, %zu total mismatch(es)\n\n",
+              static_cast<unsigned long long>(heavy_nested.fingerprint),
+              static_cast<unsigned long long>(heavy_ref.fingerprint),
+              mismatches);
 
   report.add_scalar("scenarios", static_cast<std::int64_t>(scenarios.size()));
   report.add_scalar("sweep_iters", static_cast<std::int64_t>(iters));
@@ -75,6 +110,7 @@ int main() {
   report.add_scalar("sweep_s_per_iter", per_iter);
   report.add_scalar("best_testability", result.ranking.front().testability);
   report.add_scalar("best_yield_loss", result.ranking.front().total_yield_loss);
+  report.add_scalar("imbalanced_s", imbalanced_s);
   report.add_scalar("fingerprint_mismatches", static_cast<std::int64_t>(mismatches));
   return mismatches == 0 ? 0 : 1;
 }

@@ -9,6 +9,13 @@
 // consults the content-hash PlanCache (service/cache.h) and only
 // synthesizes on a miss, outside any lock.
 //
+// The engine's ThreadPool handles request admission only; any parallel
+// region a request opens (MC evaluation, sweep scoring) runs through
+// stats::parallel_for_index on the process-wide work-stealing Scheduler
+// (stats/scheduler.h), so concurrent requests *share* one set of compute
+// workers — their chunks interleave on the same deques — instead of each
+// forking a private partition and oversubscribing the machine.
+//
 // Determinism contract: synthesis consumes no RNG, so a served result is
 // bit-identical to a direct synthesize_direct() call for the same request —
 // whether it came from a worker, the cache, or a concurrent miss that lost
@@ -28,8 +35,8 @@
 // built from the *same* steady_clock time points as the timers above, so
 // the queue_wait span equals queue_wait_ns exactly and cache_probe +
 // execute sum to exec_ns exactly. Work nested inside execution
-// (core.synthesize, stats.parallel blocks, dsp plan-cache builds) parents
-// under the execute span.
+// (core.synthesize, stats.parallel_for / sched.run / sched.task chunks,
+// dsp plan-cache builds) parents under the execute span.
 //
 // Requests whose end-to-end latency exceeds the slow-request threshold
 // (EngineOptions::slow_request_threshold_s, or MSTS_SLOW_REQUEST_S when

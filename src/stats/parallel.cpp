@@ -1,14 +1,13 @@
 #include "stats/parallel.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <memory>
 
 #include "base/require.h"
 #include "obs/config.h"
 #include "obs/registry.h"
 #include "obs/span.h"
+#include "stats/scheduler.h"
 
 namespace msts::stats {
 
@@ -75,45 +74,14 @@ void ThreadPool::worker_loop() {
   }
 }
 
-namespace {
-
-// True on threads that are executing a parallel_for_index task: nested
-// parallel regions degrade to serial loops instead of deadlocking on the
-// shared pool.
-thread_local bool t_in_parallel_region = false;
-
-// One process-wide pool handed out as a refcounted handle. The mutex guards
-// only the acquire/replace of the handle — never a whole parallel_for_index
-// call — so independent top-level callers share the workers and genuinely
-// run concurrently (each call distributes its indices through its own
-// atomic cursor; block results are per-index, so interleaving is safe).
-//
-// Growth: when a caller asks for more workers than the current pool has, a
-// bigger pool replaces the shared handle. Callers already in flight keep
-// their reference to the old pool, which is destroyed (joining its threads)
-// only when the last such caller releases it — never out from under a
-// concurrent user. Release always happens on a top-level caller thread,
-// after that caller's own tasks have drained, so the destructor never joins
-// from inside one of the pool's own workers.
-std::shared_ptr<ThreadPool> acquire_shared_pool(int min_workers) {
-  static std::mutex mu;
-  // Leaked holder: late top-level callers may outlive static destruction.
-  static std::shared_ptr<ThreadPool>* pool = new std::shared_ptr<ThreadPool>();
-  std::lock_guard<std::mutex> lock(mu);
-  if (!*pool || (*pool)->workers() < min_workers) {
-    if (*pool) obs::counter_add("stats.parallel_for.pool_rebuilds");
-    *pool = std::make_shared<ThreadPool>(min_workers);
-  }
-  return *pool;
-}
-
-}  // namespace
-
 void parallel_for_index(std::size_t n, int threads,
                         const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) return;  // fn never called, no machinery touched
   const int resolved = resolve_threads(threads);
-  if (resolved <= 1 || n <= 1 || t_in_parallel_region) {
+  if (resolved <= 1 || n <= 1) {
+    // Serial path: index order on the calling thread, the first exception
+    // propagates immediately. An explicit threads == 1 stays serial even
+    // inside a scheduler worker.
     obs::counter_add("stats.parallel_for.serial_runs");
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
@@ -121,61 +89,35 @@ void parallel_for_index(std::size_t n, int threads,
   obs::counter_add("stats.parallel_for.parallel_runs");
   obs::counter_add("stats.parallel_for.indices", n);
 
-  const int runners =
-      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
-  const std::shared_ptr<ThreadPool> pool = acquire_shared_pool(runners);
-
-  // One span for the whole region on the calling thread; its id is captured
-  // *before* dispatch so every runner's block span parents under it even on
-  // pool threads (the pool workers have no thread-local parent cursor).
+  // One span for the whole region on the calling thread; the scheduler's
+  // sched.run / sched.task spans nest beneath it.
   obs::Span region_span("stats.parallel_for");
   region_span.note("n", static_cast<std::int64_t>(n));
+
+  if (Scheduler* sched = Scheduler::current()) {
+    // Nested call from inside a scheduler task: submit a child task-set
+    // onto the scheduler we are already running on and help-first join it.
+    // The requested width is ignored — nested sets share the existing
+    // workers (growing the scheduler from inside one of its own tasks would
+    // swap it out from under its callers), and idle workers steal the child
+    // chunks, so nesting composes instead of oversubscribing.
+    obs::counter_add("stats.parallel_for.nested_runs");
+    region_span.note("nested", std::int64_t{1});
+    sched->run(n, fn);
+    return;
+  }
+
+  // Top-level call: acquire the shared scheduler (growing it when this call
+  // wants more workers than it has — in-flight callers keep the old one
+  // alive through their refcounted handles, and release always happens on a
+  // top-level caller thread after its run completed, never on one of the
+  // scheduler's own workers). More threads than indices clamps to n: extra
+  // workers would have no chunk to run.
+  const int runners =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(resolved), n));
   region_span.note("runners", static_cast<std::int64_t>(runners));
-  const obs::SpanId region = region_span.id();
-
-  struct RunState {
-    std::atomic<std::size_t> next{0};
-    std::atomic<int> active{0};
-    std::mutex mu;
-    std::condition_variable done;
-    std::exception_ptr error;
-  };
-  auto state = std::make_shared<RunState>();
-  state->active.store(runners, std::memory_order_relaxed);
-
-  auto run_indices = [state, n, region, &fn] {
-    t_in_parallel_region = true;
-    {
-      // One span per runner (not per index): coarse enough to never flood
-      // the rings at Monte-Carlo scale, fine enough to show work imbalance.
-      obs::Span block("stats.parallel.block", region);
-      std::int64_t processed = 0;
-      try {
-        for (;;) {
-          const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= n) break;
-          fn(i);
-          ++processed;
-        }
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
-        if (!state->error) state->error = std::current_exception();
-      }
-      block.note("indices", processed);
-    }
-    t_in_parallel_region = false;
-    if (state->active.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->done.notify_all();
-    }
-  };
-
-  for (int r = 0; r < runners - 1; ++r) pool->submit(run_indices);
-  run_indices();  // the calling thread is runner 0
-
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] { return state->active.load(std::memory_order_acquire) == 0; });
-  if (state->error) std::rethrow_exception(state->error);
+  const std::shared_ptr<Scheduler> sched = Scheduler::shared(runners);
+  sched->run(n, fn);
 }
 
 std::vector<Rng> make_streams(const Rng& base, std::size_t count) {

@@ -15,6 +15,13 @@
 // negative, zero, overflow) resolution throws std::invalid_argument rather
 // than silently misparsing. A resolved count of 1 takes a serial path that
 // touches no threading machinery at all (the serial fallback).
+//
+// Execution substrate: parallel regions run on the process-wide
+// work-stealing Scheduler (stats/scheduler.h) — per-worker deques,
+// randomized stealing, nested submission with help-first joins. Calls made
+// from inside a scheduler task become child task-sets on the same workers
+// (no oversubscription, deadlock-free at any width); independent top-level
+// callers share the workers through the same deques.
 #pragma once
 
 #include <condition_variable>
@@ -73,21 +80,40 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for every i in [0, n) using up to `threads` threads (resolved
-/// via resolve_threads) drawn from a shared process-wide pool. With one
-/// thread (or n <= 1, or when called from inside a pool worker) the loop
-/// runs serially in index order on the calling thread. fn must confine its
-/// writes to per-index state; the function returns once every index has run
-/// and rethrows the first exception any index threw.
+/// via resolve_threads) on the shared work-stealing scheduler. fn must
+/// confine its writes to per-index state; the function returns once every
+/// index has run and rethrows the exception of the lowest failing index
+/// (deterministic at any thread count; on the serial path the first throw
+/// propagates immediately and stops the loop).
 ///
-/// Independent top-level calls run concurrently: the pool is handed out as a
-/// refcounted handle and the global lock covers only the handle swap, never
-/// a whole call. Each call distributes its own indices through a private
-/// atomic cursor, so concurrent callers interleave on the shared workers
-/// without affecting each other's (per-index, hence order-independent)
-/// results. When a call requests more workers than the pool has, a larger
-/// pool replaces the shared handle; in-flight callers keep the old pool
-/// alive until their calls complete, so workers are never joined out from
-/// under a concurrent user.
+/// Degenerate partitions (pinned behavior):
+///   * n == 0      — returns immediately; fn is never called, no counters
+///                   move, no threading machinery is touched.
+///   * n == 1      — fn(0) runs serially on the calling thread, whatever
+///                   `threads` resolves to.
+///   * resolved 1  — serial loop in index order on the calling thread (an
+///                   explicit threads == 1 stays serial even inside a
+///                   scheduler worker — nested MC opt-outs keep working).
+///   * threads > n — the effective worker request clamps to n; a task-set
+///                   never has more chunks than indices, so extra workers
+///                   idle instead of receiving empty work.
+///
+/// Nesting: a call made from inside a scheduler task submits a child
+/// task-set onto the same workers and help-first joins it (running queued
+/// tasks while waiting) — nested regions compose instead of serializing or
+/// oversubscribing, and remain deadlock-free at any width including 1. The
+/// requested `threads` is ignored for nested calls (the scheduler's width
+/// governs); results are unaffected because every consumer keys outputs and
+/// RNG streams by index.
+///
+/// Independent top-level calls run concurrently: the scheduler is handed
+/// out as a refcounted handle and the global lock covers only the handle
+/// swap, never a whole call. Concurrent callers' chunks interleave on the
+/// same worker deques without affecting each other's (per-index, hence
+/// order-independent) results. When a call requests more workers than the
+/// scheduler has, a larger scheduler replaces the shared handle; in-flight
+/// callers keep the old one alive until their calls complete, so workers
+/// are never joined out from under a concurrent user.
 void parallel_for_index(std::size_t n, int threads,
                         const std::function<void(std::size_t)>& fn);
 

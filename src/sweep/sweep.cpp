@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <bit>
+#include <exception>
 #include <iomanip>
+#include <mutex>
 #include <sstream>
+#include <stdexcept>
 
 #include "base/require.h"
 #include "obs/registry.h"
@@ -142,9 +145,11 @@ ScenarioScore score_scenario(const Scenario& scenario, stats::Rng rng,
     if (!t.has_study) continue;
 
     // Analytic Tol-row losses straight from the study, plus the MC
-    // cross-check on this scenario's private stream (inner evaluation is
-    // single-threaded: the sweep parallelism lives across scenarios, and
-    // evaluate_test_mc is bit-identical for any thread count anyway).
+    // cross-check on this scenario's private stream. mc_threads governs the
+    // inner evaluation: 1 keeps it serial inside this scenario task, while
+    // 0 (or > 1) lets the MC blocks run as a nested task-set on the same
+    // scheduler workers. Scores are bit-identical either way —
+    // evaluate_test_mc partitions by trial count, never by thread count.
     const core::ThresholdRow& tol = t.study.row("Tol");
     score.total_yield_loss += tol.outcome.yield_loss;
     score.worst_fcl = std::max(score.worst_fcl, tol.outcome.fault_coverage_loss);
@@ -152,7 +157,7 @@ ScenarioScore score_scenario(const Scenario& scenario, stats::Rng rng,
     const stats::TestOutcome mc = stats::evaluate_test_mc(
         t.study.population, t.study.spec, tol.threshold,
         stats::ErrorModel::uniform(t.study.error_wc), rng, opts.mc_trials,
-        /*threads=*/1);
+        opts.mc_threads);
     score.mc_yield_loss += mc.yield_loss;
     score.mc_fcl = std::max(score.mc_fcl, mc.fault_coverage_loss);
   }
@@ -181,14 +186,44 @@ SweepResult run_sweep(const std::vector<Scenario>& scenarios,
   const std::vector<stats::Rng> streams =
       stats::make_streams(stats::Rng(opts.seed), scenarios.size());
 
+  // Per-scenario failures are captured here (not left to the scheduler's
+  // generic lowest-index rethrow) so the error names the scenario that
+  // failed. The same determinism rule applies: when several scenarios
+  // throw, the lowest-indexed one wins regardless of schedule.
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::size_t error_index = scenarios.size();
+
   std::vector<ScenarioScore> scores(scenarios.size());
   const obs::SpanId parent = span.id();
   stats::parallel_for_index(scenarios.size(), opts.threads, [&](std::size_t i) {
     obs::Span s("sweep.scenario", parent);
-    scores[i] = score_scenario(scenarios[i], streams[i], opts);
+    try {
+      scores[i] = score_scenario(scenarios[i], streams[i], opts);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (i < error_index) {
+        error_index = i;
+        error = std::current_exception();
+      }
+      return;
+    }
     s.note("plan_tests", static_cast<std::int64_t>(scores[i].plan_tests));
     s.note("testability", scores[i].testability);
   });
+
+  if (error) {
+    obs::counter_add("sweep.scenario_failures");
+    std::string detail = "unknown error";
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      detail = e.what();
+    } catch (...) {
+    }
+    throw std::runtime_error("sweep scenario '" + scenarios[error_index].name +
+                             "' failed: " + detail);
+  }
 
   // Serial, totally-ordered ranking: ties cannot depend on schedule.
   std::sort(scores.begin(), scores.end(),

@@ -84,6 +84,15 @@ struct SweepOptions {
   int mc_trials = 20000;
   /// Thread budget for the scenario fan-out; 0 defers to MSTS_THREADS.
   int threads = 0;
+  /// Thread budget for the *inner* MC cross-check of each scenario. 1 keeps
+  /// the evaluation serial inside its scenario task (the historical
+  /// behavior); 0 defers to MSTS_THREADS, which — running inside a scheduler
+  /// task — submits the MC blocks as a nested task-set on the same workers,
+  /// so an imbalanced scenario matrix backfills idle workers instead of
+  /// leaving them parked behind the one expensive scenario. Either setting
+  /// produces bit-identical scores: the MC block partition and streams
+  /// depend only on the trial count.
+  int mc_threads = 1;
   /// Base seed of the per-scenario RNG streams.
   std::uint64_t seed = 0x5EEDC0DE00000001ull;
 };
@@ -97,6 +106,10 @@ struct SweepResult {
 };
 
 /// Scores every scenario (parallel, deterministic) and ranks them.
+/// A scenario whose synthesis or evaluation throws fails the whole sweep:
+/// run_sweep rethrows as std::runtime_error with the scenario *name* (and
+/// the original message) attached, choosing the lowest-indexed failing
+/// scenario when several fail — deterministic at any thread count.
 SweepResult run_sweep(const std::vector<Scenario>& scenarios,
                       const SweepOptions& opts = {});
 

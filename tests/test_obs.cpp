@@ -3,6 +3,9 @@
 // drain order, JSON write + parse round-trips, bench report emission, and the
 // disabled-mode contract (true no-op: no allocations on the hot path).
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -807,50 +810,75 @@ TEST(ObsSpan, NestsViaThreadLocalCursorAndRestoresIt) {
             spans[0].start_ns + spans[0].dur_ns);
 }
 
-TEST(ObsSpan, ParallelForBlocksParentUnderRegionAcrossThreads) {
+// The scheduler's span tree under an enclosing request span:
+//   test.request -> stats.parallel_for -> sched.run -> sched.task*
+// Every sched.task parents under the sched.run even when it executed on a
+// stolen chunk on another thread, and the task "count" notes add up to the
+// full index range. A two-index rendezvous (first and last index block
+// until both have arrived) forces at least two distinct threads into the
+// region, so the cross-thread parenting is actually exercised.
+TEST(ObsSpan, ParallelForTasksParentUnderRegionAcrossThreads) {
   ConfigGuard guard;
   configure(make_config(false, true));
   (void)spans_drain();
 
   constexpr std::size_t kN = 64;
   std::atomic<std::uint64_t> touched{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool arrived[2] = {false, false};
+  std::atomic<bool> timed_out{false};
   {
     Span request("test.request");
-    stats::parallel_for_index(kN, 4, [&](std::size_t) {
+    stats::parallel_for_index(kN, 4, [&](std::size_t i) {
       touched.fetch_add(1, std::memory_order_relaxed);
+      if (i != 0 && i != kN - 1) return;
+      const int slot = i == 0 ? 0 : 1;
+      std::unique_lock<std::mutex> lock(mu);
+      arrived[slot] = true;
+      cv.notify_all();
+      if (!cv.wait_for(lock, std::chrono::seconds(20),
+                       [&] { return arrived[1 - slot]; })) {
+        timed_out.store(true, std::memory_order_relaxed);
+      }
     });
   }
   EXPECT_EQ(touched.load(), kN);
+  EXPECT_FALSE(timed_out.load()) << "rendezvous indices did not overlap";
 
   const auto spans = spans_drain();
   const SpanRecord* request_rec = nullptr;
   const SpanRecord* region = nullptr;
+  const SpanRecord* run = nullptr;
   for (const SpanRecord& s : spans) {
     if (std::string_view(s.name) == "test.request") request_rec = &s;
     if (std::string_view(s.name) == "stats.parallel_for") region = &s;
+    if (std::string_view(s.name) == "sched.run") run = &s;
   }
   ASSERT_NE(request_rec, nullptr);
   ASSERT_NE(region, nullptr);
+  ASSERT_NE(run, nullptr);
   EXPECT_EQ(region->parent, request_rec->id);
+  EXPECT_EQ(run->parent, region->id);
 
   std::int64_t indices = 0;
-  std::size_t blocks = 0;
+  std::size_t tasks = 0;
   bool multi_thread = false;
   for (const SpanRecord& s : spans) {
-    if (std::string_view(s.name) != "stats.parallel.block") continue;
-    ++blocks;
-    // Every block parents under the region even when it ran on a pool
-    // thread that has no thread-local cursor.
-    EXPECT_EQ(s.parent, region->id);
+    if (std::string_view(s.name) != "sched.task") continue;
+    ++tasks;
+    // Every task parents under the run even when it executed on a worker
+    // thread that had no thread-local cursor of its own.
+    EXPECT_EQ(s.parent, run->id);
     if (s.tid != region->tid) multi_thread = true;
     for (std::uint8_t i = 0; i < s.note_count; ++i) {
-      if (std::string_view(s.notes[i].key) == "indices") indices += s.notes[i].i;
+      if (std::string_view(s.notes[i].key) == "count") indices += s.notes[i].i;
     }
   }
-  ASSERT_GE(blocks, 1u);
-  EXPECT_LE(blocks, 4u);
+  ASSERT_GE(tasks, 2u);
+  EXPECT_LE(tasks, 16u);  // at most 4 chunks per worker
   EXPECT_EQ(indices, static_cast<std::int64_t>(kN));
-  EXPECT_TRUE(multi_thread) << "expected at least one block on a pool thread";
+  EXPECT_TRUE(multi_thread) << "expected at least one task on a worker thread";
 }
 
 TEST(ObsSpan, DrainConservesAcrossThreadExitAndOverflow) {

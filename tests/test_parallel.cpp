@@ -114,13 +114,81 @@ TEST(ParallelFor, PropagatesTheFirstException) {
       std::runtime_error);
 }
 
-TEST(ParallelFor, NestedRegionsFallBackToSerial) {
-  std::atomic<int> count{0};
-  parallel_for_index(4, 4, [&](std::size_t) {
-    parallel_for_index(8, 4,
-                       [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+// Nested calls compose on the scheduler (child task-sets on the same
+// workers) instead of serializing or oversubscribing; every inner index
+// still runs exactly once.
+TEST(ParallelFor, NestedRegionsComposeOnTheScheduler) {
+  std::vector<std::atomic<int>> hits(4 * 8);
+  for (auto& h : hits) h.store(0);
+  parallel_for_index(4, 4, [&](std::size_t outer) {
+    parallel_for_index(8, 4, [&](std::size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1, std::memory_order_relaxed);
+    });
   });
-  EXPECT_EQ(count.load(), 32);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate partitions — the pinned behaviors from the header contract.
+// ---------------------------------------------------------------------------
+
+// n == 0: fn is never called, whatever the thread request says.
+TEST(ParallelFor, ZeroIndicesNeverCallsTheBody) {
+  for (const int threads : {1, 4, 0}) {
+    std::atomic<int> calls{0};
+    parallel_for_index(0, threads,
+                       [&](std::size_t) { calls.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_EQ(calls.load(), 0) << threads << " threads";
+  }
+}
+
+// n == 1: fn(0) runs serially on the calling thread even when many threads
+// are requested (a single chunk has nothing to distribute).
+TEST(ParallelFor, SingleIndexRunsOnTheCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  for (const int threads : {1, 8}) {
+    int calls = 0;  // deliberately unsynchronized: must run on this thread
+    std::thread::id ran_on;
+    parallel_for_index(1, threads, [&](std::size_t i) {
+      EXPECT_EQ(i, 0u);
+      ran_on = std::this_thread::get_id();
+      ++calls;
+    });
+    EXPECT_EQ(calls, 1) << threads << " threads";
+    EXPECT_EQ(ran_on, caller) << threads << " threads";
+  }
+}
+
+// threads > n: the worker request clamps to n — every index still runs
+// exactly once, and a task-set never has more chunks than indices.
+TEST(ParallelFor, MoreThreadsThanIndicesClampsToIndices) {
+  const std::size_t n = 3;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for_index(n, 64, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+// An explicit threads == 1 stays serial (index order, calling thread) even
+// when invoked from inside a scheduler task — the nested-MC opt-out.
+TEST(ParallelFor, ExplicitSerialStaysSerialInsideWorkerTasks) {
+  std::atomic<int> out_of_order{0};
+  parallel_for_index(4, 4, [&](std::size_t) {
+    const std::thread::id me = std::this_thread::get_id();
+    std::size_t expected = 0;
+    parallel_for_index(16, 1, [&](std::size_t i) {
+      if (i != expected++ || std::this_thread::get_id() != me) {
+        out_of_order.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  });
+  EXPECT_EQ(out_of_order.load(), 0);
 }
 
 TEST(MakeStreams, DeterministicAndPairwiseDistinct) {

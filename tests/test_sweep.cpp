@@ -142,6 +142,64 @@ TEST(SweepThreadCounts, RankingAndFingerprintBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The nested-parallelism acceptance pin: inner MC threading on
+// (mc_threads = 0 -> nested task-sets on the same scheduler workers) must
+// not move a single bit of any ranking, score, or fingerprint relative to
+// the fully serial inner evaluation, at 1, 2 and 8 outer threads.
+TEST(SweepThreadCounts, NestedInnerMcBitIdenticalAcrossThreadCounts) {
+  const std::vector<Scenario> scenarios = default_matrix().expand();
+  const SweepResult serial = run_sweep(scenarios, fast_opts(1));
+  for (const int threads : {1, 2, 8}) {
+    SweepOptions opts = fast_opts(threads);
+    opts.mc_threads = 0;  // nested: MC blocks fan out inside scenario tasks
+    const SweepResult nested = run_sweep(scenarios, opts);
+    EXPECT_EQ(nested.fingerprint, serial.fingerprint) << threads;
+    ASSERT_EQ(nested.ranking.size(), serial.ranking.size()) << threads;
+    for (std::size_t i = 0; i < serial.ranking.size(); ++i) {
+      EXPECT_EQ(serial.ranking[i].name, nested.ranking[i].name) << threads;
+      EXPECT_EQ(serial.ranking[i].mc_yield_loss, nested.ranking[i].mc_yield_loss)
+          << threads << " " << serial.ranking[i].name;
+      EXPECT_EQ(serial.ranking[i].mc_fcl, nested.ranking[i].mc_fcl)
+          << threads << " " << serial.ranking[i].name;
+    }
+  }
+}
+
+// A scenario whose synthesis throws fails the sweep with the scenario name
+// in the message, and when several could fail the lowest-indexed failure
+// wins at any thread count.
+TEST(Sweep, PoisonedScenarioFailsTheSweepWithItsName) {
+  std::vector<Scenario> scenarios = default_matrix().expand();
+  scenarios.resize(6);
+  // Poison one scenario mid-list: an empty graph fails synthesis validation.
+  scenarios[3].name = "poisoned/mid";
+  scenarios[3].graph.blocks.clear();
+  for (const int threads : {1, 2, 8}) {
+    try {
+      (void)run_sweep(scenarios, fast_opts(threads));
+      FAIL() << "expected std::runtime_error at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("poisoned/mid"), std::string::npos)
+          << "threads=" << threads << " what()=" << e.what();
+    }
+  }
+
+  // Two poisoned scenarios: the lowest index is the one reported.
+  scenarios[5].name = "poisoned/late";
+  scenarios[5].graph.blocks.clear();
+  for (const int threads : {1, 8}) {
+    try {
+      (void)run_sweep(scenarios, fast_opts(threads));
+      FAIL() << "expected std::runtime_error at " << threads << " threads";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("poisoned/mid"), std::string::npos)
+          << "threads=" << threads << " what()=" << e.what();
+      EXPECT_EQ(std::string(e.what()).find("poisoned/late"), std::string::npos)
+          << "threads=" << threads << " what()=" << e.what();
+    }
+  }
+}
+
 TEST(Sweep, SeedChangesMcColumnsButNotThePlan) {
   std::vector<Scenario> scenarios = default_matrix().expand();
   scenarios.resize(2);
